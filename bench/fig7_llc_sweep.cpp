@@ -1,0 +1,122 @@
+// Regenerates Fig. 7: the synthetic cache-stress benchmark (section
+// VI-B) on the four memory configurations:
+//   1) DDR4 + LLC   2) HyperRAM + LLC   3) DDR4 only   4) HyperRAM only
+//
+// Primary sweep (the paper's x-axis): the L1 miss ratio, dialled from
+// 0% to 100% by mixing resident-window reads (hits) with thrash-window
+// reads (misses) — "reads can either be in the 0th way, causing either a
+// miss or a hit, or in a different cache way and hit". The thrash window
+// fits the LLC, so cases 1/2 absorb the misses while cases 3/4 pay the
+// raw device latency.
+//
+// Secondary sweep: footprint (stride) scan across the L1 -> LLC -> DRAM
+// capacity boundaries.
+#include <cstdio>
+#include <string>
+
+#include "core/soc.hpp"
+#include "kernels/iot_benchmarks.hpp"
+
+namespace {
+
+using namespace hulkv;
+
+struct Point {
+  double miss_ratio;
+  double cycles_per_read;
+};
+
+core::SocConfig make_config(core::MainMemoryKind kind, bool llc) {
+  core::SocConfig cfg;
+  cfg.main_memory = kind;
+  cfg.enable_llc = llc;
+  return cfg;
+}
+
+Point run_mixed(core::MainMemoryKind kind, bool llc, u32 miss_slots) {
+  core::HulkVSoc soc(make_config(kind, llc));
+  constexpr u32 kReads = 2048;
+  constexpr u32 kRounds = 8;
+  constexpr u32 kFootprint = 64 * 1024;  // > L1, fits the 128 kB LLC
+  const Addr resident = core::layout::kSharedBase;
+  const Addr thrash = resident + 4 * 1024;
+  const std::array<u64, 2> args = {resident, thrash};
+  // Warm-up round (paper: "the second iteration warms up the caches").
+  kernels::run_host_program(
+      soc, kernels::host_mixed_reads(miss_slots, kFootprint, kReads, 6).words,
+      args);
+  const auto run = kernels::run_host_program(
+      soc,
+      kernels::host_mixed_reads(miss_slots, kFootprint, kReads, kRounds)
+          .words,
+      args);
+  auto& d = soc.host().dcache().stats();
+  const double accesses =
+      static_cast<double>(d.get("reads") + d.get("writes"));
+  return {accesses == 0 ? 0
+                        : static_cast<double>(d.get("misses")) / accesses,
+          static_cast<double>(run.cycles) / (double{kReads} * kRounds)};
+}
+
+Point run_stride(core::MainMemoryKind kind, bool llc, u32 stride) {
+  core::HulkVSoc soc(make_config(kind, llc));
+  constexpr u32 kReads = 1024;
+  constexpr u32 kRounds = 10;
+  const std::array<u64, 1> args = {core::layout::kSharedBase};
+  kernels::run_host_program(
+      soc, kernels::host_stride_reads(stride, kReads, 2).words, args);
+  const auto run = kernels::run_host_program(
+      soc, kernels::host_stride_reads(stride, kReads, kRounds).words, args);
+  auto& d = soc.host().dcache().stats();
+  const double accesses =
+      static_cast<double>(d.get("reads") + d.get("writes"));
+  return {accesses == 0 ? 0
+                        : static_cast<double>(d.get("misses")) / accesses,
+          static_cast<double>(run.cycles) / (double{kReads} * kRounds)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 7 — Sweep on Last Level Cache (synthetic benchmark)\n\n");
+  std::printf("Primary sweep: cycles/read vs L1 miss ratio "
+              "(thrash window 64 kB)\n");
+  std::printf("%8s | %12s %12s %12s %12s | %s\n", "L1 miss", "DDR4+LLC",
+              "Hyper+LLC", "DDR4", "Hyper", "Hyper/DDR4 (no LLC)");
+  std::printf("%s\n", std::string(92, '-').c_str());
+  for (const u32 miss_slots : {0u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    const Point p1 = run_mixed(core::MainMemoryKind::kDdr4, true, miss_slots);
+    const Point p2 =
+        run_mixed(core::MainMemoryKind::kHyperRam, true, miss_slots);
+    const Point p3 =
+        run_mixed(core::MainMemoryKind::kDdr4, false, miss_slots);
+    const Point p4 =
+        run_mixed(core::MainMemoryKind::kHyperRam, false, miss_slots);
+    std::printf("%7.1f%% | %12.2f %12.2f %12.2f %12.2f | %10.2fx\n",
+                100.0 * p2.miss_ratio, p1.cycles_per_read,
+                p2.cycles_per_read, p3.cycles_per_read, p4.cycles_per_read,
+                p4.cycles_per_read / p3.cycles_per_read);
+  }
+
+  std::printf("\nSecondary sweep: footprint scan (1024 reads x stride)\n");
+  std::printf("%7s %9s | %12s %12s %12s %12s\n", "stride", "footprint",
+              "DDR4+LLC", "Hyper+LLC", "DDR4", "Hyper");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (const u32 stride : {4u, 16u, 64u, 128u, 256u, 512u, 1024u}) {
+    const Point p1 = run_stride(core::MainMemoryKind::kDdr4, true, stride);
+    const Point p2 =
+        run_stride(core::MainMemoryKind::kHyperRam, true, stride);
+    const Point p3 = run_stride(core::MainMemoryKind::kDdr4, false, stride);
+    const Point p4 =
+        run_stride(core::MainMemoryKind::kHyperRam, false, stride);
+    std::printf("%7u %6u kB | %12.2f %12.2f %12.2f %12.2f\n", stride,
+                stride, p1.cycles_per_read, p2.cycles_per_read,
+                p3.cycles_per_read, p4.cycles_per_read);
+  }
+  std::printf(
+      "\nShape check (paper): with the LLC, the HyperRAM configuration "
+      "tracks DDR4\nat every miss ratio; without it, the gap grows with "
+      "the miss ratio, and\nbelow ~50%% L1 misses DDR4 brings no benefit "
+      "over HyperRAM.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Microbenchmarks of the simulator itself (google-benchmark): ISS
+// throughput, cache-model and HyperRAM-model access rates. These guard
+// the usability of the repo (the figure benches replay millions of
+// instructions) rather than reproducing a paper result.
+#include <benchmark/benchmark.h>
+
+#include "core/soc.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "kernels/iot_benchmarks.hpp"
+#include "kernels/kernel.hpp"
+#include "mem/cache.hpp"
+#include "mem/hyperram.hpp"
+
+namespace {
+
+using namespace hulkv;
+
+void BM_Decode(benchmark::State& state) {
+  const u32 word =
+      isa::encode({.op = isa::Op::kAdd, .rd = 1, .rs1 = 2, .rs2 = 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(word));
+  }
+}
+BENCHMARK(BM_Decode);
+
+void BM_HostIssLoop(benchmark::State& state) {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  core::HulkVSoc soc(cfg);
+  isa::Assembler a(core::layout::kHostCodeBase, true);
+  using namespace isa::reg;
+  a.li(t0, 100000);
+  a.label("loop");
+  a.addi(t1, t1, 1);
+  a.addi(t0, t0, -1);
+  a.bnez(t0, "loop");
+  a.li(a7, 93);
+  a.li(a0, 0);
+  a.ecall();
+  soc.load_program(core::layout::kHostCodeBase, a.assemble());
+
+  u64 instructions = 0;
+  for (auto _ : state) {
+    soc.host().set_pc(core::layout::kHostCodeBase);
+    const auto run = soc.host().run();
+    instructions += run.instret;
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostIssLoop)->Unit(benchmark::kMillisecond);
+
+void BM_CacheHit(benchmark::State& state) {
+  mem::FixedLatency next(100);
+  mem::CacheModel cache({.name = "bench"}, &next);
+  cache.access(0, 0x8000'0000, 8, false);
+  Cycles now = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(now++, 0x8000'0000, 8, false));
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_HyperRamBurst(benchmark::State& state) {
+  mem::HyperRamModel hyper({});
+  Cycles now = 0;
+  for (auto _ : state) {
+    now = hyper.access(now, 0x8000'0000 + (now % 4096) * 64, 64, false);
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_HyperRamBurst);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,9 @@
+// Regenerates Table I: comparison with the state of the art.
+#include <cstdio>
+
+#include "core/comparison.hpp"
+
+int main() {
+  std::puts(hulkv::core::render_comparison_table().c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Table II (per-block area / leakage / dynamic power / fmax /
+// max power in GF22 FDX) and the Fig. 5 area accounting.
+#include <cstdio>
+
+#include "power/power_model.hpp"
+
+int main() {
+  const hulkv::power::PowerModel model;
+  std::puts(hulkv::power::render_power_table(model).c_str());
+  std::printf("Power envelope check: total max power %.2f mW (< 250 mW)\n",
+              model.total_max_power_mw());
+  std::printf("Die area check: %.2f mm^2 (< 9 mm^2)\n\n",
+              model.die_area_mm2());
+  std::puts(hulkv::power::render_floorplan(model).c_str());
+  std::puts(hulkv::power::render_corner_table(model).c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+// End-to-end IoT pipeline — the deployment story of the paper's intro
+// (audio/DSP on an ultra-low-power Linux node):
+//
+//   "sensor" samples in external memory  --hulk_malloc shared buffer-->
+//   PMCA FIR filter (int8 SIMD, MAC&Load) --> peak detection on the host
+//   --> report on the UART console (the real MMIO path).
+//
+// Demonstrates the full software stack of Fig. 4 in one program: shared
+// allocation, OpenMP-style offload, host post-processing, peripheral I/O,
+// and an energy estimate for the whole frame.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/soc.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/cluster_kernels.hpp"
+#include "kernels/golden.hpp"
+#include "power/energy.hpp"
+#include "runtime/offload.hpp"
+#include "runtime/omp.hpp"
+
+using namespace hulkv;
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+int main() {
+  core::HulkVSoc soc;  // HyperRAM + LLC
+  runtime::OffloadRuntime rt(&soc);
+  soc.uart().set_echo(false);
+
+  // 1. "Sensor" frame: a noisy tone, int8 samples in shared memory.
+  const u32 n = 2048, taps = 16;
+  Xoshiro256 rng(42);
+  std::vector<i8> samples(n);
+  for (u32 i = 0; i < n; ++i) {
+    const double tone = 90.0 * ((i / 16) % 2 ? 1 : -1);  // square wave
+    samples[i] =
+        static_cast<i8>(tone / 2 + static_cast<double>(rng.next_range(-20, 20)));
+  }
+  // Moving-average low-pass taps (sum 16 -> gain 16).
+  std::vector<i8> taps_data(taps, 1);
+
+  // Acquire the frame through the peripheral uDMA (an I2S-class stream,
+  // 1 byte per 4 SoC cycles) straight into the L2SPM — the host core
+  // sleeps during acquisition and takes the PLIC interrupt at the end.
+  const Addr px = mem::map::kL2Base + 0x6'0000;
+  const Cycles acquired = soc.periph_udma().start_rx(
+      soc.host().now(), px,
+      std::span<const u8>(reinterpret_cast<const u8*>(samples.data()), n),
+      0.25);
+  soc.host().advance_to(acquired);
+  soc.plic().clear(core::kPeriphIrqSource);
+  std::printf("I2S acquisition: %u samples in %llu cycles\n", n,
+              static_cast<unsigned long long>(acquired));
+
+  const Addr ph = rt.hulk_malloc(taps);
+  const Addr py = rt.hulk_malloc(u64{n} * 4);
+  soc.write_mem(ph, taps_data.data(), taps);
+
+  // 2. Offload the FIR to the PMCA through the OpenMP facade.
+  const u32 tcdm = static_cast<u32>(mem::map::kTcdmBase);
+  const u32 x_l1 = tcdm + 0x100;
+  runtime::omp::TargetRegion fir(&rt, "fir",
+                                 kernels::cluster_fir_i8(n, taps).words);
+  const auto offload = fir({static_cast<u32>(px), static_cast<u32>(ph),
+                            static_cast<u32>(py), x_l1, x_l1 + n,
+                            x_l1 + n + 64});
+  std::printf("FIR offload: %llu cycles (code load %llu)\n",
+              static_cast<unsigned long long>(offload.total),
+              static_cast<unsigned long long>(offload.code_load));
+
+  // Verify against the golden model.
+  const u32 nout = n - taps + 1;
+  std::vector<i32> filtered(nout), want(nout);
+  soc.read_mem(py, filtered.data(), nout * 4);
+  kernels::golden::fir_i8(samples, taps_data, want, n, taps);
+  if (filtered != want) {
+    std::printf("FAIL: filtered signal mismatch\n");
+    return 1;
+  }
+
+  // 3. Host program: scan the filtered signal for its peak and print the
+  //    result through the UART (MMIO putc loop), like a Linux daemon.
+  Assembler host(core::layout::kHostCodeBase, true);
+  // s0 = peak, t0 = ptr, t1 = end
+  host.li(s0, -1 << 30);
+  host.li(t0, static_cast<i64>(py));
+  host.li(t1, static_cast<i64>(py + nout * 4));
+  host.label("scan");
+  host.lw(t2, 0, t0);
+  host.blt(t2, s0, "no_update");
+  host.mv(s0, t2);
+  host.label("no_update");
+  host.addi(t0, t0, 4);
+  host.blt(t0, t1, "scan");
+  // Print "peak=0x" + 8 hex digits to the UART.
+  host.li(t3, core::apbmap::kUartBase);
+  const char prefix[] = "peak=0x";
+  for (const char c : std::string(prefix)) {
+    host.li(t4, c);
+    host.sw(t4, static_cast<i32>(host::Uart::kThr), t3);
+  }
+  host.li(t5, 28);  // shift
+  host.label("digit");
+  host.rr(Op::kSrl, t4, s0, t5);
+  host.andi(t4, t4, 0xF);
+  host.li(t6, 10);
+  host.blt(t4, t6, "num");
+  host.addi(t4, t4, 'a' - 10);
+  host.j("emit");
+  host.label("num");
+  host.addi(t4, t4, '0');
+  host.label("emit");
+  host.sw(t4, static_cast<i32>(host::Uart::kThr), t3);
+  host.addi(t5, t5, -4);
+  host.bge(t5, zero, "digit");
+  host.li(t4, '\n');
+  host.sw(t4, static_cast<i32>(host::Uart::kThr), t3);
+  host.mv(a0, s0);
+  host.li(a7, 93);
+  host.ecall();
+
+  const auto host_run = kernels::run_host_program(soc, host.assemble(), {});
+  std::printf("host peak scan: %llu cycles\n",
+              static_cast<unsigned long long>(host_run.cycles));
+  std::printf("UART says: %s", soc.uart().output().c_str());
+
+  const i32 expected_peak = *std::max_element(want.begin(), want.end());
+  if (static_cast<i32>(host_run.exit_code) != expected_peak) {
+    std::printf("FAIL: peak mismatch (%lld vs %d)\n",
+                static_cast<long long>(host_run.exit_code), expected_peak);
+    return 1;
+  }
+
+  // 4. Frame energy at the ASIC operating point.
+  power::RunActivity activity;
+  activity.duration = offload.total + host_run.cycles;
+  activity.cluster_activity = static_cast<double>(offload.kernel) /
+                              static_cast<double>(activity.duration);
+  activity.host_activity = static_cast<double>(host_run.cycles) /
+                           static_cast<double>(activity.duration);
+  activity.mem_busy_cycles = soc.hyperram()->busy_cycles();
+  const auto energy = power::compute_energy(activity, power::PowerModel{},
+                                            core::FrequencyPlan{});
+  std::printf("frame energy: %.4f mJ at %.1f mW average\n", energy.total_mj,
+              energy.avg_power_mw);
+  std::printf("pipeline OK\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// SoC bring-up flow, written in *text* assembly through the parser
+// frontend: the CVA6 resets into the boot ROM, which sets up a stack,
+// prints a banner through the UART and jumps to the "kernel" staged in
+// external memory — the skeleton of how the Buildroot Linux image of the
+// paper gets control (section IV).
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "core/soc.hpp"
+#include "isa/parser.hpp"
+
+using namespace hulkv;
+
+int main() {
+  core::HulkVSoc soc;  // HyperRAM + LLC
+  soc.uart().set_echo(true);
+
+  // --- Stage 1: boot ROM (resides at the reset vector) ---
+  const std::string rom_source = R"(
+      # zero-stage boot: stack up, say hello, jump to the kernel image
+      li   sp, 0x81000000        # stack top in external memory
+      li   t0, 0x1A190000        # UART THR
+      li   t1, 'R'
+      sw   t1, 0(t0)
+      li   t1, 'O'
+      sw   t1, 0(t0)
+      li   t1, 'M'
+      sw   t1, 0(t0)
+      li   t1, '>'
+      sw   t1, 0(t0)
+      li   t2, 0x80100000        # kernel entry (layout::kHostCodeBase)
+      jalr x0, t2, 0
+  )";
+  soc.load_program(mem::map::kBootRomBase,
+                   isa::parse_program(rom_source, mem::map::kBootRomBase,
+                                      /*rv64=*/true));
+
+  // --- Stage 2: the "kernel" in external memory ---
+  const std::string kernel_source = R"(
+      li   t0, 0x1A190000
+      li   t1, 'o'
+      sw   t1, 0(t0)
+      li   t1, 'k'
+      sw   t1, 0(t0)
+      li   t1, 10              # '\n'
+      sw   t1, 0(t0)
+      # ... a Linux kernel would init the PLIC/CLINT and mount rootfs ...
+      li   a0, 0
+      li   a7, 93
+      ecall
+  )";
+  soc.load_program(core::layout::kHostCodeBase,
+                   isa::parse_program(kernel_source,
+                                      core::layout::kHostCodeBase, true));
+
+  // --- Run from the reset vector ---
+  const auto before = core::SocReport::capture(soc);
+  soc.host().set_pc(mem::map::kBootRomBase);
+  const auto run = soc.host().run();
+  const auto delta = core::SocReport::capture(soc).delta_since(before);
+
+  std::printf("boot completed: %llu instructions, %llu cycles\n",
+              static_cast<unsigned long long>(run.instret),
+              static_cast<unsigned long long>(run.cycles));
+  std::printf("console transcript: %s", soc.uart().output().c_str());
+  std::printf("\nmemory-hierarchy activity during boot:\n%s",
+              delta.to_string().c_str());
+  return run.exit_code == 0 && soc.uart().output() == "ROM>ok\n" ? 0 : 1;
+}

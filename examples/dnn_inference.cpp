@@ -1,0 +1,63 @@
+// End-to-end DNN deployment (paper section VI-C): run the MobileNetV1
+// classifier and the DroNet navigation network through the DORY-style
+// tiler over the HyperRAM hierarchy; print the per-layer schedule, the
+// frame rate at the ASIC frequencies, and the full energy breakdown.
+#include <cstdio>
+
+#include "apps/dory_tiler.hpp"
+#include "apps/networks.hpp"
+#include "core/soc.hpp"
+#include "power/energy.hpp"
+
+using namespace hulkv;
+
+namespace {
+
+void run_network(const apps::Network& network) {
+  core::HulkVSoc soc;  // HyperRAM + LLC
+  apps::DoryTiler tiler(&soc, {});
+  const auto sched = tiler.run(network);
+
+  std::printf("=== %s ===\n", network.name.c_str());
+  std::printf("%-10s %12s %10s %7s %12s %12s\n", "layer", "MACs",
+              "ext bytes", "tiles", "compute cyc", "total cyc");
+  for (const auto& layer : sched.layers) {
+    std::printf("%-10s %12llu %10llu %7u %12llu %12llu\n",
+                layer.name.c_str(),
+                static_cast<unsigned long long>(layer.macs),
+                static_cast<unsigned long long>(layer.ext_bytes),
+                layer.tiles,
+                static_cast<unsigned long long>(layer.compute_cycles),
+                static_cast<unsigned long long>(layer.total_cycles));
+  }
+
+  const core::FrequencyPlan freq;
+  const double seconds =
+      static_cast<double>(sched.total_cycles) / (freq.soc_mhz * 1e6);
+  std::printf("\ntotal: %.2f MMACs, %llu cycles, CCR_hyper %.2f\n",
+              sched.macs / 1e6,
+              static_cast<unsigned long long>(sched.total_cycles),
+              sched.ccr());
+  std::printf("frame rate at ASIC frequencies: %.1f fps\n", 1.0 / seconds);
+
+  power::RunActivity activity;
+  activity.duration = sched.total_cycles;
+  activity.cluster_activity = 1.0;
+  activity.host_activity = 0.05;
+  activity.mem_busy_cycles = sched.ext_busy_cycles;
+  const auto energy =
+      power::compute_energy(activity, power::PowerModel{}, freq);
+  std::printf("energy/frame: %.3f mJ (host %.3f + cluster %.3f + soc %.3f "
+              "+ memctrl %.3f + DRAM %.3f), avg power %.1f mW\n\n",
+              energy.total_mj, energy.host_mj, energy.cluster_mj,
+              energy.soc_mj, energy.mem_ctrl_mj, energy.mem_device_mj,
+              energy.avg_power_mw);
+}
+
+}  // namespace
+
+int main() {
+  run_network(apps::mobilenet_v1_128());
+  run_network(apps::dronet_200());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Memory-system design-space explorer: sweeps the LLC geometry
+// (section III-A's parameterization) and the HyperBUS width on the
+// synthetic cache-stress benchmark, showing how a downstream user would
+// size the fully digital memory hierarchy for their workload.
+//
+// Usage: memsys_explorer [stride_bytes]   (default 128)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/soc.hpp"
+#include "kernels/iot_benchmarks.hpp"
+
+using namespace hulkv;
+
+namespace {
+
+Cycles run(const core::SocConfig& cfg, u32 stride) {
+  core::HulkVSoc soc(cfg);
+  const auto prog = kernels::host_stride_reads(stride, 1024, 10);
+  return kernels::run_host_program(soc, prog.words,
+                                   std::array<u64, 1>{
+                                       core::layout::kSharedBase})
+      .cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u32 stride = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 128;
+  std::printf("HULK-V memory-system explorer, stride %u B "
+              "(footprint %u kB)\n\n",
+              stride, stride);
+
+  // --- LLC size sweep: scale the number of lines (sets) ---
+  std::printf("LLC size sweep (ways=8, blocks=8, AXI_dw=8B):\n");
+  std::printf("%10s %10s %12s\n", "lines", "LLC size", "cycles");
+  for (const u32 lines : {64u, 128u, 256u, 512u, 1024u}) {
+    core::SocConfig cfg;
+    cfg.llc.num_lines = lines;
+    std::printf("%10u %8u kB %12llu\n", lines,
+                cfg.llc.size_bytes() / 1024,
+                static_cast<unsigned long long>(run(cfg, stride)));
+  }
+
+  // --- LLC associativity sweep ---
+  std::printf("\nLLC associativity sweep (128 kB held constant):\n");
+  std::printf("%10s %12s\n", "ways", "cycles");
+  for (const u32 ways : {1u, 2u, 4u, 8u, 16u}) {
+    core::SocConfig cfg;
+    cfg.llc.num_ways = ways;
+    cfg.llc.num_lines = 2048 / ways;  // keep 128 kB
+    std::printf("%10u %12llu\n", ways,
+                static_cast<unsigned long long>(run(cfg, stride)));
+  }
+
+  // --- HyperBUS width: 1 vs 2 interleaved buses ---
+  std::printf("\nHyperBUS interfaces (paper section III-B):\n");
+  std::printf("%10s %12s %18s\n", "buses", "cycles", "peak bandwidth");
+  for (const u32 buses : {1u, 2u}) {
+    core::SocConfig cfg;
+    cfg.hyperram.num_buses = buses;
+    cfg.enable_llc = false;  // expose the raw device
+    std::printf("%10u %12llu %15.1f Gbps\n", buses,
+                static_cast<unsigned long long>(run(cfg, stride)),
+                cfg.hyperram.peak_bytes_per_cycle() * 450e6 * 8 / 1e9);
+  }
+
+  // --- No LLC vs LLC, both memories ---
+  std::printf("\nFour evaluation configurations (section VI-B):\n");
+  for (const bool llc : {true, false}) {
+    for (const auto kind :
+         {core::MainMemoryKind::kDdr4, core::MainMemoryKind::kHyperRam}) {
+      core::SocConfig cfg;
+      cfg.main_memory = kind;
+      cfg.enable_llc = llc;
+      std::printf("  %-8s %-7s %12llu cycles\n",
+                  kind == core::MainMemoryKind::kDdr4 ? "DDR4" : "Hyper",
+                  llc ? "+LLC" : "(raw)",
+                  static_cast<unsigned long long>(run(cfg, stride)));
+    }
+  }
+  return 0;
+}

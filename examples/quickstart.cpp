@@ -1,0 +1,83 @@
+// Quickstart: boot a HULK-V SoC, run a program on the CVA6 host (which
+// prints through the Linux write syscall), offload a tiny kernel to the
+// 8-core PMCA through the OpenMP-style facade, and read the performance
+// counters. Start here.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "core/soc.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/kernel.hpp"
+#include "runtime/offload.hpp"
+#include "runtime/omp.hpp"
+
+using namespace hulkv;
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  // 1. Bring up the SoC: CVA6 host + 8-core PMCA + HyperRAM & LLC.
+  core::HulkVSoc soc;
+  runtime::OffloadRuntime rt(&soc);
+
+  // 2. A host program: print a banner via the write syscall, then exit.
+  const char banner[] = "hello from CVA6 running on the HULK-V simulator\n";
+  const Addr text = rt.hulk_malloc(sizeof(banner));
+  soc.write_mem(text, banner, sizeof(banner) - 1);
+
+  Assembler host_asm(core::layout::kHostCodeBase, /*rv64=*/true);
+  host_asm.li(a0, static_cast<i64>(text));
+  host_asm.li(a1, sizeof(banner) - 1);
+  host_asm.li(a7, 64);  // write
+  host_asm.ecall();
+  host_asm.li(a7, 93);  // exit
+  host_asm.li(a0, 0);
+  host_asm.ecall();
+  const auto host_run =
+      kernels::run_host_program(soc, host_asm.assemble(), {});
+  std::printf("host program: %llu instructions in %llu cycles\n",
+              static_cast<unsigned long long>(host_run.instret),
+              static_cast<unsigned long long>(host_run.cycles));
+
+  // 3. An `omp target` region: every PMCA core squares its hart id and
+  //    stores it into the TCDM.
+  Assembler device(0, /*rv64=*/false);
+  device.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+  device.mul(t1, t0, t0);
+  device.slli(t2, t0, 2);
+  device.li(t3, mem::map::kTcdmBase + 0x400);
+  device.add(t2, t2, t3);
+  device.sw(t1, 0, t2);
+  device.li(a7, cluster::envcall::kExit);
+  device.ecall();
+
+  runtime::omp::TargetRegion region(&rt, "square_hartid", device.assemble());
+  const auto result = region({});
+  std::printf("offload: total %llu cycles (code load %llu, kernel %llu, "
+              "handshake %llu)\n",
+              static_cast<unsigned long long>(result.total),
+              static_cast<unsigned long long>(result.code_load),
+              static_cast<unsigned long long>(result.kernel),
+              static_cast<unsigned long long>(result.handshake));
+
+  std::printf("PMCA results:");
+  for (u32 c = 0; c < soc.cluster().num_cores(); ++c) {
+    u32 v = 0;
+    soc.read_mem(mem::map::kTcdmBase + 0x400 + 4 * c, &v, 4);
+    std::printf(" %u", v);
+  }
+  std::printf("\n");
+
+  // 4. Performance counters of the memory hierarchy.
+  std::printf("\n%s", soc.host().dcache().stats().to_string().c_str());
+  if (soc.llc() != nullptr) {
+    std::printf("%s", soc.llc()->stats().to_string().c_str());
+  }
+  if (soc.hyperram() != nullptr) {
+    std::printf("%s", soc.hyperram()->stats().to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,3 @@
+// dnn.hpp is header-only; this translation unit exists so the module has
+// a home in the library and a place for future out-of-line helpers.
+#include "apps/dnn.hpp"

@@ -1,0 +1,65 @@
+// DNN layer-graph descriptors for the two end-to-end networks of the
+// energy-efficiency study (paper section VI-C): an image-classification
+// network deployed with DORY [20] and the DroNet-style autonomous-
+// navigation network [22]. Quantised int8 (DORY's deployment precision).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hulkv::apps {
+
+/// One convolutional layer (pointwise/depthwise/standard) or FC layer.
+struct ConvLayer {
+  std::string name;
+  u32 in_h = 1, in_w = 1, in_c = 1;
+  u32 out_c = 1;
+  u32 kernel = 3;
+  u32 stride = 1;
+  bool depthwise = false;
+
+  u32 out_h() const { return (in_h - 1) / stride + 1; }
+  u32 out_w() const { return (in_w - 1) / stride + 1; }
+
+  /// Multiply-accumulates of the layer.
+  u64 macs() const {
+    const u64 spatial = static_cast<u64>(out_h()) * out_w();
+    const u64 per_pixel =
+        depthwise ? static_cast<u64>(kernel) * kernel * in_c
+                  : static_cast<u64>(kernel) * kernel * in_c * out_c;
+    return spatial * per_pixel;
+  }
+
+  /// int8 weight footprint.
+  u64 weight_bytes() const {
+    return depthwise ? static_cast<u64>(kernel) * kernel * in_c
+                     : static_cast<u64>(kernel) * kernel * in_c * out_c;
+  }
+
+  u64 input_bytes() const {
+    return static_cast<u64>(in_h) * in_w * in_c;
+  }
+  u64 output_bytes() const {
+    return static_cast<u64>(out_h()) * out_w() * out_c;
+  }
+};
+
+struct Network {
+  std::string name;
+  std::vector<ConvLayer> layers;
+
+  u64 total_macs() const {
+    u64 total = 0;
+    for (const auto& layer : layers) total += layer.macs();
+    return total;
+  }
+  u64 total_weight_bytes() const {
+    u64 total = 0;
+    for (const auto& layer : layers) total += layer.weight_bytes();
+    return total;
+  }
+};
+
+}  // namespace hulkv::apps

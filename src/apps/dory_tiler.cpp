@@ -1,0 +1,131 @@
+#include "apps/dory_tiler.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+#include "mem/interconnect.hpp"
+
+namespace hulkv::apps {
+
+namespace {
+
+/// External-memory device busy cycles so far (whichever device backs the
+/// SoC).
+Cycles ext_busy(core::HulkVSoc& soc) {
+  if (auto* hyper = soc.hyperram()) return hyper->stats().get("busy_cycles");
+  return soc.ddr4()->stats().get("busy_cycles");
+}
+
+}  // namespace
+
+DoryTiler::DoryTiler(core::HulkVSoc* soc, const DoryConfig& config)
+    : soc_(soc), config_(config) {
+  HULKV_CHECK(soc != nullptr, "tiler needs a SoC");
+  HULKV_CHECK(config.macs_per_cycle > 0, "calibrate macs_per_cycle first");
+}
+
+LayerSchedule DoryTiler::run_layer(const ConvLayer& layer, Cycles& now) {
+  LayerSchedule sched;
+  sched.name = layer.name;
+  sched.macs = layer.macs();
+
+  // --- L2 residency decision (DORY's top-level tiling) ---
+  // If weights + activations fit the L2 budget, only weights stream from
+  // external memory (activations stay resident between layers).
+  // Otherwise the activations spill and stream as well.
+  const u64 weights = layer.weight_bytes();
+  const u64 act = layer.input_bytes() + layer.output_bytes();
+  const bool act_resident = weights + act <= config_.l2_budget;
+  sched.ext_bytes = weights + (act_resident ? 0 : act);
+
+  // --- L1 tiling (bytes moved L2 -> TCDM and back) ---
+  const u64 l1_bytes = weights + act;  // every byte crosses L1 once
+  const u64 tile_bytes_budget = config_.l1_budget / 2;  // double buffer
+  const u32 tiles = static_cast<u32>(
+      std::max<u64>(1, ceil_div(l1_bytes, tile_bytes_budget)));
+  sched.tiles = tiles;
+  const u64 tile_l1_bytes = ceil_div(l1_bytes, tiles);
+  const u64 tile_macs = sched.macs / tiles;
+  const Cycles tile_compute = static_cast<Cycles>(
+      static_cast<double>(tile_macs) / config_.macs_per_cycle);
+  sched.compute_cycles = tile_compute * tiles;
+
+  // --- external stream: one uDMA job per layer (weights [+ acts]) ---
+  // Data lands in the L2 staging half; the L1 pipeline may start on a
+  // tile only once its share of the stream has arrived.
+  const Addr l2_stage = mem::map::kL2Base;
+  const Addr ext_src = core::layout::kSharedBase;
+  Cycles ext_done = now;
+  if (sched.ext_bytes > 0) {
+    // Weights stream with linear 1D jobs; spilled activations are
+    // gathered row-by-row with the uDMA's 2D mode (paper section III-B:
+    // "can generate both 1D and 2D burst transactions... precious for
+    // efficiently executing ML algorithms").
+    u64 linear = weights;
+    if (!act_resident) {
+      const u64 row = std::min<u64>(
+          std::max<u64>(layer.in_w * layer.in_c, 1), 16 * 1024);
+      const u64 rows =
+          std::min<u64>(ceil_div(act, row), mem::map::kL2Size / row);
+      if (rows > 0) {
+        ext_done =
+            soc_->udma().transfer_2d(now, l2_stage, ext_src, row, rows, row);
+      }
+      linear += act - std::min<u64>(act, row * rows);
+    }
+    u64 remaining = linear;
+    while (remaining > 0) {
+      const u64 chunk = std::min<u64>(remaining, mem::map::kL2Size);
+      ext_done = soc_->udma().transfer_1d(ext_done, l2_stage, ext_src, chunk);
+      remaining -= chunk;
+    }
+  }
+
+  // --- double-buffered L1 pipeline ---
+  const Addr tcdm_half0 = mem::map::kTcdmBase + 256;
+  const Addr tcdm_half1 = tcdm_half0 + tile_bytes_budget;
+  auto& cdma = soc_->cluster().dma();
+  Cycles compute_done = now;
+  Cycles prev_dma_done = now;
+  for (u32 i = 0; i < tiles; ++i) {
+    // The tile's share of the external stream must have arrived.
+    const Cycles stream_ready =
+        sched.ext_bytes == 0
+            ? now
+            : now + (ext_done - now) * (i + 1) / tiles;
+    const Addr dst = (i % 2 == 0) ? tcdm_half0 : tcdm_half1;
+    const Cycles dma_issue = std::max(stream_ready, compute_done);
+    const u32 job = cdma.start_1d(
+        dma_issue, dst, l2_stage,
+        static_cast<u32>(std::min<u64>(tile_l1_bytes, tile_bytes_budget)));
+    const Cycles dma_done = cdma.finish_time(job);
+    // Compute tile i once its DMA is done and the cores are free.
+    const Cycles start = std::max({compute_done, dma_done, prev_dma_done});
+    compute_done = start + tile_compute;
+    prev_dma_done = dma_done;
+    cdma.retire_before(compute_done);
+  }
+
+  const Cycles done = std::max(compute_done, ext_done);
+  sched.total_cycles = done - now;
+  now = done;
+  return sched;
+}
+
+NetworkSchedule DoryTiler::run(const Network& network, Cycles start) {
+  NetworkSchedule result;
+  result.network = network.name;
+  Cycles now = start;
+  const Cycles busy_before = ext_busy(*soc_);
+  for (const ConvLayer& layer : network.layers) {
+    result.layers.push_back(run_layer(layer, now));
+    result.macs += result.layers.back().macs;
+    result.ext_bytes += result.layers.back().ext_bytes;
+    result.compute_cycles += result.layers.back().compute_cycles;
+  }
+  result.total_cycles = now - start;
+  result.ext_busy_cycles = ext_busy(*soc_) - busy_before;
+  return result;
+}
+
+}  // namespace hulkv::apps

@@ -1,0 +1,70 @@
+// DORY-style memory-aware deployment (paper section VI-C, using [20]).
+//
+// DORY tiles each layer across the three-level memory hierarchy with
+// double buffering so DMA and compute overlap:
+//
+//   external memory --uDMA--> L2SPM --cluster DMA--> TCDM --> PMCA cores
+//
+// This scheduler reproduces that flow against the simulator's real device
+// models: uDMA jobs occupy the HyperRAM/DDR device, cluster-DMA jobs
+// occupy the L2 port, and tile compute advances at a calibrated
+// MACs/cycle rate (measured from the int8 matmul kernel on the ISS — see
+// bench/fig9_energy_eff.cpp). The resulting per-network timing yields the
+// computation-to-communication ratio (CCR_hyper) and GOps that Fig. 9
+// plots, for both memory configurations.
+#pragma once
+
+#include "apps/dnn.hpp"
+#include "core/soc.hpp"
+
+namespace hulkv::apps {
+
+struct DoryConfig {
+  u64 l1_budget = 96 * 1024;   // TCDM bytes usable for tiles
+  u64 l2_budget = 400 * 1024;  // L2SPM bytes usable for staging
+  double macs_per_cycle = 14.0;  // calibrated cluster int8 throughput
+};
+
+struct LayerSchedule {
+  std::string name;
+  u64 macs = 0;
+  u64 ext_bytes = 0;       // traffic to/from external memory
+  u32 tiles = 0;
+  Cycles compute_cycles = 0;  // pure compute time of the layer
+  Cycles total_cycles = 0;    // wall time incl. non-overlapped DMA
+};
+
+struct NetworkSchedule {
+  std::string network;
+  std::vector<LayerSchedule> layers;
+  Cycles total_cycles = 0;
+  Cycles compute_cycles = 0;
+  Cycles ext_busy_cycles = 0;  // external-memory device busy time
+  u64 macs = 0;
+  u64 ext_bytes = 0;
+
+  /// CCR as the paper defines it: computing time over main-memory read
+  /// time, assuming full overlap of the two phases.
+  double ccr() const {
+    return ext_busy_cycles == 0
+               ? 1e9
+               : static_cast<double>(compute_cycles) /
+                     static_cast<double>(ext_busy_cycles);
+  }
+};
+
+class DoryTiler {
+ public:
+  DoryTiler(core::HulkVSoc* soc, const DoryConfig& config);
+
+  /// Schedule and time a full network inference starting at `start`.
+  NetworkSchedule run(const Network& network, Cycles start = 0);
+
+ private:
+  LayerSchedule run_layer(const ConvLayer& layer, Cycles& now);
+
+  core::HulkVSoc* soc_;
+  DoryConfig config_;
+};
+
+}  // namespace hulkv::apps

@@ -1,0 +1,68 @@
+#include "apps/networks.hpp"
+
+namespace hulkv::apps {
+
+namespace {
+
+ConvLayer std_conv(const std::string& name, u32 hw, u32 in_c, u32 out_c,
+                   u32 k, u32 stride) {
+  return {name, hw, hw, in_c, out_c, k, stride, false};
+}
+
+ConvLayer dw_conv(const std::string& name, u32 hw, u32 c, u32 stride) {
+  return {name, hw, hw, c, c, 3, stride, true};
+}
+
+ConvLayer pw_conv(const std::string& name, u32 hw, u32 in_c, u32 out_c) {
+  return {name, hw, hw, in_c, out_c, 1, 1, false};
+}
+
+}  // namespace
+
+Network mobilenet_v1_128() {
+  Network net;
+  net.name = "MobileNetV1-128";
+  net.layers.push_back(std_conv("conv1", 128, 3, 32, 3, 2));
+  // 13 depthwise-separable blocks (dw 3x3 + pw 1x1).
+  struct Block {
+    u32 hw, in_c, out_c, stride;
+  };
+  const Block blocks[] = {
+      {64, 32, 64, 1},   {64, 64, 128, 2},   {32, 128, 128, 1},
+      {32, 128, 256, 2}, {16, 256, 256, 1},  {16, 256, 512, 2},
+      {8, 512, 512, 1},  {8, 512, 512, 1},   {8, 512, 512, 1},
+      {8, 512, 512, 1},  {8, 512, 512, 1},   {8, 512, 1024, 2},
+      {4, 1024, 1024, 1},
+  };
+  int i = 2;
+  for (const Block& b : blocks) {
+    net.layers.push_back(
+        dw_conv("dw" + std::to_string(i), b.hw, b.in_c, b.stride));
+    const u32 out_hw = (b.hw - 1) / b.stride + 1;
+    net.layers.push_back(
+        pw_conv("pw" + std::to_string(i), out_hw, b.in_c, b.out_c));
+    ++i;
+  }
+  // Final classifier (1000 classes over pooled 1024 features).
+  net.layers.push_back(std_conv("fc", 1, 1024, 1000, 1, 1));
+  return net;
+}
+
+Network dronet_200() {
+  Network net;
+  net.name = "PULP-DroNet-200";
+  // 5x5 stem + three residual stages of 3x3 convolutions, then two FC
+  // heads (steering + collision), following the DroNet topology.
+  net.layers.push_back(std_conv("conv5x5", 200, 1, 32, 5, 2));
+  // max-pool modelled as stride on the next stage inputs (no MACs).
+  net.layers.push_back(std_conv("res1a", 50, 32, 32, 3, 2));
+  net.layers.push_back(std_conv("res1b", 25, 32, 32, 3, 1));
+  net.layers.push_back(std_conv("res2a", 25, 32, 64, 3, 2));
+  net.layers.push_back(std_conv("res2b", 13, 64, 64, 3, 1));
+  net.layers.push_back(std_conv("res3a", 13, 64, 128, 3, 2));
+  net.layers.push_back(std_conv("res3b", 7, 128, 128, 3, 1));
+  net.layers.push_back(std_conv("fc", 1, 6272, 2, 1, 1));
+  return net;
+}
+
+}  // namespace hulkv::apps

@@ -1,0 +1,22 @@
+// The two end-to-end networks of Fig. 9 (paper section VI-C).
+//
+// [20] (DORY) deploys a MobileNet-V1-class int8 classifier; [22] is the
+// PULP-DroNet visual-navigation network for nano-drones. The exact layer
+// dimensions of the paper's binaries are not published with the paper;
+// these definitions follow the architectures of the cited works
+// (MobileNet-V1 width 1.0 at 128x128; DroNet at 200x200) — DESIGN.md
+// records the substitution. What Fig. 9 depends on is their
+// compute-to-communication ratio class, which these graphs preserve.
+#pragma once
+
+#include "apps/dnn.hpp"
+
+namespace hulkv::apps {
+
+/// MobileNet-V1 (1.0, 128x128, int8) — the DORY classification workload.
+Network mobilenet_v1_128();
+
+/// PULP-DroNet (200x200 grayscale, ResNet-ish backbone, int8).
+Network dronet_200();
+
+}  // namespace hulkv::apps

@@ -1,0 +1,154 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hulkv::cluster {
+
+Cluster::Cluster(const ClusterConfig& config, mem::SocBus* bus)
+    : config_(config),
+      bus_(bus),
+      tcdm_(config.tcdm),
+      icache_(config.num_cores, config.icache),
+      event_unit_(std::make_unique<EventUnit>(config.num_cores)),
+      dma_(bus, &tcdm_, mem::map::kTcdmBase),
+      at_barrier_(config.num_cores, false) {
+  HULKV_CHECK(bus != nullptr, "cluster needs the SoC bus");
+  HULKV_CHECK(config.num_cores >= 1, "cluster needs cores");
+  for (u32 c = 0; c < config.num_cores; ++c) {
+    PmcaCoreConfig core_cfg = config.core;
+    core_cfg.core_id = c;
+    cores_.push_back(std::make_unique<PmcaCore>(
+        core_cfg, &tcdm_, mem::map::kTcdmBase, &icache_, bus));
+    cores_.back()->set_env_handler(
+        [this](PmcaCore& core) { handle_envcall(core); });
+  }
+}
+
+void Cluster::on_code_loaded() {
+  icache_.flush();
+  for (auto& core : cores_) core->invalidate_decode_cache();
+}
+
+void Cluster::release_barrier() {
+  const Cycles wake = event_unit_->release();
+  for (u32 c = 0; c < config_.num_cores; ++c) {
+    if (at_barrier_[c]) {
+      at_barrier_[c] = false;
+      cores_[c]->advance_to(wake);
+      cores_[c]->set_state(PmcaCore::State::kRunning);
+    }
+  }
+}
+
+void Cluster::handle_envcall(PmcaCore& core) {
+  using isa::reg::a0;
+  using isa::reg::a1;
+  using isa::reg::a2;
+  using isa::reg::a3;
+  using isa::reg::a4;
+  const u64 func = core.reg(isa::reg::a7);
+
+  switch (func) {
+    case envcall::kExit:
+      core.set_state(PmcaCore::State::kFinished);
+      break;
+    case envcall::kBarrier: {
+      at_barrier_[core.core_id()] = true;
+      core.set_state(PmcaCore::State::kBlocked);
+      if (event_unit_->arrive(core.core_id(), core.now())) {
+        release_barrier();
+      }
+      break;
+    }
+    case envcall::kDma1d: {
+      const u32 job = dma_.start_1d(core.now(), core.reg(a0), core.reg(a1),
+                                    core.reg(a2));
+      core.set_reg(a0, job);
+      core.advance_to(core.now() + 4);  // config-register writes
+      break;
+    }
+    case envcall::kDma2d: {
+      const u32 job =
+          dma_.start_2d(core.now(), core.reg(a0), core.reg(a1),
+                        core.reg(a2), core.reg(a3), core.reg(a4));
+      core.set_reg(a0, job);
+      core.advance_to(core.now() + 6);
+      break;
+    }
+    case envcall::kDmaWait:
+      core.advance_to(std::max(core.now(), dma_.finish_all()));
+      dma_.retire_before(core.now());
+      break;
+    case envcall::kCoreCount:
+      core.set_reg(a0, team_size_);
+      break;
+    default:
+      throw SimError("unknown PMCA envcall " + std::to_string(func));
+  }
+}
+
+Cluster::KernelResult Cluster::run_kernel(Cycles start_time, Addr entry,
+                                          u32 arg0, u32 team_size) {
+  if (team_size == 0) team_size = config_.num_cores;
+  HULKV_CHECK(team_size <= config_.num_cores,
+              "team larger than the cluster");
+  team_size_ = team_size;
+  // Barriers synchronise exactly the dispatched team.
+  event_unit_ = std::make_unique<EventUnit>(team_size);
+
+  const u64 instret_before = [&] {
+    u64 total = 0;
+    for (auto& core : cores_) total += core->instret();
+    return total;
+  }();
+
+  for (u32 c = 0; c < team_size; ++c) {
+    PmcaCore& core = *cores_[c];
+    core.reset_for_run(entry);
+    core.set_reg(isa::reg::a0, arg0);
+    // Stack at the top of TCDM, 1 kB per core (bare-metal runtime layout).
+    const u32 stack_top = static_cast<u32>(
+        mem::map::kTcdmBase + tcdm_.storage().size() -
+        core.core_id() * 1024);
+    core.set_reg(isa::reg::sp, stack_top);
+    core.advance_to(start_time + config_.dispatch_latency);
+  }
+
+  // Always step the core with the smallest local clock so shared-resource
+  // reservations (TCDM banks, DMA, external memory) are made in time order.
+  while (true) {
+    PmcaCore* next = nullptr;
+    for (auto& core : cores_) {
+      if (core->state() == PmcaCore::State::kRunning &&
+          (next == nullptr || core->now() < next->now())) {
+        next = core.get();
+      }
+    }
+    if (next == nullptr) {
+      // No runnable core: either done, or a barrier deadlock.
+      bool all_finished = true;
+      for (auto& core : cores_) {
+        all_finished &= core->state() == PmcaCore::State::kFinished;
+      }
+      HULKV_CHECK(all_finished,
+                  "cluster deadlock: cores blocked with no runnable core "
+                  "(barrier not reached by the whole team?)");
+      break;
+    }
+    next->step();
+  }
+
+  KernelResult result;
+  result.start = start_time;
+  for (u32 c = 0; c < team_size; ++c) {
+    result.finish = std::max(result.finish, cores_[c]->now());
+  }
+  for (auto& core : cores_) result.instret += core->instret();
+  result.instret -= instret_before;
+  result.cycles = result.finish - start_time;
+  return result;
+}
+
+}  // namespace hulkv::cluster

@@ -1,0 +1,34 @@
+#include "cluster/event_unit.hpp"
+
+#include <algorithm>
+
+namespace hulkv::cluster {
+
+EventUnit::EventUnit(u32 num_cores, Cycles wakeup_latency)
+    : num_cores_(num_cores),
+      wakeup_latency_(wakeup_latency),
+      arrived_(num_cores, false),
+      stats_("event_unit") {
+  HULKV_CHECK(num_cores >= 1, "event unit needs cores");
+}
+
+bool EventUnit::arrive(u32 core_id, Cycles now) {
+  HULKV_CHECK(core_id < num_cores_, "bad core id at barrier");
+  HULKV_CHECK(!arrived_[core_id], "core arrived at the barrier twice");
+  arrived_[core_id] = true;
+  ++arrived_count_;
+  max_arrival_ = std::max(max_arrival_, now);
+  return arrived_count_ == num_cores_;
+}
+
+Cycles EventUnit::release() {
+  HULKV_CHECK(arrived_count_ == num_cores_, "barrier released early");
+  stats_.increment("barriers");
+  const Cycles wake = max_arrival_ + wakeup_latency_;
+  arrived_count_ = 0;
+  max_arrival_ = 0;
+  std::fill(arrived_.begin(), arrived_.end(), false);
+  return wake;
+}
+
+}  // namespace hulkv::cluster

@@ -1,0 +1,42 @@
+// Two-level cluster instruction cache (paper section III-C): 512 B of
+// private I-cache per core backed by a 4 kB shared level, which in turn
+// fetches from the L2SPM over the cluster's AXI port. Timing-only, like
+// every cache in the simulator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/timing.hpp"
+
+namespace hulkv::cluster {
+
+struct ClusterIcacheConfig {
+  u32 private_bytes = 512;
+  u32 shared_bytes = 4 * 1024;
+  u32 line_bytes = 32;
+  Cycles shared_hit_latency = 2;   // private miss served by shared level
+  Cycles l2_fetch_latency = 8;     // shared miss: AXI hop + L2 read
+};
+
+class ClusterIcache {
+ public:
+  ClusterIcache(u32 num_cores, const ClusterIcacheConfig& config);
+
+  /// Fetch timing for `core_id` at `pc`. Returns the completion cycle.
+  Cycles fetch(u32 core_id, Cycles now, Addr pc);
+
+  /// Invalidate all levels (called when a new kernel image is loaded).
+  void flush();
+
+  mem::CacheModel& private_cache(u32 core_id) { return *private_[core_id]; }
+  mem::CacheModel& shared_cache() { return *shared_; }
+
+ private:
+  mem::FixedLatency l2_latency_;
+  std::unique_ptr<mem::CacheModel> shared_;
+  std::vector<std::unique_ptr<mem::CacheModel>> private_;
+};
+
+}  // namespace hulkv::cluster

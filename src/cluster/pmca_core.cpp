@@ -1,0 +1,731 @@
+#include "cluster/pmca_core.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/bitutil.hpp"
+#include "common/half.hpp"
+#include "common/log.hpp"
+#include "isa/disasm.hpp"
+
+namespace hulkv::cluster {
+
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+float f32(u32 raw) { return std::bit_cast<float>(raw); }
+u32 raw32(float v) { return std::bit_cast<u32>(v); }
+
+/// Per-lane fp16 helper: op over two packed halves, rounded per lane.
+template <typename F>
+u32 fp16_lanes(u32 a, u32 b, F&& op) {
+  u32 out = 0;
+  for (int lane = 0; lane < 2; ++lane) {
+    const float x = half_bits_to_float(static_cast<u16>(a >> (16 * lane)));
+    const float y = half_bits_to_float(static_cast<u16>(b >> (16 * lane)));
+    out |= static_cast<u32>(float_to_half_bits(op(x, y))) << (16 * lane);
+  }
+  return out;
+}
+
+i32 clip(i32 v, unsigned width) {
+  const i32 hi = (1 << (width - 1)) - 1;
+  const i32 lo = -(1 << (width - 1));
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace
+
+PmcaCore::PmcaCore(const PmcaCoreConfig& config, Tcdm* tcdm, Addr tcdm_base,
+                   ClusterIcache* icache, mem::SocBus* bus)
+    : config_(config),
+      tcdm_(tcdm),
+      tcdm_base_(tcdm_base),
+      icache_(icache),
+      bus_(bus),
+      stats_("pmca_core" + std::to_string(config.core_id)) {
+  HULKV_CHECK(tcdm != nullptr && icache != nullptr && bus != nullptr,
+              "PMCA core needs TCDM, I-cache and bus");
+}
+
+void PmcaCore::reset_for_run(Addr entry) {
+  std::fill(std::begin(x_), std::end(x_), 0);
+  std::fill(std::begin(f_), std::end(f_), 0);
+  loops_[0] = loops_[1] = HwLoop{};
+  pc_ = entry;
+  fetch_line_ = ~0ull;
+  state_ = State::kRunning;
+}
+
+bool PmcaCore::in_tcdm(Addr addr) const {
+  return addr >= tcdm_base_ && addr < tcdm_base_ + tcdm_->storage().size();
+}
+
+const Instr& PmcaCore::fetch(Addr pc) {
+  auto it = decode_cache_.find(pc);
+  if (it == decode_cache_.end()) {
+    u32 word = 0;
+    bus_->read_functional(pc, &word, 4);
+    it = decode_cache_.emplace(pc, isa::decode(word)).first;
+  }
+  const Addr line = align_down(pc, 32);
+  if (line != fetch_line_) {
+    fetch_line_ = line;
+    cycle_ = icache_->fetch(config_.core_id, cycle_, pc);
+  }
+  return it->second;
+}
+
+u32 PmcaCore::load(Addr addr, u32 bytes, bool sign, Cycles issue) {
+  stats_.increment("loads");
+  u32 value = 0;
+  if (in_tcdm(addr)) {
+    HULKV_CHECK(addr + bytes <= tcdm_base_ + tcdm_->storage().size(),
+                "TCDM load crosses the top of L1");
+    std::memcpy(&value, tcdm_->storage().data() + (addr - tcdm_base_),
+                bytes);
+    cycle_ = std::max(cycle_, tcdm_->access(issue, addr - tcdm_base_, bytes));
+  } else {
+    // Demand access over the cluster's AXI master port.
+    u64 wide = 0;
+    cycle_ = std::max(
+        cycle_, bus_->read(issue, addr, &wide, bytes,
+                           mem::Master::kClusterCore));
+    value = static_cast<u32>(wide);
+    stats_.increment("demand_axi_loads");
+  }
+  if (sign) value = static_cast<u32>(sign_extend(value, bytes * 8));
+  return value;
+}
+
+void PmcaCore::store(Addr addr, u32 value, u32 bytes, Cycles issue) {
+  stats_.increment("stores");
+  if (in_tcdm(addr)) {
+    HULKV_CHECK(addr + bytes <= tcdm_base_ + tcdm_->storage().size(),
+                "TCDM store crosses the top of L1");
+    std::memcpy(tcdm_->storage().data() + (addr - tcdm_base_), &value,
+                bytes);
+    cycle_ = std::max(cycle_, tcdm_->access(issue, addr - tcdm_base_, bytes));
+  } else {
+    // Posted write through the AXI port: occupancy advances, no stall.
+    const u64 wide = value;
+    bus_->write(issue, addr, &wide, bytes, mem::Master::kClusterCore);
+    stats_.increment("demand_axi_stores");
+  }
+}
+
+void PmcaCore::step() {
+  HULKV_CHECK(state_ == State::kRunning, "stepping a non-running core");
+  const Instr& in = fetch(pc_);
+  if (trace_) {
+    log(LogLevel::kTrace, stats_.name(), "cyc=", cycle_, " pc=0x", std::hex,
+        pc_, std::dec, "  ", isa::disasm(in));
+  }
+  next_pc_ = pc_ + 4;
+  issue_cycle_ = cycle_;
+  cycle_ += 1;
+  exec(in);
+  ++instret_;
+  if (state_ == State::kRunning || state_ == State::kBlocked) {
+    apply_hwloops();
+    pc_ = next_pc_;
+  }
+}
+
+void PmcaCore::apply_hwloops() {
+  // Innermost loop first (index 0). A loop fires when control falls onto
+  // its end address from the body's last instruction.
+  for (int l = 0; l < 2; ++l) {
+    HwLoop& loop = loops_[l];
+    if (loop.count == 0 || next_pc_ != loop.end) continue;
+    if (loop.count > 1) {
+      --loop.count;
+      next_pc_ = loop.start;  // zero-overhead back edge
+      stats_.increment("hwloop_backedges");
+      return;
+    }
+    loop.count = 0;  // natural exit, fall through; outer loop may fire too
+  }
+}
+
+void PmcaCore::exec(const Instr& in) {
+  const u32 rs1 = x_[in.rs1];
+  const u32 rs2 = x_[in.rs2];
+  const auto wr = [this, &in](u32 v) { set_reg(in.rd, v); };
+  const auto branch_to = [this](i64 offset) {
+    next_pc_ = pc_ + offset;
+    cycle_ += config_.taken_branch_penalty;
+    stats_.increment("taken_branches");
+  };
+
+  switch (in.op) {
+    case Op::kLui:
+      wr(static_cast<u32>(in.imm));
+      break;
+    case Op::kAuipc:
+      wr(static_cast<u32>(pc_) + static_cast<u32>(in.imm));
+      break;
+    case Op::kJal:
+      wr(static_cast<u32>(pc_) + 4);
+      next_pc_ = pc_ + in.imm;
+      cycle_ += config_.jump_penalty;
+      break;
+    case Op::kJalr:
+      wr(static_cast<u32>(pc_) + 4);
+      next_pc_ = (rs1 + in.imm) & ~1u;
+      cycle_ += config_.jump_penalty;
+      break;
+    case Op::kBeq:
+      if (rs1 == rs2) branch_to(in.imm);
+      break;
+    case Op::kBne:
+      if (rs1 != rs2) branch_to(in.imm);
+      break;
+    case Op::kBlt:
+      if (static_cast<i32>(rs1) < static_cast<i32>(rs2)) branch_to(in.imm);
+      break;
+    case Op::kBge:
+      if (static_cast<i32>(rs1) >= static_cast<i32>(rs2)) branch_to(in.imm);
+      break;
+    case Op::kBltu:
+      if (rs1 < rs2) branch_to(in.imm);
+      break;
+    case Op::kBgeu:
+      if (rs1 >= rs2) branch_to(in.imm);
+      break;
+
+    case Op::kLb:
+      wr(load(rs1 + in.imm, 1, true, issue_cycle_));
+      break;
+    case Op::kLh:
+      wr(load(rs1 + in.imm, 2, true, issue_cycle_));
+      break;
+    case Op::kLw:
+      wr(load(rs1 + in.imm, 4, false, issue_cycle_));
+      break;
+    case Op::kLbu:
+      wr(load(rs1 + in.imm, 1, false, issue_cycle_));
+      break;
+    case Op::kLhu:
+      wr(load(rs1 + in.imm, 2, false, issue_cycle_));
+      break;
+    case Op::kSb:
+      store(rs1 + in.imm, rs2, 1, issue_cycle_);
+      break;
+    case Op::kSh:
+      store(rs1 + in.imm, rs2, 2, issue_cycle_);
+      break;
+    case Op::kSw:
+      store(rs1 + in.imm, rs2, 4, issue_cycle_);
+      break;
+
+    // Post-increment variants: access at rs1, then rs1 += imm, same cost
+    // as the plain access (the adder is folded into the LSU).
+    case Op::kPLbPost:
+      wr(load(rs1, 1, true, issue_cycle_));
+      set_reg(in.rs1, rs1 + in.imm);
+      break;
+    case Op::kPLbuPost:
+      wr(load(rs1, 1, false, issue_cycle_));
+      set_reg(in.rs1, rs1 + in.imm);
+      break;
+    case Op::kPLhPost:
+      wr(load(rs1, 2, true, issue_cycle_));
+      set_reg(in.rs1, rs1 + in.imm);
+      break;
+    case Op::kPLhuPost:
+      wr(load(rs1, 2, false, issue_cycle_));
+      set_reg(in.rs1, rs1 + in.imm);
+      break;
+    case Op::kPLwPost:
+      wr(load(rs1, 4, false, issue_cycle_));
+      set_reg(in.rs1, rs1 + in.imm);
+      break;
+    case Op::kPSbPost:
+      store(rs1, rs2, 1, issue_cycle_);
+      set_reg(in.rs1, rs1 + in.imm);
+      break;
+    case Op::kPShPost:
+      store(rs1, rs2, 2, issue_cycle_);
+      set_reg(in.rs1, rs1 + in.imm);
+      break;
+    case Op::kPSwPost:
+      store(rs1, rs2, 4, issue_cycle_);
+      set_reg(in.rs1, rs1 + in.imm);
+      break;
+
+    case Op::kAddi:
+      wr(rs1 + in.imm);
+      break;
+    case Op::kSlti:
+      wr(static_cast<i32>(rs1) < in.imm ? 1 : 0);
+      break;
+    case Op::kSltiu:
+      wr(rs1 < static_cast<u32>(in.imm) ? 1 : 0);
+      break;
+    case Op::kXori:
+      wr(rs1 ^ static_cast<u32>(in.imm));
+      break;
+    case Op::kOri:
+      wr(rs1 | static_cast<u32>(in.imm));
+      break;
+    case Op::kAndi:
+      wr(rs1 & static_cast<u32>(in.imm));
+      break;
+    case Op::kSlli:
+      wr(rs1 << (in.imm & 31));
+      break;
+    case Op::kSrli:
+      wr(rs1 >> (in.imm & 31));
+      break;
+    case Op::kSrai:
+      wr(static_cast<u32>(static_cast<i32>(rs1) >> (in.imm & 31)));
+      break;
+    case Op::kAdd:
+      wr(rs1 + rs2);
+      break;
+    case Op::kSub:
+      wr(rs1 - rs2);
+      break;
+    case Op::kSll:
+      wr(rs1 << (rs2 & 31));
+      break;
+    case Op::kSlt:
+      wr(static_cast<i32>(rs1) < static_cast<i32>(rs2) ? 1 : 0);
+      break;
+    case Op::kSltu:
+      wr(rs1 < rs2 ? 1 : 0);
+      break;
+    case Op::kXor:
+      wr(rs1 ^ rs2);
+      break;
+    case Op::kSrl:
+      wr(rs1 >> (rs2 & 31));
+      break;
+    case Op::kSra:
+      wr(static_cast<u32>(static_cast<i32>(rs1) >> (rs2 & 31)));
+      break;
+    case Op::kOr:
+      wr(rs1 | rs2);
+      break;
+    case Op::kAnd:
+      wr(rs1 & rs2);
+      break;
+
+    case Op::kMul:
+      wr(rs1 * rs2);
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kMulh:
+      wr(static_cast<u32>(
+          (static_cast<i64>(static_cast<i32>(rs1)) *
+           static_cast<i64>(static_cast<i32>(rs2))) >> 32));
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kMulhsu:
+      wr(static_cast<u32>((static_cast<i64>(static_cast<i32>(rs1)) *
+                           static_cast<i64>(static_cast<u64>(rs2))) >> 32));
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kMulhu:
+      wr(static_cast<u32>(
+          (static_cast<u64>(rs1) * static_cast<u64>(rs2)) >> 32));
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kDiv: {
+      const i32 a = static_cast<i32>(rs1), b = static_cast<i32>(rs2);
+      i32 r;
+      if (b == 0) {
+        r = -1;
+      } else if (a == std::numeric_limits<i32>::min() && b == -1) {
+        r = a;
+      } else {
+        r = a / b;
+      }
+      wr(static_cast<u32>(r));
+      cycle_ += config_.div_latency;
+      break;
+    }
+    case Op::kDivu:
+      wr(rs2 == 0 ? ~0u : rs1 / rs2);
+      cycle_ += config_.div_latency;
+      break;
+    case Op::kRem: {
+      const i32 a = static_cast<i32>(rs1), b = static_cast<i32>(rs2);
+      i32 r;
+      if (b == 0) {
+        r = a;
+      } else if (a == std::numeric_limits<i32>::min() && b == -1) {
+        r = 0;
+      } else {
+        r = a % b;
+      }
+      wr(static_cast<u32>(r));
+      cycle_ += config_.div_latency;
+      break;
+    }
+    case Op::kRemu:
+      wr(rs2 == 0 ? rs1 : rs1 % rs2);
+      cycle_ += config_.div_latency;
+      break;
+
+    case Op::kFence:
+      break;
+    case Op::kEcall:
+      HULKV_CHECK(static_cast<bool>(env_),
+                  "PMCA ecall without an environment handler");
+      env_(*this);
+      break;
+    case Op::kEbreak:
+      throw SimError("PMCA ebreak at pc=0x" + std::to_string(pc_));
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci: {
+      const u16 csr = static_cast<u16>(in.imm);
+      u32 value = 0;
+      if (csr == isa::csr::kMhartid) {
+        value = config_.core_id;
+      } else if (csr == isa::csr::kCycle || csr == isa::csr::kMcycle) {
+        value = static_cast<u32>(cycle_);
+      } else if (csr == isa::csr::kInstret || csr == isa::csr::kMinstret) {
+        value = static_cast<u32>(instret_);
+      }
+      wr(value);
+      break;
+    }
+
+    // ---- Xpulp hardware loops ----
+    case Op::kLpStarti:
+      loops_[in.rd & 1].start = pc_ + in.imm;
+      break;
+    case Op::kLpEndi:
+      loops_[in.rd & 1].end = pc_ + in.imm;
+      break;
+    case Op::kLpCount:
+      HULKV_CHECK(rs1 >= 1, "hardware loop count must be >= 1");
+      loops_[in.rd & 1].count = rs1;
+      break;
+    case Op::kLpCounti:
+      HULKV_CHECK(in.imm >= 1, "hardware loop count must be >= 1");
+      loops_[in.rd & 1].count = static_cast<u32>(in.imm);
+      break;
+    case Op::kLpSetup: {
+      HULKV_CHECK(rs1 >= 1, "hardware loop count must be >= 1");
+      HwLoop& loop = loops_[in.rd & 1];
+      loop.start = pc_ + 4;
+      loop.end = pc_ + in.imm;
+      loop.count = rs1;
+      break;
+    }
+
+    // ---- Xpulp scalar DSP ----
+    case Op::kPMac:
+      wr(x_[in.rd] + rs1 * rs2);
+      cycle_ += config_.mul_latency;
+      stats_.increment("mac_ops");
+      break;
+    case Op::kPMsu:
+      wr(x_[in.rd] - rs1 * rs2);
+      cycle_ += config_.mul_latency;
+      stats_.increment("mac_ops");
+      break;
+    case Op::kPAbs: {
+      const i32 v = static_cast<i32>(rs1);
+      wr(static_cast<u32>(v < 0 ? -v : v));
+      break;
+    }
+    case Op::kPMin:
+      wr(static_cast<i32>(rs1) < static_cast<i32>(rs2) ? rs1 : rs2);
+      break;
+    case Op::kPMax:
+      wr(static_cast<i32>(rs1) > static_cast<i32>(rs2) ? rs1 : rs2);
+      break;
+    case Op::kPClip:
+      HULKV_CHECK(in.imm >= 1 && in.imm <= 31, "p.clip width out of range");
+      wr(static_cast<u32>(clip(static_cast<i32>(rs1),
+                               static_cast<unsigned>(in.imm))));
+      break;
+    case Op::kPExths:
+      wr(static_cast<u32>(sign_extend(rs1 & 0xFFFF, 16)));
+      break;
+    case Op::kPExthz:
+      wr(rs1 & 0xFFFFu);
+      break;
+    case Op::kPExtbs:
+      wr(static_cast<u32>(sign_extend(rs1 & 0xFF, 8)));
+      break;
+    case Op::kPExtbz:
+      wr(rs1 & 0xFFu);
+      break;
+
+    // ---- Xpulp integer SIMD ----
+    case Op::kPvAddB:
+    case Op::kPvSubB:
+    case Op::kPvMinB:
+    case Op::kPvMaxB: {
+      u32 out = 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        const i8 a = static_cast<i8>(rs1 >> (8 * lane));
+        const i8 b = static_cast<i8>(rs2 >> (8 * lane));
+        i32 r = 0;
+        switch (in.op) {
+          case Op::kPvAddB: r = static_cast<i8>(a + b); break;
+          case Op::kPvSubB: r = static_cast<i8>(a - b); break;
+          case Op::kPvMinB: r = std::min(a, b); break;
+          default: r = std::max(a, b); break;
+        }
+        out |= (static_cast<u32>(r) & 0xFFu) << (8 * lane);
+      }
+      wr(out);
+      stats_.increment("simd_ops");
+      break;
+    }
+    case Op::kPvAddH:
+    case Op::kPvSubH:
+    case Op::kPvMinH:
+    case Op::kPvMaxH:
+    case Op::kPvSraH: {
+      u32 out = 0;
+      for (int lane = 0; lane < 2; ++lane) {
+        const i16 a = static_cast<i16>(rs1 >> (16 * lane));
+        const i16 b = static_cast<i16>(rs2 >> (16 * lane));
+        i32 r = 0;
+        switch (in.op) {
+          case Op::kPvAddH: r = static_cast<i16>(a + b); break;
+          case Op::kPvSubH: r = static_cast<i16>(a - b); break;
+          case Op::kPvMinH: r = std::min(a, b); break;
+          case Op::kPvMaxH: r = std::max(a, b); break;
+          default: r = static_cast<i16>(a >> (rs2 & 15)); break;
+        }
+        out |= (static_cast<u32>(r) & 0xFFFFu) << (16 * lane);
+      }
+      wr(out);
+      stats_.increment("simd_ops");
+      break;
+    }
+    case Op::kPvDotspB:
+    case Op::kPvSdotspB: {
+      i32 acc = in.op == Op::kPvSdotspB ? static_cast<i32>(x_[in.rd]) : 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        acc += static_cast<i32>(static_cast<i8>(rs1 >> (8 * lane))) *
+               static_cast<i32>(static_cast<i8>(rs2 >> (8 * lane)));
+      }
+      wr(static_cast<u32>(acc));
+      cycle_ += config_.mul_latency;
+      stats_.increment("simd_ops");
+      stats_.add("mac_ops", 4);
+      break;
+    }
+    case Op::kPvSdotspBMem: {
+      // MAC & Load: one fused cycle — load 4 int8 through the LSU port,
+      // dot them into the accumulator, post-increment the pointer.
+      const u32 vec = load(rs1, 4, false, issue_cycle_);
+      i32 acc = static_cast<i32>(x_[in.rd]);
+      for (int lane = 0; lane < 4; ++lane) {
+        acc += static_cast<i32>(static_cast<i8>(vec >> (8 * lane))) *
+               static_cast<i32>(static_cast<i8>(rs2 >> (8 * lane)));
+      }
+      wr(acc);
+      set_reg(in.rs1, rs1 + 4);
+      stats_.increment("simd_ops");
+      stats_.add("mac_ops", 4);
+      break;
+    }
+    case Op::kPvSdotspHMem: {
+      const u32 vec = load(rs1, 4, false, issue_cycle_);
+      i32 acc = static_cast<i32>(x_[in.rd]);
+      for (int lane = 0; lane < 2; ++lane) {
+        acc += static_cast<i32>(static_cast<i16>(vec >> (16 * lane))) *
+               static_cast<i32>(static_cast<i16>(rs2 >> (16 * lane)));
+      }
+      wr(acc);
+      set_reg(in.rs1, rs1 + 4);
+      stats_.increment("simd_ops");
+      stats_.add("mac_ops", 2);
+      break;
+    }
+    case Op::kPvDotspH:
+    case Op::kPvSdotspH: {
+      i32 acc = in.op == Op::kPvSdotspH ? static_cast<i32>(x_[in.rd]) : 0;
+      for (int lane = 0; lane < 2; ++lane) {
+        acc += static_cast<i32>(static_cast<i16>(rs1 >> (16 * lane))) *
+               static_cast<i32>(static_cast<i16>(rs2 >> (16 * lane)));
+      }
+      wr(static_cast<u32>(acc));
+      cycle_ += config_.mul_latency;
+      stats_.increment("simd_ops");
+      stats_.add("mac_ops", 2);
+      break;
+    }
+
+    // ---- F (scalar fp32) ----
+    case Op::kFlw:
+      set_freg(in.rd, load(rs1 + in.imm, 4, false, issue_cycle_));
+      break;
+    case Op::kFsw:
+      store(rs1 + in.imm, f_[in.rs2], 4, issue_cycle_);
+      break;
+    case Op::kFaddS:
+      set_freg(in.rd, raw32(f32(f_[in.rs1]) + f32(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFsubS:
+      set_freg(in.rd, raw32(f32(f_[in.rs1]) - f32(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmulS:
+      set_freg(in.rd, raw32(f32(f_[in.rs1]) * f32(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFdivS:
+      set_freg(in.rd, raw32(f32(f_[in.rs1]) / f32(f_[in.rs2])));
+      cycle_ += 12;
+      break;
+    case Op::kFsqrtS:
+      set_freg(in.rd, raw32(std::sqrt(f32(f_[in.rs1]))));
+      cycle_ += 12;
+      break;
+    case Op::kFmaddS:
+      set_freg(in.rd, raw32(std::fma(f32(f_[in.rs1]), f32(f_[in.rs2]),
+                                     f32(f_[in.rs3]))));
+      cycle_ += config_.fpu_latency;
+      stats_.increment("mac_ops");
+      break;
+    case Op::kFmsubS:
+      set_freg(in.rd, raw32(std::fma(f32(f_[in.rs1]), f32(f_[in.rs2]),
+                                     -f32(f_[in.rs3]))));
+      cycle_ += config_.fpu_latency;
+      stats_.increment("mac_ops");
+      break;
+    case Op::kFsgnjS:
+      set_freg(in.rd,
+               (f_[in.rs1] & 0x7FFFFFFFu) | (f_[in.rs2] & 0x80000000u));
+      break;
+    case Op::kFsgnjnS:
+      set_freg(in.rd,
+               (f_[in.rs1] & 0x7FFFFFFFu) | (~f_[in.rs2] & 0x80000000u));
+      break;
+    case Op::kFsgnjxS:
+      set_freg(in.rd, f_[in.rs1] ^ (f_[in.rs2] & 0x80000000u));
+      break;
+    case Op::kFminS:
+      set_freg(in.rd, raw32(std::fmin(f32(f_[in.rs1]), f32(f_[in.rs2]))));
+      break;
+    case Op::kFmaxS:
+      set_freg(in.rd, raw32(std::fmax(f32(f_[in.rs1]), f32(f_[in.rs2]))));
+      break;
+    case Op::kFeqS:
+      wr(f32(f_[in.rs1]) == f32(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFltS:
+      wr(f32(f_[in.rs1]) < f32(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFleS:
+      wr(f32(f_[in.rs1]) <= f32(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFcvtWS: {
+      const float v = f32(f_[in.rs1]);
+      i32 r;
+      if (std::isnan(v)) {
+        r = std::numeric_limits<i32>::max();
+      } else if (v >= 2147483647.0f) {
+        r = std::numeric_limits<i32>::max();
+      } else if (v <= -2147483648.0f) {
+        r = std::numeric_limits<i32>::min();
+      } else {
+        r = static_cast<i32>(std::nearbyintf(v));
+      }
+      wr(static_cast<u32>(r));
+      cycle_ += config_.fpu_latency;
+      break;
+    }
+    case Op::kFcvtSW:
+      set_freg(in.rd, raw32(static_cast<float>(static_cast<i32>(rs1))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmvXW:
+      wr(f_[in.rs1]);
+      break;
+    case Op::kFmvWX:
+      set_freg(in.rd, rs1);
+      break;
+
+    // ---- Xpulp packed FP16 SIMD ----
+    case Op::kVfaddH:
+      set_freg(in.rd, fp16_lanes(f_[in.rs1], f_[in.rs2],
+                                 [](float a, float b) { return a + b; }));
+      cycle_ += config_.fpu_latency;
+      stats_.increment("simd_ops");
+      break;
+    case Op::kVfsubH:
+      set_freg(in.rd, fp16_lanes(f_[in.rs1], f_[in.rs2],
+                                 [](float a, float b) { return a - b; }));
+      cycle_ += config_.fpu_latency;
+      stats_.increment("simd_ops");
+      break;
+    case Op::kVfmulH:
+      set_freg(in.rd, fp16_lanes(f_[in.rs1], f_[in.rs2],
+                                 [](float a, float b) { return a * b; }));
+      cycle_ += config_.fpu_latency;
+      stats_.increment("simd_ops");
+      break;
+    case Op::kVfmacH: {
+      u32 out = 0;
+      for (int lane = 0; lane < 2; ++lane) {
+        const float a =
+            half_bits_to_float(static_cast<u16>(f_[in.rs1] >> (16 * lane)));
+        const float b =
+            half_bits_to_float(static_cast<u16>(f_[in.rs2] >> (16 * lane)));
+        const float d =
+            half_bits_to_float(static_cast<u16>(f_[in.rd] >> (16 * lane)));
+        out |= static_cast<u32>(float_to_half_bits(std::fma(a, b, d)))
+               << (16 * lane);
+      }
+      set_freg(in.rd, out);
+      cycle_ += config_.fpu_latency;
+      stats_.increment("simd_ops");
+      stats_.add("mac_ops", 2);
+      break;
+    }
+    case Op::kVfdotpexSH: {
+      // FP16 dot product with FP32 accumulation (SIMD fp16 path feeding
+      // a wider accumulator, as in the PULP "vfdotpex" family).
+      float acc = f32(f_[in.rd]);
+      for (int lane = 0; lane < 2; ++lane) {
+        const float a =
+            half_bits_to_float(static_cast<u16>(f_[in.rs1] >> (16 * lane)));
+        const float b =
+            half_bits_to_float(static_cast<u16>(f_[in.rs2] >> (16 * lane)));
+        acc = std::fma(a, b, acc);
+      }
+      set_freg(in.rd, raw32(acc));
+      cycle_ += config_.fpu_latency;
+      stats_.increment("simd_ops");
+      stats_.add("mac_ops", 2);
+      break;
+    }
+    case Op::kVfcvtHS: {
+      // Pack cvt(rs1 fp32), cvt(rs2 fp32) into two fp16 lanes.
+      const u16 lo = float_to_half_bits(f32(f_[in.rs1]));
+      const u16 hi = float_to_half_bits(f32(f_[in.rs2]));
+      set_freg(in.rd, static_cast<u32>(lo) | (static_cast<u32>(hi) << 16));
+      cycle_ += config_.fpu_latency;
+      break;
+    }
+
+    default:
+      throw SimError("PMCA cannot execute '" +
+                     std::string(isa::mnemonic(in.op)) + "' at pc=0x" +
+                     std::to_string(pc_) +
+                     " (RV64/D instructions are host-only)");
+  }
+}
+
+}  // namespace hulkv::cluster

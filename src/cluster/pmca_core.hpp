@@ -1,0 +1,139 @@
+// PMCA core model: one of the 8 CV32E4/RI5CY-class RV32 cores of the
+// Programmable Multi-Core Accelerator (paper section III-C).
+//
+// Functional RV32-IMF instruction-set simulator with the XpulpV2-style
+// DSP extensions the paper's speedups rest on:
+//   * zero-overhead hardware loops (2 nesting levels),
+//   * post-increment loads/stores (address update folded into the access),
+//   * single-cycle MAC,
+//   * integer SIMD on 4x8-bit / 2x16-bit lanes incl. dot-product-
+//     accumulate (pv.sdotsp.*),
+//   * packed FP16 SIMD with FP32 accumulation (vfmac.h / vfdotpex.s.h).
+//
+// Timing: 4-stage in-order pipeline modelled as 1 instruction/cycle;
+// TCDM accesses complete in one cycle unless a bank conflict serialises
+// them; taken branches pay a 2-cycle flush; instruction fetch goes
+// through the two-level cluster I-cache. Demand accesses outside the
+// TCDM cross the AXI port (higher latency) — kernels avoid them by
+// construction, exactly like real PULP software.
+//
+// The PMCA bare-metal runtime reaches the cluster devices (event unit
+// barrier, DMA, end-of-offload) through the environment-call interface:
+// `ecall` with a7 = envcall id. The cluster installs the handler; see
+// cluster.hpp.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "cluster/icache.hpp"
+#include "cluster/tcdm.hpp"
+#include "common/stats.hpp"
+#include "isa/decoder.hpp"
+#include "mem/interconnect.hpp"
+
+namespace hulkv::cluster {
+
+/// Environment-call ids (a7) used by the PMCA bare-metal runtime.
+namespace envcall {
+inline constexpr u64 kExit = 0;       // end of this core's kernel
+inline constexpr u64 kBarrier = 1;    // event-unit team barrier
+inline constexpr u64 kDma1d = 2;      // a0=dst a1=src a2=bytes -> a0=job
+inline constexpr u64 kDma2d = 3;      // a0..a4 dst,src,row,rows,stride
+inline constexpr u64 kDmaWait = 4;    // wait all outstanding jobs
+inline constexpr u64 kCoreCount = 5;  // a0 = number of cores in the team
+}  // namespace envcall
+
+struct PmcaCoreConfig {
+  u32 core_id = 0;
+  Cycles mul_latency = 0;    // single-cycle multiplier / MAC
+  Cycles div_latency = 16;
+  Cycles fpu_latency = 0;    // pipelined shared FPU, 1/cycle throughput
+  Cycles taken_branch_penalty = 2;
+  Cycles jump_penalty = 1;
+};
+
+class PmcaCore {
+ public:
+  enum class State { kRunning, kBlocked, kFinished };
+
+  /// Handles ecall. May block or finish the core (set_state) and may
+  /// advance its clock to model service time.
+  using EnvHandler = std::function<void(PmcaCore&)>;
+
+  PmcaCore(const PmcaCoreConfig& config, Tcdm* tcdm, Addr tcdm_base,
+           ClusterIcache* icache, mem::SocBus* bus);
+
+  /// Prepare for a new kernel: clear registers and loops, set the entry
+  /// point, keep the clock (time continues across offloads).
+  void reset_for_run(Addr entry);
+
+  /// Execute one instruction. Only valid in kRunning.
+  void step();
+
+  // ---- state ----
+  State state() const { return state_; }
+  void set_state(State s) { state_ = s; }
+  u32 core_id() const { return config_.core_id; }
+
+  u32 reg(u8 index) const { return x_[index]; }
+  void set_reg(u8 index, u32 value) {
+    if (index != 0) x_[index] = value;
+  }
+  u32 freg(u8 index) const { return f_[index]; }
+  void set_freg(u8 index, u32 value) { f_[index] = value; }
+  Addr pc() const { return pc_; }
+
+  Cycles now() const { return cycle_; }
+  void advance_to(Cycles cycle) {
+    if (cycle > cycle_) cycle_ = cycle;
+  }
+
+  void set_env_handler(EnvHandler handler) { env_ = std::move(handler); }
+  void invalidate_decode_cache() { decode_cache_.clear(); }
+
+  /// Emit one log line per retired instruction (LogLevel::kTrace).
+  void set_trace(bool enabled) { trace_ = enabled; }
+
+  StatGroup& stats() { return stats_; }
+  u64 instret() const { return instret_; }
+
+ private:
+  const isa::Instr& fetch(Addr pc);
+  void exec(const isa::Instr& instr);
+  void apply_hwloops();
+
+  u32 load(Addr addr, u32 bytes, bool sign, Cycles issue);
+  void store(Addr addr, u32 value, u32 bytes, Cycles issue);
+  bool in_tcdm(Addr addr) const;
+
+  struct HwLoop {
+    Addr start = 0;
+    Addr end = 0;
+    u32 count = 0;
+  };
+
+  PmcaCoreConfig config_;
+  Tcdm* tcdm_;
+  Addr tcdm_base_;
+  ClusterIcache* icache_;
+  mem::SocBus* bus_;
+  StatGroup stats_;
+
+  u32 x_[32] = {};
+  u32 f_[32] = {};
+  Addr pc_ = 0;
+  Addr next_pc_ = 0;
+  Cycles cycle_ = 0;
+  Cycles issue_cycle_ = 0;
+  u64 instret_ = 0;
+  State state_ = State::kFinished;
+  HwLoop loops_[2];
+  Addr fetch_line_ = ~0ull;
+
+  bool trace_ = false;
+  std::unordered_map<Addr, isa::Instr> decode_cache_;
+  EnvHandler env_;
+};
+
+}  // namespace hulkv::cluster

@@ -1,0 +1,35 @@
+#include "cluster/tcdm.hpp"
+
+#include <algorithm>
+
+namespace hulkv::cluster {
+
+Tcdm::Tcdm(const TcdmConfig& config)
+    : config_(config),
+      storage_(config.total_bytes(), 0),
+      bank_free_(config.num_banks, 0),
+      stats_("tcdm") {
+  HULKV_CHECK(config.num_banks >= 1, "TCDM needs banks");
+}
+
+Cycles Tcdm::access(Cycles now, Addr offset, u32 bytes) {
+  HULKV_CHECK(offset + bytes <= storage_.size(), "TCDM access out of range");
+  stats_.increment("accesses");
+
+  // A scalar access touches one bank; a wide (DMA) access touches
+  // ceil(bytes/word) consecutive banks, one word per bank per cycle.
+  // Iterate the word-aligned span so an unaligned access that straddles
+  // two words pays both banks (RI5CY splits such accesses in two).
+  Cycles done = now;
+  const Addr first = offset & ~static_cast<Addr>(config_.word_bytes - 1);
+  for (Addr a = first; a < offset + bytes; a += config_.word_bytes) {
+    const u32 bank = bank_of(a);
+    const Cycles start = std::max(now, bank_free_[bank]);
+    if (start > now) stats_.increment("conflicts");
+    bank_free_[bank] = start + 1;
+    done = std::max(done, start + 1);
+  }
+  return done;
+}
+
+}  // namespace hulkv::cluster

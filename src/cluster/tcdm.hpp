@@ -1,0 +1,54 @@
+// Cluster L1 scratchpad (TCDM): 16 x 8 kB single-ported SRAM banks,
+// word-interleaved, shared by the 8 PMCA cores and the cluster DMA
+// (paper section III-C). A core reaches a free bank in one cycle; two
+// requests to the same bank in the same cycle serialise (logarithmic
+// interconnect with round-robin arbitration). The model keeps a
+// next-free-cycle reservation per bank, which reproduces contention
+// without cycle-by-cycle lockstep simulation (DESIGN.md section 4).
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/timing.hpp"
+
+namespace hulkv::cluster {
+
+struct TcdmConfig {
+  u32 num_banks = 16;
+  u32 bank_bytes = 8 * 1024;
+  u32 word_bytes = 4;  // interleaving granularity
+
+  u32 total_bytes() const { return num_banks * bank_bytes; }
+};
+
+class Tcdm {
+ public:
+  explicit Tcdm(const TcdmConfig& config);
+
+  /// Model one core-side access of `bytes` at TCDM-relative `offset`,
+  /// issued at `now`. Returns the completion cycle (>= now + 1).
+  Cycles access(Cycles now, Addr offset, u32 bytes);
+
+  /// Functional storage (also exposed to the SoC bus for host access).
+  std::vector<u8>& storage() { return storage_; }
+  const std::vector<u8>& storage() const { return storage_; }
+
+  const TcdmConfig& config() const { return config_; }
+  const StatGroup& stats() const { return stats_; }
+
+  /// Bank index holding `offset`.
+  u32 bank_of(Addr offset) const {
+    return static_cast<u32>((offset / config_.word_bytes) %
+                            config_.num_banks);
+  }
+
+ private:
+  TcdmConfig config_;
+  std::vector<u8> storage_;
+  std::vector<Cycles> bank_free_;  // next cycle each bank can serve
+  StatGroup stats_;
+};
+
+}  // namespace hulkv::cluster

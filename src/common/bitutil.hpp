@@ -1,0 +1,45 @@
+// Bit-manipulation helpers shared by the ISA encoders/decoders and the
+// cache/memory models. All helpers are constexpr and branch-free where
+// possible; they are on the hot path of the instruction-set simulator.
+#pragma once
+
+#include <bit>
+
+#include "common/types.hpp"
+
+namespace hulkv {
+
+/// Extract bits [lo, lo+width) of `value` (width <= 64).
+constexpr u64 bits(u64 value, unsigned lo, unsigned width) {
+  return (value >> lo) & (width >= 64 ? ~0ull : ((1ull << width) - 1));
+}
+
+/// Extract a single bit.
+constexpr u64 bit(u64 value, unsigned pos) { return (value >> pos) & 1ull; }
+
+/// Sign-extend the low `width` bits of `value` to 64 bits.
+constexpr i64 sign_extend(u64 value, unsigned width) {
+  const unsigned shift = 64 - width;
+  return static_cast<i64>(value << shift) >> shift;
+}
+
+/// True if `v` is a power of two (zero is not).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(u64 v) {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Round `v` up to the next multiple of `align` (align must be pow2).
+constexpr u64 align_up(u64 v, u64 align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round `v` down to a multiple of `align` (align must be pow2).
+constexpr u64 align_down(u64 v, u64 align) { return v & ~(align - 1); }
+
+/// Ceiling division for unsigned integers.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace hulkv

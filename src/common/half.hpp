@@ -1,0 +1,51 @@
+// IEEE-754 binary16 ("FP16") software emulation.
+//
+// The PMCA's shared FPUs support FP32 and FP16 with 2-way SIMD (paper
+// section III-C); the host CVA6 only has scalar FP32/FP64. The instruction
+// set simulator emulates the reduced-precision SIMD datapath with these
+// helpers: every FP16 operation is computed in float and rounded back
+// through `Half`, which matches the behaviour of a
+// round-after-each-operation FP16 FMA datapath closely enough for the
+// kernel-level accuracy checks in tests/ (golden models bound the ULP
+// error).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace hulkv {
+
+/// Value type for IEEE binary16. Stored as the raw 16-bit pattern;
+/// conversions implement round-to-nearest-even, gradual underflow
+/// (subnormals), and NaN/Inf propagation.
+class Half {
+ public:
+  constexpr Half() = default;
+
+  /// Reinterpret a raw binary16 bit pattern.
+  static constexpr Half from_bits(u16 raw) {
+    Half h;
+    h.bits_ = raw;
+    return h;
+  }
+
+  /// Convert from float with round-to-nearest-even.
+  static Half from_float(float f);
+
+  /// Widen to float (exact).
+  float to_float() const;
+
+  constexpr u16 bits() const { return bits_; }
+
+  constexpr bool operator==(const Half&) const = default;
+
+ private:
+  u16 bits_ = 0;
+};
+
+/// Convert a float to binary16 bits (round-to-nearest-even).
+u16 float_to_half_bits(float f);
+
+/// Convert binary16 bits to float (exact widening).
+float half_bits_to_float(u16 bits);
+
+}  // namespace hulkv

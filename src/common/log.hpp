@@ -1,0 +1,32 @@
+// Minimal leveled logger for the simulator. Logging defaults to `warn` so
+// that benches and tests stay quiet; examples raise the level to show the
+// SoC boot/offload flow. Not thread-safe by design: the simulator is single
+// threaded (one global clock domain, see DESIGN.md).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hulkv {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold. Messages below this level are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message);
+}
+
+/// Log `message` for `component` ("llc", "hyperram", ...) at `level`.
+template <typename... Args>
+void log(LogLevel level, const std::string& component, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_emit(level, component, os.str());
+}
+
+}  // namespace hulkv

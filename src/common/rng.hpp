@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generator (xoshiro256**) used by the
+// workload generators and property tests. The simulator itself never calls
+// a global RNG: reproducibility of every experiment requires all randomness
+// to flow from explicitly seeded generators.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace hulkv {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+/// Deterministic, fast, and good enough statistical quality for workload
+/// generation; not cryptographic.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    u64 z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      u64 x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0). Uses rejection-free
+  /// multiply-shift; slight bias is irrelevant for workload generation.
+  u64 next_below(u64 bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi].
+  i64 next_range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4] = {};
+};
+
+}  // namespace hulkv

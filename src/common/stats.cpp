@@ -1,0 +1,15 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace hulkv {
+
+std::string StatGroup::to_string() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : counters_) {
+    os << name_ << "." << key << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hulkv

@@ -1,0 +1,51 @@
+// Named performance counters.
+//
+// Every hardware block in the simulator (caches, LLC, HyperRAM controller,
+// cores, DMAs) owns a StatGroup and increments counters as it models
+// activity. The benches read these counters to regenerate the paper's
+// tables and figures; the power model reads them to compute per-block
+// activity factors.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hulkv {
+
+/// A set of named 64-bit counters belonging to one simulated block.
+class StatGroup {
+ public:
+  explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Add `delta` to counter `key` (created at zero on first use).
+  void add(const std::string& key, u64 delta) { counters_[key] += delta; }
+
+  void increment(const std::string& key) { add(key, 1); }
+
+  /// Current value (zero if never touched).
+  u64 get(const std::string& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void set(const std::string& key, u64 value) { counters_[key] = value; }
+
+  void reset() { counters_.clear(); }
+
+  /// Stable (sorted-by-name) view of all counters, for reports.
+  const std::map<std::string, u64>& counters() const { return counters_; }
+
+  /// Render as "name.key = value" lines.
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, u64> counters_;
+};
+
+}  // namespace hulkv

@@ -1,0 +1,46 @@
+#include "core/comparison.hpp"
+
+#include <sstream>
+
+namespace hulkv::core {
+
+const std::vector<DeviceEntry>& comparison_table() {
+  static const std::vector<DeviceEntry> table = {
+      {"Vega", "[2]", "RTOS", "512KB SRAM + 512MB Hyper", "ASIC",
+       "Ri5cy 200MHz", "PMCA", false, true, true},
+      {"Sapphire", "[10]", "RTOS", "4MB-3GB DDR/Hyper", "FPGA",
+       "VexRiscv 400MHz", "No", false, false, false},
+      {"i.MX RT", "[11]", "RTOS", "1.5MB SRAM", "ASIC", "CortexM7 800MHz",
+       "MIPI", false, false, true},
+      {"HeroV2", "[15]", "Linux", "1GB DDR4", "FPGA",
+       "Quad-Core CortexA53 1GHz", "PMCA", true, true, false},
+      {"Raspberry Pi0", "[3]", "Linux", "512MB LPDDR2", "ASIC",
+       "Quad-Core CortexA53 1GHz", "No", true, false, true},
+      {"Unmatched", "[12]", "Linux", "16GB DDR4", "ASIC", "U74 1GHz", "No",
+       true, false, true},
+      {"This work", "", "Linux/RTOS", "512KB SRAM + 512MB Hyper",
+       "ASIC/FPGA", "CVA6 900MHz", "PMCA", true, true, true},
+  };
+  return table;
+}
+
+std::string render_comparison_table() {
+  std::ostringstream os;
+  os << "TABLE I: Comparison with State-of-Art\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-14s %-11s %-26s %-10s %-25s %-8s\n",
+                "Device", "OS", "Memory", "ASIC/FPGA", "Host CPU",
+                "Accel.");
+  os << line;
+  os << std::string(96, '-') << "\n";
+  for (const DeviceEntry& e : comparison_table()) {
+    std::snprintf(line, sizeof(line), "%-14s %-11s %-26s %-10s %-25s %-8s\n",
+                  (e.name + " " + e.reference).c_str(), e.os.c_str(),
+                  e.memory.c_str(), e.asic_fpga.c_str(), e.host_cpu.c_str(),
+                  e.accelerator.c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace hulkv::core

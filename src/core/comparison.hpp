@@ -1,0 +1,36 @@
+// State-of-the-art device comparison (paper Table I).
+//
+// A small structured database of the platforms the paper compares
+// against, plus a renderer that regenerates Table I. Kept as data + code
+// (rather than a hard-coded string) so tests can assert properties of the
+// comparison (e.g. HULK-V is the only ASIC Linux-capable entry with a
+// PMCA) and downstream users can extend the table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hulkv::core {
+
+struct DeviceEntry {
+  std::string name;
+  std::string reference;   // citation tag in the paper
+  std::string os;          // "Linux", "RTOS", "Linux/RTOS"
+  std::string memory;      // memory configuration summary
+  std::string asic_fpga;   // "ASIC", "FPGA", "ASIC/FPGA"
+  std::string host_cpu;    // host core + frequency
+  std::string accelerator; // "PMCA", "No", ...
+  bool linux_capable = false;
+  bool heterogeneous = false;
+  bool is_asic = false;
+};
+
+/// The rows of Table I (including "This work").
+const std::vector<DeviceEntry>& comparison_table();
+
+/// Render Table I as aligned text.
+std::string render_comparison_table();
+
+}  // namespace hulkv::core

@@ -1,0 +1,21 @@
+#include "core/iopmp.hpp"
+
+namespace hulkv::core {
+
+void Iopmp::add_region(const Region& region) {
+  HULKV_CHECK(region.size > 0, "empty IOPMP region");
+  regions_.push_back(region);
+}
+
+bool Iopmp::check(Addr addr, u32 bytes, bool is_write) const {
+  if (!enforcing_) return true;
+  for (const Region& r : regions_) {
+    if (addr >= r.base && addr + bytes <= r.base + r.size &&
+        (is_write ? r.allow_write : r.allow_read)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hulkv::core

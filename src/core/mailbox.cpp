@@ -1,0 +1,53 @@
+#include "core/mailbox.hpp"
+
+namespace hulkv::core {
+
+void Mailbox::post_to_host(u32 word) {
+  c2h_.push_back(word);
+  if (irq_raise_) irq_raise_();
+}
+
+u32 Mailbox::pop_host() {
+  HULKV_CHECK(!c2h_.empty(), "mailbox C2H pop on empty FIFO");
+  const u32 word = c2h_.front();
+  c2h_.pop_front();
+  return word;
+}
+
+u32 Mailbox::pop_cluster() {
+  HULKV_CHECK(!h2c_.empty(), "mailbox H2C pop on empty FIFO");
+  const u32 word = h2c_.front();
+  h2c_.pop_front();
+  return word;
+}
+
+u64 Mailbox::mmio_read(Addr offset, u32 size) {
+  (void)size;
+  switch (offset) {
+    case kH2cRead:
+      return cluster_message_pending() ? pop_cluster() : 0;
+    case kC2hRead:
+      return host_message_pending() ? pop_host() : 0;
+    case kStatus:
+      return (cluster_message_pending() ? 1u : 0u) |
+             (host_message_pending() ? 2u : 0u);
+    default:
+      return 0;
+  }
+}
+
+void Mailbox::mmio_write(Addr offset, u64 value, u32 size) {
+  (void)size;
+  switch (offset) {
+    case kH2cWrite:
+      post_to_cluster(static_cast<u32>(value));
+      break;
+    case kC2hWrite:
+      post_to_host(static_cast<u32>(value));
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace hulkv::core

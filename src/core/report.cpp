@@ -1,0 +1,72 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hulkv::core {
+
+SocReport SocReport::capture(HulkVSoc& soc) {
+  SocReport report;
+  const auto add = [&report](const StatGroup& group) {
+    report.groups_.push_back(group.name());
+    for (const auto& [key, value] : group.counters()) {
+      report.entries_.push_back({group.name(), key, value});
+    }
+  };
+
+  add(soc.host().stats());
+  add(soc.host().icache().stats());
+  add(soc.host().dcache().stats());
+  if (soc.host().dtlb() != nullptr) add(soc.host().dtlb()->stats());
+  for (u32 c = 0; c < soc.cluster().num_cores(); ++c) {
+    add(soc.cluster().core(c).stats());
+  }
+  add(soc.cluster().tcdm().stats());
+  add(soc.cluster().dma().stats());
+  add(soc.cluster().event_unit().stats());
+  add(soc.udma().stats());
+  add(soc.periph_udma().stats());
+  add(soc.bus().stats());
+  if (soc.llc() != nullptr) add(soc.llc()->stats());
+  if (soc.hyperram() != nullptr) add(soc.hyperram()->stats());
+  if (soc.ddr4() != nullptr) add(soc.ddr4()->stats());
+  if (soc.rpcdram() != nullptr) add(soc.rpcdram()->stats());
+
+  std::sort(report.entries_.begin(), report.entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return std::tie(a.group, a.key) < std::tie(b.group, b.key);
+            });
+  return report;
+}
+
+u64 SocReport::get(const std::string& group, const std::string& key) const {
+  for (const Entry& entry : entries_) {
+    if (entry.group == group && entry.key == key) return entry.value;
+  }
+  return 0;
+}
+
+SocReport SocReport::delta_since(const SocReport& baseline) const {
+  SocReport delta = *this;
+  for (Entry& entry : delta.entries_) {
+    const u64 before = baseline.get(entry.group, entry.key);
+    entry.value = entry.value >= before ? entry.value - before : 0;
+  }
+  return delta;
+}
+
+std::string SocReport::to_string() const {
+  std::ostringstream os;
+  std::string current_group;
+  for (const Entry& entry : entries_) {
+    if (entry.value == 0) continue;
+    if (entry.group != current_group) {
+      current_group = entry.group;
+      os << "[" << current_group << "]\n";
+    }
+    os << "  " << entry.key << " = " << entry.value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hulkv::core

@@ -1,0 +1,44 @@
+// Unified SoC statistics report: gathers every block's counters (cores,
+// caches, LLC, DRAM device, DMAs, TCDM, bus) into one structured snapshot
+// that examples and benches can diff across phases of a run. This is the
+// software equivalent of the performance-counter dump the paper samples
+// on the FPGA (section VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/soc.hpp"
+
+namespace hulkv::core {
+
+/// Snapshot of every counter in the SoC at one instant.
+class SocReport {
+ public:
+  /// Capture the current counters of all blocks.
+  static SocReport capture(HulkVSoc& soc);
+
+  /// Counter value (0 when the group or key does not exist).
+  u64 get(const std::string& group, const std::string& key) const;
+
+  /// Per-counter difference (this - baseline), clamped at zero.
+  SocReport delta_since(const SocReport& baseline) const;
+
+  /// Render all non-zero counters as "group.key = value" lines, grouped.
+  std::string to_string() const;
+
+  /// Names of the captured groups (stable order), including groups whose
+  /// counters have not been touched yet.
+  const std::vector<std::string>& groups() const { return groups_; }
+
+ private:
+  struct Entry {
+    std::string group;
+    std::string key;
+    u64 value = 0;
+  };
+  std::vector<Entry> entries_;  // sorted by (group, key)
+  std::vector<std::string> groups_;
+};
+
+}  // namespace hulkv::core

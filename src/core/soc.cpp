@@ -1,0 +1,102 @@
+#include "core/soc.hpp"
+
+#include "common/log.hpp"
+
+namespace hulkv::core {
+
+HulkVSoc::HulkVSoc(const SocConfig& config)
+    : config_(config),
+      mailbox_([this] { plic_.raise(kMailboxIrqSource); }),
+      clint_([this] { return host_ ? host_->now() : 0; }) {
+  l2_.resize(mem::map::kL2Size, 0);
+  rom_.resize(mem::map::kBootRomSize, 0);
+
+  // External memory device.
+  switch (config_.main_memory) {
+    case MainMemoryKind::kHyperRam:
+      hyperram_ = std::make_unique<mem::HyperRamModel>(config_.hyperram);
+      ext_mem_ = hyperram_.get();
+      break;
+    case MainMemoryKind::kDdr4:
+      ddr4_ = std::make_unique<mem::Ddr4Model>(config_.ddr);
+      ext_mem_ = ddr4_.get();
+      break;
+    case MainMemoryKind::kRpcDram:
+      rpcdram_ = std::make_unique<mem::RpcDramModel>(config_.rpcdram);
+      ext_mem_ = rpcdram_.get();
+      break;
+  }
+
+  // LLC in front of the memory controller (optional, Figs. 7/8 sweeps).
+  mem::MemTiming* dram_path = ext_mem_;
+  if (config_.enable_llc) {
+    llc_ = std::make_unique<mem::Llc>(config_.llc, ext_mem_);
+    dram_path = llc_.get();
+  }
+
+  // Bus wiring.
+  bus_.set_boot_rom(&rom_, &rom_timing_);
+  bus_.set_l2(&l2_, &l2_timing_);
+  bus_.set_dram(&dram_, dram_path);
+  bus_.add_mmio(apbmap::kClintBase, apbmap::kClintSize, &clint_,
+                &apb_timing_);
+  bus_.add_mmio(apbmap::kPlicBase, apbmap::kPlicSize, &plic_, &apb_timing_);
+  bus_.add_mmio(apbmap::kMailboxBase, apbmap::kMailboxSize, &mailbox_,
+                &apb_timing_);
+  bus_.add_mmio(apbmap::kUartBase, apbmap::kUartSize, &uart_, &apb_timing_);
+
+  // IOPMP: grant the cluster the shared regions (L2SPM, external memory,
+  // mailbox); everything else is denied (section III-C).
+  iopmp_.add_region({mem::map::kL2Base, mem::map::kL2Size, true, true});
+  iopmp_.add_region({mem::map::kDramBase, mem::map::kDramSize, true, true});
+  iopmp_.add_region(
+      {apbmap::kMailboxBase, apbmap::kMailboxSize, true, true});
+  bus_.set_iopmp([this](Addr addr, u32 bytes, bool is_write) {
+    return iopmp_.check(addr, bytes, is_write);
+  });
+
+  // Blocks.
+  cluster_ = std::make_unique<cluster::Cluster>(config_.cluster, &bus_);
+  bus_.set_tcdm(&cluster_->tcdm().storage(), &tcdm_axi_timing_);
+  host_ = std::make_unique<host::Cva6Core>(config_.host, &bus_);
+  udma_ = std::make_unique<mem::Udma>(&dram_, ext_mem_, &l2_,
+                                      mem::map::kL2Base,
+                                      mem::map::kDramBase);
+  periph_udma_ = std::make_unique<host::PeriphUdma>(
+      &l2_, mem::map::kL2Base, &l2_timing_,
+      [this] { plic_.raise(kPeriphIrqSource); });
+
+  const char* mem_name = "DDR4";
+  if (config_.main_memory == MainMemoryKind::kHyperRam) mem_name = "HyperRAM";
+  if (config_.main_memory == MainMemoryKind::kRpcDram) mem_name = "RPC-DRAM";
+  log(LogLevel::kInfo, "soc", "HULK-V SoC up: ", mem_name,
+      config_.enable_llc ? " + LLC" : " (no LLC)");
+}
+
+void HulkVSoc::load_program(Addr base, const std::vector<u32>& words) {
+  HULKV_CHECK(!words.empty(), "empty program");
+  write_mem(base, words.data(), words.size() * 4);
+  if (host_) host_->invalidate_decode_cache();
+  if (cluster_) cluster_->on_code_loaded();
+}
+
+void HulkVSoc::write_mem(Addr addr, const void* src, u64 bytes) {
+  const u8* p = static_cast<const u8*>(src);
+  // Chunk through the bus in page-sized pieces (the bus validates ranges).
+  constexpr u64 kChunk = 4096;
+  for (u64 off = 0; off < bytes; off += kChunk) {
+    const u32 n = static_cast<u32>(std::min(kChunk, bytes - off));
+    bus_.write_functional(addr + off, p + off, n);
+  }
+}
+
+void HulkVSoc::read_mem(Addr addr, void* dst, u64 bytes) {
+  u8* p = static_cast<u8*>(dst);
+  constexpr u64 kChunk = 4096;
+  for (u64 off = 0; off < bytes; off += kChunk) {
+    const u32 n = static_cast<u32>(std::min(kChunk, bytes - off));
+    bus_.read_functional(addr + off, p + off, n);
+  }
+}
+
+}  // namespace hulkv::core

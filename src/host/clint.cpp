@@ -1,0 +1,33 @@
+#include "host/clint.hpp"
+
+namespace hulkv::host {
+
+u64 Clint::mmio_read(Addr offset, u32 size) {
+  (void)size;
+  switch (offset) {
+    case kMsip:
+      return msip_ ? 1 : 0;
+    case kMtimecmp:
+      return mtimecmp_;
+    case kMtime:
+      return time_();
+    default:
+      return 0;
+  }
+}
+
+void Clint::mmio_write(Addr offset, u64 value, u32 size) {
+  (void)size;
+  switch (offset) {
+    case kMsip:
+      msip_ = (value & 1) != 0;
+      break;
+    case kMtimecmp:
+      mtimecmp_ = value;
+      break;
+    default:
+      break;  // mtime is read-only
+  }
+}
+
+}  // namespace hulkv::host

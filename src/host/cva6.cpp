@@ -1,0 +1,691 @@
+#include "host/cva6.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/bitutil.hpp"
+#include "common/log.hpp"
+#include "isa/disasm.hpp"
+
+namespace hulkv::host {
+
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+float as_f32(u64 raw) { return std::bit_cast<float>(static_cast<u32>(raw)); }
+u64 boxed(float v) {
+  return 0xFFFFFFFF00000000ull | std::bit_cast<u32>(v);
+}
+double as_f64(u64 raw) { return std::bit_cast<double>(raw); }
+u64 raw64(double v) { return std::bit_cast<u64>(v); }
+
+i32 cvt_f_to_i32(double v) {
+  if (std::isnan(v)) return std::numeric_limits<i32>::max();
+  if (v >= 2147483647.0) return std::numeric_limits<i32>::max();
+  if (v <= -2147483648.0) return std::numeric_limits<i32>::min();
+  return static_cast<i32>(std::nearbyint(v));
+}
+
+i64 cvt_f_to_i64(double v) {
+  if (std::isnan(v)) return std::numeric_limits<i64>::max();
+  if (v >= 9.2233720368547758e18) return std::numeric_limits<i64>::max();
+  if (v <= -9.2233720368547758e18) return std::numeric_limits<i64>::min();
+  return static_cast<i64>(std::nearbyint(v));
+}
+
+}  // namespace
+
+Cva6Core::Cva6Core(const Cva6Config& config, mem::SocBus* bus)
+    : config_(config),
+      bus_(bus),
+      icache_(config.icache, bus->dram_timing()),
+      dcache_(config.dcache, bus->dram_timing()),
+      stats_("cva6") {
+  HULKV_CHECK(bus != nullptr, "core needs a bus");
+  HULKV_CHECK(bus->dram_timing() != nullptr,
+              "attach external memory to the bus before building the core");
+  if (config.enable_mmu) {
+    // Page-table walks go through the L1D path, so PTE lines are cached
+    // and walk cost scales with the memory configuration.
+    const auto pte_reader = [this](Cycles now, Addr pte_addr) {
+      return dcache_.access(now, pte_addr, 8, /*is_write=*/false);
+    };
+    itlb_ = std::make_unique<Tlb>(config.tlb, pte_reader);
+    dtlb_ = std::make_unique<Tlb>(config.tlb, pte_reader);
+  }
+  pc_ = config.boot_pc;
+}
+
+void Cva6Core::advance_to(Cycles cycle) {
+  if (cycle > cycle_) cycle_ = cycle;
+}
+
+bool Cva6Core::dram_cached(Addr addr) const {
+  return addr >= mem::map::kDramBase;
+}
+
+const Instr& Cva6Core::fetch(Addr pc) {
+  auto it = decode_cache_.find(pc);
+  if (it == decode_cache_.end()) {
+    u32 word = 0;
+    bus_->read_functional(pc, &word, 4);
+    it = decode_cache_.emplace(pc, isa::decode(word)).first;
+  }
+  // I-cache timing: pay once per line entered.
+  const Addr line = align_down(pc, config_.icache.line_bytes);
+  if (line != fetch_line_) {
+    fetch_line_ = line;
+    if (itlb_ && dram_cached(pc)) cycle_ = itlb_->translate(cycle_, pc);
+    cycle_ = icache_.access(cycle_, pc, 4, /*is_write=*/false);
+  }
+  return it->second;
+}
+
+u64 Cva6Core::load(Addr addr, u32 bytes, bool sign) {
+  u64 value = 0;
+  stats_.increment("loads");
+  if (dram_cached(addr)) {
+    if (dtlb_) cycle_ = dtlb_->translate(cycle_, addr);
+    bus_->read_functional(addr, &value, bytes);
+    cycle_ = dcache_.access(cycle_, addr, bytes, /*is_write=*/false);
+  } else {
+    cycle_ = bus_->read(cycle_, addr, &value, bytes, mem::Master::kHost);
+  }
+  if (sign) value = sign_extend(value, bytes * 8);
+  return value;
+}
+
+void Cva6Core::store(Addr addr, u64 value, u32 bytes) {
+  stats_.increment("stores");
+  if (dram_cached(addr)) {
+    if (dtlb_) cycle_ = dtlb_->translate(cycle_, addr);
+    bus_->write_functional(addr, &value, bytes);
+    // Write-through store buffer: downstream occupancy advances, the core
+    // does not stall (CacheModel hides the downstream latency).
+    dcache_.access(cycle_, addr, bytes, /*is_write=*/true);
+  } else {
+    // Uncached stores post through the crossbar; the AXI write buffer
+    // hides the target latency from the core.
+    bus_->write(cycle_, addr, &value, bytes, mem::Master::kHost);
+  }
+}
+
+u64 Cva6Core::csr_read(u16 csr) const {
+  switch (csr) {
+    case isa::csr::kCycle:
+    case isa::csr::kMcycle:
+      return cycle_;
+    case isa::csr::kInstret:
+    case isa::csr::kMinstret:
+      return instret_;
+    case isa::csr::kMhartid:
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
+  const Cycles start_cycle = cycle_;
+  const u64 start_instret = instret_;
+  exited_ = false;
+
+  while (!exited_ && instret_ - start_instret < max_instructions) {
+    const Instr& instr = fetch(pc_);
+    if (trace_) {
+      log(LogLevel::kTrace, "cva6", "cyc=", cycle_, " pc=0x", std::hex,
+          pc_, std::dec, "  ", isa::disasm(instr));
+    }
+    next_pc_ = pc_ + 4;
+    cycle_ += 1;  // single-issue, in-order
+    exec(instr);
+    ++instret_;
+    pc_ = next_pc_;
+  }
+
+  stats_.set("cycles", cycle_);
+  stats_.set("instret", instret_);
+  return {cycle_ - start_cycle, instret_ - start_instret, exit_code_,
+          exited_};
+}
+
+void Cva6Core::exec(const Instr& in) {
+  const auto rs1 = x_[in.rs1];
+  const auto rs2 = x_[in.rs2];
+  const auto wr = [this, &in](u64 v) { set_reg(in.rd, v); };
+  const auto wr32 = [this, &in](u64 v) {
+    set_reg(in.rd, sign_extend(v & 0xFFFFFFFFull, 32));
+  };
+  // CVA6 has a branch predictor; we model static BTFN (backward taken,
+  // forward not-taken): loop back-edges are free, mispredictions (forward
+  // taken, or a not-taken backward branch such as a loop exit) pay the
+  // pipeline flush.
+  const auto branch_to = [this](i64 offset) {
+    next_pc_ = pc_ + offset;
+    stats_.increment("taken_branches");
+    if (offset > 0) {
+      cycle_ += config_.taken_branch_penalty;
+      stats_.increment("branch_mispredicts");
+    }
+  };
+  const auto branch_not_taken = [this, &in] {
+    if (in.imm < 0) {
+      cycle_ += config_.taken_branch_penalty;
+      stats_.increment("branch_mispredicts");
+    }
+  };
+
+  switch (in.op) {
+    case Op::kLui:
+      wr(sign_extend(static_cast<u32>(in.imm), 32));
+      break;
+    case Op::kAuipc:
+      wr(pc_ + sign_extend(static_cast<u32>(in.imm), 32));
+      break;
+    case Op::kJal:
+      wr(pc_ + 4);
+      next_pc_ = pc_ + in.imm;
+      cycle_ += config_.jump_penalty;
+      break;
+    case Op::kJalr: {
+      const Addr target = (rs1 + in.imm) & ~1ull;
+      wr(pc_ + 4);
+      next_pc_ = target;
+      cycle_ += config_.jump_penalty;
+      break;
+    }
+    case Op::kBeq:
+      if (rs1 == rs2) {
+        branch_to(in.imm);
+      } else {
+        branch_not_taken();
+      }
+      break;
+    case Op::kBne:
+      if (rs1 != rs2) {
+        branch_to(in.imm);
+      } else {
+        branch_not_taken();
+      }
+      break;
+    case Op::kBlt:
+      if (static_cast<i64>(rs1) < static_cast<i64>(rs2)) {
+        branch_to(in.imm);
+      } else {
+        branch_not_taken();
+      }
+      break;
+    case Op::kBge:
+      if (static_cast<i64>(rs1) >= static_cast<i64>(rs2)) {
+        branch_to(in.imm);
+      } else {
+        branch_not_taken();
+      }
+      break;
+    case Op::kBltu:
+      if (rs1 < rs2) {
+        branch_to(in.imm);
+      } else {
+        branch_not_taken();
+      }
+      break;
+    case Op::kBgeu:
+      if (rs1 >= rs2) {
+        branch_to(in.imm);
+      } else {
+        branch_not_taken();
+      }
+      break;
+
+    case Op::kLb:
+      wr(load(rs1 + in.imm, 1, true));
+      break;
+    case Op::kLh:
+      wr(load(rs1 + in.imm, 2, true));
+      break;
+    case Op::kLw:
+      wr(load(rs1 + in.imm, 4, true));
+      break;
+    case Op::kLbu:
+      wr(load(rs1 + in.imm, 1, false));
+      break;
+    case Op::kLhu:
+      wr(load(rs1 + in.imm, 2, false));
+      break;
+    case Op::kLwu:
+      wr(load(rs1 + in.imm, 4, false));
+      break;
+    case Op::kLd:
+      wr(load(rs1 + in.imm, 8, false));
+      break;
+    case Op::kSb:
+      store(rs1 + in.imm, rs2, 1);
+      break;
+    case Op::kSh:
+      store(rs1 + in.imm, rs2, 2);
+      break;
+    case Op::kSw:
+      store(rs1 + in.imm, rs2, 4);
+      break;
+    case Op::kSd:
+      store(rs1 + in.imm, rs2, 8);
+      break;
+
+    case Op::kAddi:
+      wr(rs1 + in.imm);
+      break;
+    case Op::kSlti:
+      wr(static_cast<i64>(rs1) < in.imm ? 1 : 0);
+      break;
+    case Op::kSltiu:
+      wr(rs1 < static_cast<u64>(static_cast<i64>(in.imm)) ? 1 : 0);
+      break;
+    case Op::kXori:
+      wr(rs1 ^ static_cast<u64>(static_cast<i64>(in.imm)));
+      break;
+    case Op::kOri:
+      wr(rs1 | static_cast<u64>(static_cast<i64>(in.imm)));
+      break;
+    case Op::kAndi:
+      wr(rs1 & static_cast<u64>(static_cast<i64>(in.imm)));
+      break;
+    case Op::kSlli:
+      wr(rs1 << (in.imm & 63));
+      break;
+    case Op::kSrli:
+      wr(rs1 >> (in.imm & 63));
+      break;
+    case Op::kSrai:
+      wr(static_cast<u64>(static_cast<i64>(rs1) >> (in.imm & 63)));
+      break;
+    case Op::kAdd:
+      wr(rs1 + rs2);
+      break;
+    case Op::kSub:
+      wr(rs1 - rs2);
+      break;
+    case Op::kSll:
+      wr(rs1 << (rs2 & 63));
+      break;
+    case Op::kSlt:
+      wr(static_cast<i64>(rs1) < static_cast<i64>(rs2) ? 1 : 0);
+      break;
+    case Op::kSltu:
+      wr(rs1 < rs2 ? 1 : 0);
+      break;
+    case Op::kXor:
+      wr(rs1 ^ rs2);
+      break;
+    case Op::kSrl:
+      wr(rs1 >> (rs2 & 63));
+      break;
+    case Op::kSra:
+      wr(static_cast<u64>(static_cast<i64>(rs1) >> (rs2 & 63)));
+      break;
+    case Op::kOr:
+      wr(rs1 | rs2);
+      break;
+    case Op::kAnd:
+      wr(rs1 & rs2);
+      break;
+
+    case Op::kAddiw:
+      wr32(rs1 + in.imm);
+      break;
+    case Op::kSlliw:
+      wr32(rs1 << (in.imm & 31));
+      break;
+    case Op::kSrliw:
+      wr32(static_cast<u32>(rs1) >> (in.imm & 31));
+      break;
+    case Op::kSraiw:
+      wr32(static_cast<u64>(
+          static_cast<i64>(static_cast<i32>(rs1)) >> (in.imm & 31)));
+      break;
+    case Op::kAddw:
+      wr32(rs1 + rs2);
+      break;
+    case Op::kSubw:
+      wr32(rs1 - rs2);
+      break;
+    case Op::kSllw:
+      wr32(rs1 << (rs2 & 31));
+      break;
+    case Op::kSrlw:
+      wr32(static_cast<u32>(rs1) >> (rs2 & 31));
+      break;
+    case Op::kSraw:
+      wr32(static_cast<u64>(
+          static_cast<i64>(static_cast<i32>(rs1)) >> (rs2 & 31)));
+      break;
+
+    case Op::kFence:
+      break;  // single in-order master: no-op
+    case Op::kEcall: {
+      const u64 num = x_[isa::reg::a7];
+      if (num == 93) {  // exit
+        exited_ = true;
+        exit_code_ = x_[isa::reg::a0];
+      } else if (num == 64) {  // write(buf = a0, len = a1)
+        std::string text(x_[isa::reg::a1], '\0');
+        bus_->read_functional(x_[isa::reg::a0], text.data(), text.size());
+        std::fwrite(text.data(), 1, text.size(), stdout);
+      } else if (syscall_) {
+        if (syscall_(*this) == SyscallAction::kExit) exited_ = true;
+      } else {
+        throw SimError("unhandled ecall, a7=" + std::to_string(num));
+      }
+      break;
+    }
+    case Op::kEbreak:
+      throw SimError("ebreak executed at pc=0x" + std::to_string(pc_));
+    case Op::kWfi:
+      if (wfi_) {
+        advance_to(wfi_(cycle_));
+      }
+      break;
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci:
+      // Performance counters are read-only in this model; writes are
+      // accepted and ignored.
+      wr(csr_read(static_cast<u16>(in.imm)));
+      break;
+
+    case Op::kMul:
+      wr(rs1 * rs2);
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kMulh:
+      wr(static_cast<u64>(
+          (static_cast<__int128>(static_cast<i64>(rs1)) *
+           static_cast<__int128>(static_cast<i64>(rs2))) >> 64));
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kMulhsu:
+      wr(static_cast<u64>((static_cast<__int128>(static_cast<i64>(rs1)) *
+                           static_cast<unsigned __int128>(rs2)) >> 64));
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kMulhu:
+      wr(static_cast<u64>((static_cast<unsigned __int128>(rs1) *
+                           static_cast<unsigned __int128>(rs2)) >> 64));
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kDiv:
+      if (rs2 == 0) {
+        wr(~0ull);
+      } else if (static_cast<i64>(rs1) == std::numeric_limits<i64>::min() &&
+                 static_cast<i64>(rs2) == -1) {
+        wr(rs1);
+      } else {
+        wr(static_cast<u64>(static_cast<i64>(rs1) / static_cast<i64>(rs2)));
+      }
+      cycle_ += config_.div_latency;
+      break;
+    case Op::kDivu:
+      wr(rs2 == 0 ? ~0ull : rs1 / rs2);
+      cycle_ += config_.div_latency;
+      break;
+    case Op::kRem:
+      if (rs2 == 0) {
+        wr(rs1);
+      } else if (static_cast<i64>(rs1) == std::numeric_limits<i64>::min() &&
+                 static_cast<i64>(rs2) == -1) {
+        wr(0);
+      } else {
+        wr(static_cast<u64>(static_cast<i64>(rs1) % static_cast<i64>(rs2)));
+      }
+      cycle_ += config_.div_latency;
+      break;
+    case Op::kRemu:
+      wr(rs2 == 0 ? rs1 : rs1 % rs2);
+      cycle_ += config_.div_latency;
+      break;
+    case Op::kMulw:
+      wr32(static_cast<u64>(static_cast<i64>(static_cast<i32>(rs1)) *
+                            static_cast<i64>(static_cast<i32>(rs2))));
+      cycle_ += config_.mul_latency;
+      break;
+    case Op::kDivw: {
+      const i32 a = static_cast<i32>(rs1), b = static_cast<i32>(rs2);
+      i32 r;
+      if (b == 0) {
+        r = -1;
+      } else if (a == std::numeric_limits<i32>::min() && b == -1) {
+        r = a;
+      } else {
+        r = a / b;
+      }
+      wr32(static_cast<u32>(r));
+      cycle_ += config_.div_latency;
+      break;
+    }
+    case Op::kDivuw: {
+      const u32 a = static_cast<u32>(rs1), b = static_cast<u32>(rs2);
+      wr32(b == 0 ? ~0u : a / b);
+      cycle_ += config_.div_latency;
+      break;
+    }
+    case Op::kRemw: {
+      const i32 a = static_cast<i32>(rs1), b = static_cast<i32>(rs2);
+      i32 r;
+      if (b == 0) {
+        r = a;
+      } else if (a == std::numeric_limits<i32>::min() && b == -1) {
+        r = 0;
+      } else {
+        r = a % b;
+      }
+      wr32(static_cast<u32>(r));
+      cycle_ += config_.div_latency;
+      break;
+    }
+    case Op::kRemuw: {
+      const u32 a = static_cast<u32>(rs1), b = static_cast<u32>(rs2);
+      wr32(b == 0 ? a : a % b);
+      cycle_ += config_.div_latency;
+      break;
+    }
+
+    // ---- F/D ----
+    case Op::kFlw:
+      set_freg(in.rd, 0xFFFFFFFF00000000ull | load(rs1 + in.imm, 4, false));
+      break;
+    case Op::kFld:
+      set_freg(in.rd, load(rs1 + in.imm, 8, false));
+      break;
+    case Op::kFsw:
+      store(rs1 + in.imm, static_cast<u32>(f_[in.rs2]), 4);
+      break;
+    case Op::kFsd:
+      store(rs1 + in.imm, f_[in.rs2], 8);
+      break;
+    case Op::kFaddS:
+      set_freg(in.rd, boxed(as_f32(f_[in.rs1]) + as_f32(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFsubS:
+      set_freg(in.rd, boxed(as_f32(f_[in.rs1]) - as_f32(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmulS:
+      set_freg(in.rd, boxed(as_f32(f_[in.rs1]) * as_f32(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFdivS:
+      set_freg(in.rd, boxed(as_f32(f_[in.rs1]) / as_f32(f_[in.rs2])));
+      cycle_ += config_.fdiv_latency;
+      break;
+    case Op::kFsqrtS:
+      set_freg(in.rd, boxed(std::sqrt(as_f32(f_[in.rs1]))));
+      cycle_ += config_.fdiv_latency;
+      break;
+    case Op::kFmaddS:
+      set_freg(in.rd, boxed(std::fma(as_f32(f_[in.rs1]), as_f32(f_[in.rs2]),
+                                     as_f32(f_[in.rs3]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmsubS:
+      set_freg(in.rd, boxed(std::fma(as_f32(f_[in.rs1]), as_f32(f_[in.rs2]),
+                                     -as_f32(f_[in.rs3]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFsgnjS: {
+      const u32 a = static_cast<u32>(f_[in.rs1]);
+      const u32 b = static_cast<u32>(f_[in.rs2]);
+      set_freg(in.rd,
+               0xFFFFFFFF00000000ull | ((a & 0x7FFFFFFFu) | (b & 0x80000000u)));
+      break;
+    }
+    case Op::kFsgnjnS: {
+      const u32 a = static_cast<u32>(f_[in.rs1]);
+      const u32 b = static_cast<u32>(f_[in.rs2]);
+      set_freg(in.rd, 0xFFFFFFFF00000000ull |
+                          ((a & 0x7FFFFFFFu) | (~b & 0x80000000u)));
+      break;
+    }
+    case Op::kFsgnjxS: {
+      const u32 a = static_cast<u32>(f_[in.rs1]);
+      const u32 b = static_cast<u32>(f_[in.rs2]);
+      set_freg(in.rd,
+               0xFFFFFFFF00000000ull | (a ^ (b & 0x80000000u)));
+      break;
+    }
+    case Op::kFminS:
+      set_freg(in.rd,
+               boxed(std::fmin(as_f32(f_[in.rs1]), as_f32(f_[in.rs2]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmaxS:
+      set_freg(in.rd,
+               boxed(std::fmax(as_f32(f_[in.rs1]), as_f32(f_[in.rs2]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFeqS:
+      wr(as_f32(f_[in.rs1]) == as_f32(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFltS:
+      wr(as_f32(f_[in.rs1]) < as_f32(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFleS:
+      wr(as_f32(f_[in.rs1]) <= as_f32(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFcvtWS:
+      wr(sign_extend(static_cast<u32>(cvt_f_to_i32(as_f32(f_[in.rs1]))), 32));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFcvtLS:
+      wr(static_cast<u64>(cvt_f_to_i64(as_f32(f_[in.rs1]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFcvtSW:
+      set_freg(in.rd, boxed(static_cast<float>(static_cast<i32>(rs1))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFcvtSL:
+      set_freg(in.rd, boxed(static_cast<float>(static_cast<i64>(rs1))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmvXW:
+      wr(sign_extend(f_[in.rs1] & 0xFFFFFFFFull, 32));
+      break;
+    case Op::kFmvWX:
+      set_freg(in.rd, 0xFFFFFFFF00000000ull | (rs1 & 0xFFFFFFFFull));
+      break;
+
+    case Op::kFaddD:
+      set_freg(in.rd, raw64(as_f64(f_[in.rs1]) + as_f64(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFsubD:
+      set_freg(in.rd, raw64(as_f64(f_[in.rs1]) - as_f64(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmulD:
+      set_freg(in.rd, raw64(as_f64(f_[in.rs1]) * as_f64(f_[in.rs2])));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFdivD:
+      set_freg(in.rd, raw64(as_f64(f_[in.rs1]) / as_f64(f_[in.rs2])));
+      cycle_ += config_.fdiv_latency;
+      break;
+    case Op::kFmaddD:
+      set_freg(in.rd, raw64(std::fma(as_f64(f_[in.rs1]), as_f64(f_[in.rs2]),
+                                     as_f64(f_[in.rs3]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmsubD:
+      set_freg(in.rd, raw64(std::fma(as_f64(f_[in.rs1]), as_f64(f_[in.rs2]),
+                                     -as_f64(f_[in.rs3]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFsgnjD:
+      set_freg(in.rd, (f_[in.rs1] & 0x7FFFFFFFFFFFFFFFull) |
+                          (f_[in.rs2] & 0x8000000000000000ull));
+      break;
+    case Op::kFsgnjnD:
+      set_freg(in.rd, (f_[in.rs1] & 0x7FFFFFFFFFFFFFFFull) |
+                          (~f_[in.rs2] & 0x8000000000000000ull));
+      break;
+    case Op::kFsgnjxD:
+      set_freg(in.rd,
+               f_[in.rs1] ^ (f_[in.rs2] & 0x8000000000000000ull));
+      break;
+    case Op::kFeqD:
+      wr(as_f64(f_[in.rs1]) == as_f64(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFltD:
+      wr(as_f64(f_[in.rs1]) < as_f64(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFleD:
+      wr(as_f64(f_[in.rs1]) <= as_f64(f_[in.rs2]) ? 1 : 0);
+      break;
+    case Op::kFcvtWD:
+      wr(sign_extend(static_cast<u32>(cvt_f_to_i32(as_f64(f_[in.rs1]))), 32));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFcvtLD:
+      wr(static_cast<u64>(cvt_f_to_i64(as_f64(f_[in.rs1]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFcvtDW:
+      set_freg(in.rd, raw64(static_cast<double>(static_cast<i32>(rs1))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFcvtDL:
+      set_freg(in.rd, raw64(static_cast<double>(static_cast<i64>(rs1))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFcvtDS:
+      set_freg(in.rd, raw64(static_cast<double>(as_f32(f_[in.rs1]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFcvtSD:
+      set_freg(in.rd, boxed(static_cast<float>(as_f64(f_[in.rs1]))));
+      cycle_ += config_.fpu_latency;
+      break;
+    case Op::kFmvXD:
+      wr(f_[in.rs1]);
+      break;
+    case Op::kFmvDX:
+      set_freg(in.rd, rs1);
+      break;
+
+    default:
+      throw SimError("CVA6 cannot execute '" +
+                     std::string(isa::mnemonic(in.op)) + "' at pc=0x" +
+                     std::to_string(pc_) +
+                     " (Xpulp extensions are PMCA-only)");
+  }
+}
+
+}  // namespace hulkv::host

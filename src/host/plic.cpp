@@ -1,0 +1,71 @@
+#include "host/plic.hpp"
+
+#include "common/types.hpp"
+
+namespace hulkv::host {
+
+void Plic::raise(u32 source) {
+  HULKV_CHECK(source >= 1 && source <= kNumSources, "bad PLIC source");
+  pending_ |= (1u << source);
+}
+
+void Plic::clear(u32 source) {
+  HULKV_CHECK(source >= 1 && source <= kNumSources, "bad PLIC source");
+  pending_ &= ~(1u << source);
+}
+
+bool Plic::interrupt_pending() const {
+  return (pending_ & enabled_ & ~claimed_) != 0;
+}
+
+u32 Plic::highest_pending() const {
+  const u32 ready = pending_ & enabled_ & ~claimed_;
+  u32 best = 0;
+  u32 best_priority = 0;
+  for (u32 src = 1; src <= kNumSources; ++src) {
+    if ((ready & (1u << src)) != 0 && priority_[src] >= best_priority) {
+      best = src;
+      best_priority = priority_[src];
+    }
+  }
+  return best;
+}
+
+u64 Plic::mmio_read(Addr offset, u32 size) {
+  (void)size;
+  if (offset == kPendingOffset) return pending_;
+  if (offset == kEnableOffset) return enabled_;
+  if (offset == kClaimOffset) {
+    const u32 src = highest_pending();
+    if (src != 0) claimed_ |= (1u << src);
+    return src;
+  }
+  if (offset < kPendingOffset && offset % 4 == 0) {
+    const u32 src = static_cast<u32>(offset / 4);
+    if (src >= 1 && src <= kNumSources) return priority_[src];
+  }
+  return 0;
+}
+
+void Plic::mmio_write(Addr offset, u64 value, u32 size) {
+  (void)size;
+  if (offset == kEnableOffset) {
+    enabled_ = static_cast<u32>(value);
+    return;
+  }
+  if (offset == kClaimOffset) {
+    // Complete: un-claim and clear the source.
+    const u32 src = static_cast<u32>(value);
+    if (src >= 1 && src <= kNumSources) {
+      claimed_ &= ~(1u << src);
+      pending_ &= ~(1u << src);
+    }
+    return;
+  }
+  if (offset < kPendingOffset && offset % 4 == 0) {
+    const u32 src = static_cast<u32>(offset / 4);
+    if (src >= 1 && src <= kNumSources) priority_[src] = static_cast<u32>(value);
+  }
+}
+
+}  // namespace hulkv::host

@@ -1,0 +1,27 @@
+#include "host/uart.hpp"
+
+#include <cstdio>
+
+namespace hulkv::host {
+
+u64 Uart::mmio_read(Addr offset, u32 size) {
+  (void)size;
+  switch (offset) {
+    case kLsr:
+      return kLsrTxIdle;
+    case kThr:  // RBR: no receive path modelled
+    default:
+      return 0;
+  }
+}
+
+void Uart::mmio_write(Addr offset, u64 value, u32 size) {
+  (void)size;
+  if (offset == kThr) {
+    const char byte = static_cast<char>(value & 0xFF);
+    output_.push_back(byte);
+    if (echo_) std::fputc(byte, stdout);
+  }
+}
+
+}  // namespace hulkv::host

@@ -1,0 +1,41 @@
+// UART peripheral (paper figure 1: the peripheral domain provides "a
+// complete set of peripherals (I2C, (Q)SPI, CPI, SDIO, UART, CAN, PWM,
+// I2S)"). A 16550-flavoured transmit-side model: the Linux earlycon /
+// bare-metal putc path writes bytes to THR; the simulator collects them
+// so tests and examples can observe guest console output produced through
+// the real MMIO path (as opposed to the `write` syscall shortcut).
+//
+// Register map (byte offsets, 32-bit accesses):
+//   0x00  THR  (write: transmit)   RBR (read: receive, returns 0)
+//   0x14  LSR  (read: 0x60 = transmitter empty & idle — no backpressure
+//               is modelled; the APB timing already charges the access)
+#pragma once
+
+#include <string>
+
+#include "mem/interconnect.hpp"
+
+namespace hulkv::host {
+
+class Uart final : public mem::MmioDevice {
+ public:
+  static constexpr Addr kThr = 0x00;
+  static constexpr Addr kLsr = 0x14;
+  static constexpr u64 kLsrTxIdle = 0x60;
+
+  u64 mmio_read(Addr offset, u32 size) override;
+  void mmio_write(Addr offset, u64 value, u32 size) override;
+
+  /// Everything the guest transmitted so far.
+  const std::string& output() const { return output_; }
+  void clear() { output_.clear(); }
+
+  /// Mirror transmitted bytes to the simulator's stdout (examples).
+  void set_echo(bool echo) { echo_ = echo; }
+
+ private:
+  std::string output_;
+  bool echo_ = false;
+};
+
+}  // namespace hulkv::host

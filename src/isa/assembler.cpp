@@ -1,0 +1,124 @@
+#include "isa/assembler.hpp"
+
+#include "common/bitutil.hpp"
+
+namespace hulkv::isa {
+
+void Assembler::emit(const Instr& instr) { instrs_.push_back(instr); }
+
+void Assembler::rr(Op op, u8 rd, u8 rs1, u8 rs2) {
+  emit({.op = op, .rd = rd, .rs1 = rs1, .rs2 = rs2});
+}
+
+void Assembler::r4(Op op, u8 rd, u8 rs1, u8 rs2, u8 rs3) {
+  emit({.op = op, .rd = rd, .rs1 = rs1, .rs2 = rs2, .rs3 = rs3});
+}
+
+void Assembler::ri(Op op, u8 rd, u8 rs1, i32 imm) {
+  emit({.op = op, .rd = rd, .rs1 = rs1, .imm = imm});
+}
+
+void Assembler::load(Op op, u8 rd, i32 offset, u8 rs1) {
+  emit({.op = op, .rd = rd, .rs1 = rs1, .imm = offset});
+}
+
+void Assembler::store(Op op, u8 rs2, i32 offset, u8 rs1) {
+  emit({.op = op, .rs1 = rs1, .rs2 = rs2, .imm = offset});
+}
+
+void Assembler::branch(Op op, u8 rs1, u8 rs2, const std::string& label) {
+  add_fixup(label);
+  emit({.op = op, .rs1 = rs1, .rs2 = rs2});
+}
+
+void Assembler::jal(u8 rd, const std::string& label) {
+  add_fixup(label);
+  emit({.op = Op::kJal, .rd = rd});
+}
+
+void Assembler::lp_setup(u8 loop, u8 count_reg, const std::string& end_label) {
+  add_fixup(end_label);
+  emit({.op = Op::kLpSetup, .rd = loop, .rs1 = count_reg});
+}
+
+void Assembler::lp_starti(u8 loop, const std::string& label) {
+  add_fixup(label);
+  emit({.op = Op::kLpStarti, .rd = loop});
+}
+
+void Assembler::lp_endi(u8 loop, const std::string& label) {
+  add_fixup(label);
+  emit({.op = Op::kLpEndi, .rd = loop});
+}
+
+void Assembler::li(u8 rd, i64 value) {
+  if (!rv64_) {
+    value = sign_extend(static_cast<u64>(value) & 0xFFFFFFFFull, 32);
+  }
+  if (value >= -2048 && value <= 2047) {
+    addi(rd, 0, static_cast<i32>(value));
+    return;
+  }
+  if (value >= INT32_MIN && value <= INT32_MAX) {
+    // lui + addi(w). lui sign-extends on RV64, so round the upper part to
+    // absorb a negative low-12 correction.
+    const i32 v = static_cast<i32>(value);
+    const i32 lo = static_cast<i32>(sign_extend(v & 0xFFF, 12));
+    const i32 hi = v - lo;  // multiple of 0x1000
+    ri(Op::kLui, rd, 0, hi);
+    if (lo != 0) {
+      ri(rv64_ ? Op::kAddiw : Op::kAddi, rd, rd, lo);
+    } else if (rv64_ && (v < 0) != (hi < 0)) {
+      // Cannot happen (hi and v share sign when lo == 0), kept for clarity.
+      ri(Op::kAddiw, rd, rd, 0);
+    }
+    return;
+  }
+  HULKV_CHECK(rv64_, "64-bit constant on RV32");
+  // Recursive expansion: materialise the upper bits, shift, add low bits.
+  const i64 lo = sign_extend(static_cast<u64>(value) & 0xFFF, 12);
+  const i64 hi = (value - lo) >> 12;
+  li(rd, hi);
+  slli(rd, rd, 12);
+  if (lo != 0) addi(rd, rd, static_cast<i32>(lo));
+}
+
+void Assembler::label(const std::string& name) {
+  HULKV_CHECK(labels_.find(name) == labels_.end(),
+              "label bound twice: " + name);
+  labels_[name] = instrs_.size();
+}
+
+Addr Assembler::address_of(const std::string& label) const {
+  auto it = labels_.find(label);
+  HULKV_CHECK(it != labels_.end(), "undefined label: " + label);
+  return base_ + 4 * it->second;
+}
+
+void Assembler::add_fixup(const std::string& label) {
+  fixups_.push_back({instrs_.size(), label});
+}
+
+std::vector<u32> Assembler::assemble() {
+  for (const Fixup& fx : fixups_) {
+    auto it = labels_.find(fx.label);
+    HULKV_CHECK(it != labels_.end(), "undefined label: " + fx.label);
+    const i64 offset = (static_cast<i64>(it->second) -
+                        static_cast<i64>(fx.index)) *
+                       4;
+    HULKV_CHECK(offset >= INT32_MIN && offset <= INT32_MAX,
+                "label offset out of range: " + fx.label);
+    instrs_[fx.index].imm = static_cast<i32>(offset);
+  }
+  fixups_.clear();
+
+  std::vector<u32> words;
+  words.reserve(instrs_.size());
+  for (auto& instr : instrs_) {
+    instr.raw = encode(instr);
+    words.push_back(instr.raw);
+  }
+  return words;
+}
+
+}  // namespace hulkv::isa

@@ -1,0 +1,137 @@
+// In-memory assembler.
+//
+// There is no offline RISC-V cross-toolchain in this environment, so every
+// program executed by the simulators — kernels, IoT benchmarks, runtime
+// stubs — is emitted through this builder (DESIGN.md section 1 records the
+// substitution). It produces real encoded instruction words via
+// isa::encode(), supports labels with forward references for branches,
+// jumps and hardware-loop setup, and `li` materialisation of arbitrary
+// 64-bit constants.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/encoding.hpp"
+#include "isa/instr.hpp"
+
+namespace hulkv::isa {
+
+/// Builds one contiguous program image at a fixed base address.
+class Assembler {
+ public:
+  /// `base` is the load address of the first instruction; `rv64` selects
+  /// the `li` expansion rules (addiw vs addi) and allowed shift widths.
+  explicit Assembler(Addr base, bool rv64) : base_(base), rv64_(rv64) {}
+
+  // ---- generic emitters ----
+
+  /// Append an already-built instruction.
+  void emit(const Instr& instr);
+
+  /// R-type: op rd, rs1, rs2.
+  void rr(Op op, u8 rd, u8 rs1, u8 rs2);
+
+  /// R4-type: op rd, rs1, rs2, rs3 (fused multiply-add).
+  void r4(Op op, u8 rd, u8 rs1, u8 rs2, u8 rs3);
+
+  /// I-type: op rd, rs1, imm (also unary R ops, where imm is ignored).
+  void ri(Op op, u8 rd, u8 rs1, i32 imm);
+
+  /// Load: op rd, offset(rs1).
+  void load(Op op, u8 rd, i32 offset, u8 rs1);
+
+  /// Store: op rs2, offset(rs1).
+  void store(Op op, u8 rs2, i32 offset, u8 rs1);
+
+  /// Conditional branch to a label.
+  void branch(Op op, u8 rs1, u8 rs2, const std::string& label);
+
+  /// jal rd, label.
+  void jal(u8 rd, const std::string& label);
+
+  // ---- common sugar (kept to the instructions kernels use constantly) ----
+
+  void addi(u8 rd, u8 rs1, i32 imm) { ri(Op::kAddi, rd, rs1, imm); }
+  void add(u8 rd, u8 rs1, u8 rs2) { rr(Op::kAdd, rd, rs1, rs2); }
+  void sub(u8 rd, u8 rs1, u8 rs2) { rr(Op::kSub, rd, rs1, rs2); }
+  void mul(u8 rd, u8 rs1, u8 rs2) { rr(Op::kMul, rd, rs1, rs2); }
+  void slli(u8 rd, u8 rs1, i32 sh) { ri(Op::kSlli, rd, rs1, sh); }
+  void srli(u8 rd, u8 rs1, i32 sh) { ri(Op::kSrli, rd, rs1, sh); }
+  void srai(u8 rd, u8 rs1, i32 sh) { ri(Op::kSrai, rd, rs1, sh); }
+  void andi(u8 rd, u8 rs1, i32 imm) { ri(Op::kAndi, rd, rs1, imm); }
+  void ori(u8 rd, u8 rs1, i32 imm) { ri(Op::kOri, rd, rs1, imm); }
+  void xori(u8 rd, u8 rs1, i32 imm) { ri(Op::kXori, rd, rs1, imm); }
+  void lw(u8 rd, i32 off, u8 rs1) { load(Op::kLw, rd, off, rs1); }
+  void ld(u8 rd, i32 off, u8 rs1) { load(Op::kLd, rd, off, rs1); }
+  void lbu(u8 rd, i32 off, u8 rs1) { load(Op::kLbu, rd, off, rs1); }
+  void sw(u8 rs2, i32 off, u8 rs1) { store(Op::kSw, rs2, off, rs1); }
+  void sd(u8 rs2, i32 off, u8 rs1) { store(Op::kSd, rs2, off, rs1); }
+  void sb(u8 rs2, i32 off, u8 rs1) { store(Op::kSb, rs2, off, rs1); }
+  void beq(u8 a, u8 b, const std::string& l) { branch(Op::kBeq, a, b, l); }
+  void bne(u8 a, u8 b, const std::string& l) { branch(Op::kBne, a, b, l); }
+  void blt(u8 a, u8 b, const std::string& l) { branch(Op::kBlt, a, b, l); }
+  void bge(u8 a, u8 b, const std::string& l) { branch(Op::kBge, a, b, l); }
+  void bltu(u8 a, u8 b, const std::string& l) { branch(Op::kBltu, a, b, l); }
+
+  // ---- pseudo-instructions ----
+
+  void nop() { addi(0, 0, 0); }
+  void mv(u8 rd, u8 rs) { addi(rd, rs, 0); }
+  /// Materialise an arbitrary constant (64-bit on RV64, 32-bit on RV32).
+  void li(u8 rd, i64 value);
+  void j(const std::string& label) { jal(0, label); }
+  void call(const std::string& label) { jal(reg::ra, label); }
+  void ret() { ri(Op::kJalr, 0, reg::ra, 0); }
+  void beqz(u8 rs, const std::string& l) { beq(rs, 0, l); }
+  void bnez(u8 rs, const std::string& l) { bne(rs, 0, l); }
+  void ecall() { emit({.op = Op::kEcall}); }
+  void wfi() { emit({.op = Op::kWfi}); }
+
+  // ---- Xpulp hardware loops ----
+
+  /// lp.setup L, count_reg, end_label: body starts at the next
+  /// instruction and ends just before `end_label`; executes count times.
+  void lp_setup(u8 loop, u8 count_reg, const std::string& end_label);
+  void lp_counti(u8 loop, i32 count) { ri(Op::kLpCounti, loop, 0, count); }
+  void lp_count(u8 loop, u8 rs1) { ri(Op::kLpCount, loop, rs1, 0); }
+  void lp_starti(u8 loop, const std::string& label);
+  void lp_endi(u8 loop, const std::string& label);
+
+  // ---- labels & finalisation ----
+
+  /// Bind `name` to the current position. A label may be bound once.
+  void label(const std::string& name);
+
+  /// Current emission address.
+  Addr pc() const { return base_ + 4 * instrs_.size(); }
+
+  Addr base() const { return base_; }
+
+  /// Number of instructions emitted so far.
+  size_t size() const { return instrs_.size(); }
+
+  /// Resolve all label references and return the encoded program.
+  /// Throws SimError on undefined labels or out-of-range offsets.
+  std::vector<u32> assemble();
+
+  /// Address of a bound label (valid before assemble()).
+  Addr address_of(const std::string& label) const;
+
+ private:
+  struct Fixup {
+    size_t index;       // instruction to patch
+    std::string label;  // target
+  };
+
+  void add_fixup(const std::string& label);
+
+  Addr base_;
+  bool rv64_;
+  std::vector<Instr> instrs_;
+  std::unordered_map<std::string, size_t> labels_;  // name -> instr index
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace hulkv::isa

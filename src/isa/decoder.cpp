@@ -1,0 +1,171 @@
+#include "isa/decoder.hpp"
+
+#include <array>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "isa/encoding_table.hpp"
+
+namespace hulkv::isa {
+
+namespace {
+
+using detail::EncInfo;
+using detail::Fmt;
+
+/// Entries grouped by major opcode for fast lookup.
+const std::vector<const EncInfo*>& entries_for(u8 opcode) {
+  static const auto index = [] {
+    std::array<std::vector<const EncInfo*>, 128> idx;
+    for (const auto& entry : detail::encoding_table()) {
+      idx[entry.opcode].push_back(&entry);
+    }
+    return idx;
+  }();
+  return index[opcode & 0x7F];
+}
+
+i32 imm_i(u32 w) { return static_cast<i32>(sign_extend(bits(w, 20, 12), 12)); }
+
+i32 imm_s(u32 w) {
+  return static_cast<i32>(
+      sign_extend((bits(w, 25, 7) << 5) | bits(w, 7, 5), 12));
+}
+
+i32 imm_b(u32 w) {
+  const u64 v = (bit(w, 31) << 12) | (bit(w, 7) << 11) |
+                (bits(w, 25, 6) << 5) | (bits(w, 8, 4) << 1);
+  return static_cast<i32>(sign_extend(v, 13));
+}
+
+i32 imm_j(u32 w) {
+  const u64 v = (bit(w, 31) << 20) | (bits(w, 12, 8) << 12) |
+                (bit(w, 20) << 11) | (bits(w, 21, 10) << 1);
+  return static_cast<i32>(sign_extend(v, 21));
+}
+
+}  // namespace
+
+Instr decode(u32 word) {
+  Instr out;
+  out.raw = word;
+  const u8 opcode = word & 0x7F;
+  const u8 rd = bits(word, 7, 5);
+  const u8 f3 = bits(word, 12, 3);
+  const u8 rs1 = bits(word, 15, 5);
+  const u8 rs2 = bits(word, 20, 5);
+  const u8 f7 = bits(word, 25, 7);
+
+  // System words (exact match) and FENCE (any fence variant is a no-op).
+  if (opcode == 0x0F) {
+    out.op = Op::kFence;
+    return out;
+  }
+  if (opcode == 0x73 && f3 == 0) {
+    for (const EncInfo* e : entries_for(opcode)) {
+      if (e->fmt == Fmt::kSys && e->word == word) {
+        out.op = e->op;
+        return out;
+      }
+    }
+    return out;  // unknown system instruction -> illegal
+  }
+
+  for (const EncInfo* e : entries_for(opcode)) {
+    switch (e->fmt) {
+      case Fmt::kR:
+        if (f3 == e->funct3 && f7 == e->funct7) {
+          out.op = e->op;
+          out.rd = rd;
+          out.rs1 = rs1;
+          out.rs2 = rs2;
+          return out;
+        }
+        break;
+      case Fmt::kRUnary:
+        if (f3 == e->funct3 && f7 == e->funct7 && rs2 == e->rs2_fix) {
+          out.op = e->op;
+          out.rd = rd;
+          out.rs1 = rs1;
+          return out;
+        }
+        break;
+      case Fmt::kR4:
+        // funct3 is the rounding mode; only RNE (0) is implemented, so
+        // other encodings are rejected rather than silently canonicalised.
+        if (f3 == e->funct3 && bits(word, 25, 2) == (e->funct7 & 3u)) {
+          out.op = e->op;
+          out.rd = rd;
+          out.rs1 = rs1;
+          out.rs2 = rs2;
+          out.rs3 = bits(word, 27, 5);
+          return out;
+        }
+        break;
+      case Fmt::kI:
+        if (f3 == e->funct3) {
+          out.op = e->op;
+          out.rd = rd;
+          out.rs1 = rs1;
+          out.imm = imm_i(word);
+          return out;
+        }
+        break;
+      case Fmt::kShamt:
+        // RV64 *W shifts (opcode 0x1B) only take a 5-bit shamt; words
+        // with shamt[5] set are reserved (spec) and decode as illegal.
+        if (e->opcode == 0x1B && bit(word, 25) != 0) break;
+        if (f3 == e->funct3 && bits(word, 26, 6) == (e->funct7 >> 1)) {
+          out.op = e->op;
+          out.rd = rd;
+          out.rs1 = rs1;
+          out.imm = static_cast<i32>(bits(word, 20, 6));
+          return out;
+        }
+        break;
+      case Fmt::kS:
+        if (f3 == e->funct3) {
+          out.op = e->op;
+          out.rs1 = rs1;
+          out.rs2 = rs2;
+          out.imm = imm_s(word);
+          return out;
+        }
+        break;
+      case Fmt::kB:
+        if (f3 == e->funct3) {
+          out.op = e->op;
+          out.rs1 = rs1;
+          out.rs2 = rs2;
+          out.imm = imm_b(word);
+          return out;
+        }
+        break;
+      case Fmt::kU:
+        out.op = e->op;
+        out.rd = rd;
+        out.imm = static_cast<i32>(word & 0xFFFFF000u);
+        return out;
+      case Fmt::kJ:
+        out.op = e->op;
+        out.rd = rd;
+        out.imm = imm_j(word);
+        return out;
+      case Fmt::kCsr:
+      case Fmt::kCsrImm:
+        if (f3 == e->funct3) {
+          out.op = e->op;
+          out.rd = rd;
+          out.rs1 = rs1;  // register or uimm5, per op
+          out.imm = static_cast<i32>(bits(word, 20, 12));
+          return out;
+        }
+        break;
+      case Fmt::kSys:
+        break;  // handled above
+    }
+  }
+  return out;  // Op::kIllegal
+}
+
+}  // namespace hulkv::isa

@@ -1,0 +1,17 @@
+// Instruction decoder: 32-bit word -> decoded Instr.
+//
+// Both instruction-set simulators pre-decode program images through this
+// decoder (and cache the result), so decode speed only matters at load
+// time. Unknown words decode to Op::kIllegal rather than throwing; the
+// cores raise a SimError only if an illegal instruction is *executed*,
+// mirroring a hardware illegal-instruction trap.
+#pragma once
+
+#include "isa/instr.hpp"
+
+namespace hulkv::isa {
+
+/// Decode one 32-bit instruction word.
+Instr decode(u32 word);
+
+}  // namespace hulkv::isa

@@ -1,0 +1,77 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+#include "isa/decoder.hpp"
+#include "isa/encoding_table.hpp"
+
+namespace hulkv::isa {
+
+std::string disasm(const Instr& in) {
+  using detail::Fmt;
+  const detail::EncInfo* e = detail::lookup(in.op);
+  std::ostringstream os;
+  os << mnemonic(in.op);
+  if (e == nullptr) return os.str();
+
+  const auto x = [](u8 r) { return "x" + std::to_string(r); };
+  const auto f = [](u8 r) { return "f" + std::to_string(r); };
+  const bool fp = is_fp(in.op);
+
+  switch (e->fmt) {
+    case Fmt::kR:
+      os << " " << (fp ? f(in.rd) : x(in.rd)) << ", "
+         << (fp ? f(in.rs1) : x(in.rs1)) << ", "
+         << (fp ? f(in.rs2) : x(in.rs2));
+      break;
+    case Fmt::kRUnary:
+      os << " " << (fp ? f(in.rd) : x(in.rd)) << ", "
+         << (fp ? f(in.rs1) : x(in.rs1));
+      break;
+    case Fmt::kR4:
+      os << " " << f(in.rd) << ", " << f(in.rs1) << ", " << f(in.rs2) << ", "
+         << f(in.rs3);
+      break;
+    case Fmt::kI:
+      if (is_load(in.op)) {
+        os << " " << (fp ? f(in.rd) : x(in.rd)) << ", " << in.imm << "("
+           << x(in.rs1) << ")";
+      } else {
+        os << " " << x(in.rd) << ", " << x(in.rs1) << ", " << in.imm;
+      }
+      break;
+    case Fmt::kShamt:
+      os << " " << x(in.rd) << ", " << x(in.rs1) << ", " << in.imm;
+      break;
+    case Fmt::kS:
+      os << " " << (fp ? f(in.rs2) : x(in.rs2)) << ", " << in.imm << "("
+         << x(in.rs1) << ")";
+      break;
+    case Fmt::kB:
+      os << " " << x(in.rs1) << ", " << x(in.rs2) << ", pc" << std::showpos
+         << in.imm;
+      break;
+    case Fmt::kU:
+      os << " " << x(in.rd) << ", 0x" << std::hex
+         << (static_cast<u32>(in.imm) >> 12);
+      break;
+    case Fmt::kJ:
+      os << " " << x(in.rd) << ", pc" << std::showpos << in.imm;
+      break;
+    case Fmt::kCsr:
+      os << " " << x(in.rd) << ", 0x" << std::hex << in.imm << std::dec << ", "
+         << x(in.rs1);
+      break;
+    case Fmt::kCsrImm:
+      os << " " << x(in.rd) << ", 0x" << std::hex << in.imm << std::dec << ", "
+         << static_cast<int>(in.rs1);
+      break;
+    case Fmt::kSys:
+      break;
+  }
+  return os.str();
+}
+
+std::string disasm_word(u32 word) { return disasm(decode(word)); }
+
+}  // namespace hulkv::isa

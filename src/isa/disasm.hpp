@@ -1,0 +1,17 @@
+// Disassembler: decoded Instr (or raw word) -> human-readable text.
+// Used by execution traces and test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "isa/instr.hpp"
+
+namespace hulkv::isa {
+
+/// Render a decoded instruction, e.g. "addi x5, x6, 4".
+std::string disasm(const Instr& instr);
+
+/// Decode and render a raw word.
+std::string disasm_word(u32 word);
+
+}  // namespace hulkv::isa

@@ -1,0 +1,617 @@
+// Encoding table and encoder.
+//
+// Custom opcode space (RISC-V reserved vendor opcodes), repo-specific map:
+//
+//   custom-0 (0x0B): post-increment loads, I-format. funct3 selects the
+//                    width exactly like the standard load opcode
+//                    (0=lb 1=lh 2=lw 4=lbu 5=lhu); funct3=6 is p.clip.
+//   custom-1 (0x2B): post-increment stores, S-format (0=sb 1=sh 2=sw).
+//   custom-2 (0x5B): all R-type DSP/SIMD operations, funct3=0, funct7
+//                    enumerates the operation (see table below).
+//   custom-3 (0x7B): hardware-loop setup, I-format; funct3 selects
+//                    starti/endi/count/counti/setup; rd holds the loop
+//                    index (0 = innermost, 1 = outer).
+#include "isa/encoding.hpp"
+
+#include <array>
+
+#include "common/bitutil.hpp"
+#include "isa/encoding_table.hpp"
+
+namespace hulkv::isa {
+
+namespace detail {
+namespace {
+
+constexpr EncInfo E(Op op, Fmt fmt, u8 opcode, u8 f3 = 0, u8 f7 = 0,
+                    u8 rs2_fix = 0, u32 word = 0) {
+  return EncInfo{op, fmt, opcode, f3, f7, rs2_fix, word};
+}
+
+constexpr std::array kTable = {
+    // ---- RV32I/RV64I ----
+    E(Op::kLui, Fmt::kU, 0x37),
+    E(Op::kAuipc, Fmt::kU, 0x17),
+    E(Op::kJal, Fmt::kJ, 0x6F),
+    E(Op::kJalr, Fmt::kI, 0x67, 0),
+    E(Op::kBeq, Fmt::kB, 0x63, 0),
+    E(Op::kBne, Fmt::kB, 0x63, 1),
+    E(Op::kBlt, Fmt::kB, 0x63, 4),
+    E(Op::kBge, Fmt::kB, 0x63, 5),
+    E(Op::kBltu, Fmt::kB, 0x63, 6),
+    E(Op::kBgeu, Fmt::kB, 0x63, 7),
+    E(Op::kLb, Fmt::kI, 0x03, 0),
+    E(Op::kLh, Fmt::kI, 0x03, 1),
+    E(Op::kLw, Fmt::kI, 0x03, 2),
+    E(Op::kLd, Fmt::kI, 0x03, 3),
+    E(Op::kLbu, Fmt::kI, 0x03, 4),
+    E(Op::kLhu, Fmt::kI, 0x03, 5),
+    E(Op::kLwu, Fmt::kI, 0x03, 6),
+    E(Op::kSb, Fmt::kS, 0x23, 0),
+    E(Op::kSh, Fmt::kS, 0x23, 1),
+    E(Op::kSw, Fmt::kS, 0x23, 2),
+    E(Op::kSd, Fmt::kS, 0x23, 3),
+    E(Op::kAddi, Fmt::kI, 0x13, 0),
+    E(Op::kSlti, Fmt::kI, 0x13, 2),
+    E(Op::kSltiu, Fmt::kI, 0x13, 3),
+    E(Op::kXori, Fmt::kI, 0x13, 4),
+    E(Op::kOri, Fmt::kI, 0x13, 6),
+    E(Op::kAndi, Fmt::kI, 0x13, 7),
+    E(Op::kSlli, Fmt::kShamt, 0x13, 1, 0x00),
+    E(Op::kSrli, Fmt::kShamt, 0x13, 5, 0x00),
+    E(Op::kSrai, Fmt::kShamt, 0x13, 5, 0x20),
+    E(Op::kAdd, Fmt::kR, 0x33, 0, 0x00),
+    E(Op::kSub, Fmt::kR, 0x33, 0, 0x20),
+    E(Op::kSll, Fmt::kR, 0x33, 1, 0x00),
+    E(Op::kSlt, Fmt::kR, 0x33, 2, 0x00),
+    E(Op::kSltu, Fmt::kR, 0x33, 3, 0x00),
+    E(Op::kXor, Fmt::kR, 0x33, 4, 0x00),
+    E(Op::kSrl, Fmt::kR, 0x33, 5, 0x00),
+    E(Op::kSra, Fmt::kR, 0x33, 5, 0x20),
+    E(Op::kOr, Fmt::kR, 0x33, 6, 0x00),
+    E(Op::kAnd, Fmt::kR, 0x33, 7, 0x00),
+    E(Op::kAddiw, Fmt::kI, 0x1B, 0),
+    E(Op::kSlliw, Fmt::kShamt, 0x1B, 1, 0x00),
+    E(Op::kSrliw, Fmt::kShamt, 0x1B, 5, 0x00),
+    E(Op::kSraiw, Fmt::kShamt, 0x1B, 5, 0x20),
+    E(Op::kAddw, Fmt::kR, 0x3B, 0, 0x00),
+    E(Op::kSubw, Fmt::kR, 0x3B, 0, 0x20),
+    E(Op::kSllw, Fmt::kR, 0x3B, 1, 0x00),
+    E(Op::kSrlw, Fmt::kR, 0x3B, 5, 0x00),
+    E(Op::kSraw, Fmt::kR, 0x3B, 5, 0x20),
+    E(Op::kFence, Fmt::kSys, 0x0F, 0, 0, 0, 0x0000000Fu),
+    E(Op::kEcall, Fmt::kSys, 0x73, 0, 0, 0, 0x00000073u),
+    E(Op::kEbreak, Fmt::kSys, 0x73, 0, 0, 0, 0x00100073u),
+    E(Op::kWfi, Fmt::kSys, 0x73, 0, 0, 0, 0x10500073u),
+    E(Op::kCsrrw, Fmt::kCsr, 0x73, 1),
+    E(Op::kCsrrs, Fmt::kCsr, 0x73, 2),
+    E(Op::kCsrrc, Fmt::kCsr, 0x73, 3),
+    E(Op::kCsrrwi, Fmt::kCsrImm, 0x73, 5),
+    E(Op::kCsrrsi, Fmt::kCsrImm, 0x73, 6),
+    E(Op::kCsrrci, Fmt::kCsrImm, 0x73, 7),
+
+    // ---- M ----
+    E(Op::kMul, Fmt::kR, 0x33, 0, 0x01),
+    E(Op::kMulh, Fmt::kR, 0x33, 1, 0x01),
+    E(Op::kMulhsu, Fmt::kR, 0x33, 2, 0x01),
+    E(Op::kMulhu, Fmt::kR, 0x33, 3, 0x01),
+    E(Op::kDiv, Fmt::kR, 0x33, 4, 0x01),
+    E(Op::kDivu, Fmt::kR, 0x33, 5, 0x01),
+    E(Op::kRem, Fmt::kR, 0x33, 6, 0x01),
+    E(Op::kRemu, Fmt::kR, 0x33, 7, 0x01),
+    E(Op::kMulw, Fmt::kR, 0x3B, 0, 0x01),
+    E(Op::kDivw, Fmt::kR, 0x3B, 4, 0x01),
+    E(Op::kDivuw, Fmt::kR, 0x3B, 5, 0x01),
+    E(Op::kRemw, Fmt::kR, 0x3B, 6, 0x01),
+    E(Op::kRemuw, Fmt::kR, 0x3B, 7, 0x01),
+
+    // ---- F ----
+    E(Op::kFlw, Fmt::kI, 0x07, 2),
+    E(Op::kFsw, Fmt::kS, 0x27, 2),
+    E(Op::kFaddS, Fmt::kR, 0x53, 0, 0x00),
+    E(Op::kFsubS, Fmt::kR, 0x53, 0, 0x04),
+    E(Op::kFmulS, Fmt::kR, 0x53, 0, 0x08),
+    E(Op::kFdivS, Fmt::kR, 0x53, 0, 0x0C),
+    E(Op::kFsqrtS, Fmt::kRUnary, 0x53, 0, 0x2C, 0),
+    E(Op::kFmaddS, Fmt::kR4, 0x43, 0, 0x00),
+    E(Op::kFmsubS, Fmt::kR4, 0x47, 0, 0x00),
+    E(Op::kFsgnjS, Fmt::kR, 0x53, 0, 0x10),
+    E(Op::kFsgnjnS, Fmt::kR, 0x53, 1, 0x10),
+    E(Op::kFsgnjxS, Fmt::kR, 0x53, 2, 0x10),
+    E(Op::kFminS, Fmt::kR, 0x53, 0, 0x14),
+    E(Op::kFmaxS, Fmt::kR, 0x53, 1, 0x14),
+    E(Op::kFeqS, Fmt::kR, 0x53, 2, 0x50),
+    E(Op::kFltS, Fmt::kR, 0x53, 1, 0x50),
+    E(Op::kFleS, Fmt::kR, 0x53, 0, 0x50),
+    E(Op::kFcvtWS, Fmt::kRUnary, 0x53, 0, 0x60, 0),
+    E(Op::kFcvtLS, Fmt::kRUnary, 0x53, 0, 0x60, 2),
+    E(Op::kFcvtSW, Fmt::kRUnary, 0x53, 0, 0x68, 0),
+    E(Op::kFcvtSL, Fmt::kRUnary, 0x53, 0, 0x68, 2),
+    E(Op::kFmvXW, Fmt::kRUnary, 0x53, 0, 0x70, 0),
+    E(Op::kFmvWX, Fmt::kRUnary, 0x53, 0, 0x78, 0),
+
+    // ---- D ----
+    E(Op::kFld, Fmt::kI, 0x07, 3),
+    E(Op::kFsd, Fmt::kS, 0x27, 3),
+    E(Op::kFaddD, Fmt::kR, 0x53, 0, 0x01),
+    E(Op::kFsubD, Fmt::kR, 0x53, 0, 0x05),
+    E(Op::kFmulD, Fmt::kR, 0x53, 0, 0x09),
+    E(Op::kFdivD, Fmt::kR, 0x53, 0, 0x0D),
+    E(Op::kFmaddD, Fmt::kR4, 0x43, 0, 0x01),
+    E(Op::kFmsubD, Fmt::kR4, 0x47, 0, 0x01),
+    E(Op::kFsgnjD, Fmt::kR, 0x53, 0, 0x11),
+    E(Op::kFsgnjnD, Fmt::kR, 0x53, 1, 0x11),
+    E(Op::kFsgnjxD, Fmt::kR, 0x53, 2, 0x11),
+    E(Op::kFeqD, Fmt::kR, 0x53, 2, 0x51),
+    E(Op::kFltD, Fmt::kR, 0x53, 1, 0x51),
+    E(Op::kFleD, Fmt::kR, 0x53, 0, 0x51),
+    E(Op::kFcvtWD, Fmt::kRUnary, 0x53, 0, 0x61, 0),
+    E(Op::kFcvtLD, Fmt::kRUnary, 0x53, 0, 0x61, 2),
+    E(Op::kFcvtDW, Fmt::kRUnary, 0x53, 0, 0x69, 0),
+    E(Op::kFcvtDL, Fmt::kRUnary, 0x53, 0, 0x69, 2),
+    E(Op::kFcvtDS, Fmt::kRUnary, 0x53, 0, 0x21, 0),
+    E(Op::kFcvtSD, Fmt::kRUnary, 0x53, 0, 0x20, 1),
+    E(Op::kFmvXD, Fmt::kRUnary, 0x53, 0, 0x71, 0),
+    E(Op::kFmvDX, Fmt::kRUnary, 0x53, 0, 0x79, 0),
+
+    // ---- Xpulp hardware loops (custom-3) ----
+    E(Op::kLpStarti, Fmt::kI, 0x7B, 0),
+    E(Op::kLpEndi, Fmt::kI, 0x7B, 1),
+    E(Op::kLpCount, Fmt::kI, 0x7B, 2),
+    E(Op::kLpCounti, Fmt::kI, 0x7B, 3),
+    E(Op::kLpSetup, Fmt::kI, 0x7B, 4),
+
+    // ---- Xpulp post-increment loads/stores (custom-0/1) ----
+    E(Op::kPLbPost, Fmt::kI, 0x0B, 0),
+    E(Op::kPLhPost, Fmt::kI, 0x0B, 1),
+    E(Op::kPLwPost, Fmt::kI, 0x0B, 2),
+    E(Op::kPLbuPost, Fmt::kI, 0x0B, 4),
+    E(Op::kPLhuPost, Fmt::kI, 0x0B, 5),
+    E(Op::kPClip, Fmt::kI, 0x0B, 6),
+    E(Op::kPSbPost, Fmt::kS, 0x2B, 0),
+    E(Op::kPShPost, Fmt::kS, 0x2B, 1),
+    E(Op::kPSwPost, Fmt::kS, 0x2B, 2),
+
+    // ---- Xpulp R-type DSP/SIMD (custom-2, funct7 enumerates) ----
+    E(Op::kPMac, Fmt::kR, 0x5B, 0, 0),
+    E(Op::kPMsu, Fmt::kR, 0x5B, 0, 1),
+    E(Op::kPAbs, Fmt::kRUnary, 0x5B, 0, 2, 0),
+    E(Op::kPMin, Fmt::kR, 0x5B, 0, 3),
+    E(Op::kPMax, Fmt::kR, 0x5B, 0, 4),
+    E(Op::kPExths, Fmt::kRUnary, 0x5B, 0, 5, 0),
+    E(Op::kPExthz, Fmt::kRUnary, 0x5B, 0, 6, 0),
+    E(Op::kPExtbs, Fmt::kRUnary, 0x5B, 0, 7, 0),
+    E(Op::kPExtbz, Fmt::kRUnary, 0x5B, 0, 8, 0),
+    E(Op::kPvAddB, Fmt::kR, 0x5B, 0, 16),
+    E(Op::kPvAddH, Fmt::kR, 0x5B, 0, 17),
+    E(Op::kPvSubB, Fmt::kR, 0x5B, 0, 18),
+    E(Op::kPvSubH, Fmt::kR, 0x5B, 0, 19),
+    E(Op::kPvMinB, Fmt::kR, 0x5B, 0, 20),
+    E(Op::kPvMinH, Fmt::kR, 0x5B, 0, 21),
+    E(Op::kPvMaxB, Fmt::kR, 0x5B, 0, 22),
+    E(Op::kPvMaxH, Fmt::kR, 0x5B, 0, 23),
+    E(Op::kPvSraH, Fmt::kR, 0x5B, 0, 24),
+    E(Op::kPvDotspB, Fmt::kR, 0x5B, 0, 25),
+    E(Op::kPvDotspH, Fmt::kR, 0x5B, 0, 26),
+    E(Op::kPvSdotspB, Fmt::kR, 0x5B, 0, 27),
+    E(Op::kPvSdotspH, Fmt::kR, 0x5B, 0, 28),
+    E(Op::kPvSdotspBMem, Fmt::kR, 0x5B, 0, 29),
+    E(Op::kPvSdotspHMem, Fmt::kR, 0x5B, 0, 30),
+    E(Op::kVfaddH, Fmt::kR, 0x5B, 0, 40),
+    E(Op::kVfsubH, Fmt::kR, 0x5B, 0, 41),
+    E(Op::kVfmulH, Fmt::kR, 0x5B, 0, 42),
+    E(Op::kVfmacH, Fmt::kR, 0x5B, 0, 43),
+    E(Op::kVfdotpexSH, Fmt::kR, 0x5B, 0, 44),
+    E(Op::kVfcvtHS, Fmt::kR, 0x5B, 0, 45),
+};
+
+}  // namespace
+
+std::span<const EncInfo> encoding_table() { return kTable; }
+
+const EncInfo* lookup(Op op) {
+  static const auto by_op = [] {
+    std::array<const EncInfo*, static_cast<size_t>(Op::kOpCount)> idx{};
+    for (const auto& entry : kTable) {
+      idx[static_cast<size_t>(entry.op)] = &entry;
+    }
+    return idx;
+  }();
+  const auto i = static_cast<size_t>(op);
+  return i < by_op.size() ? by_op[i] : nullptr;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::EncInfo;
+using detail::Fmt;
+
+void check_reg(u8 r, const char* what) {
+  HULKV_CHECK(r < 32, std::string("register index out of range: ") + what);
+}
+
+void check_imm_signed(i64 imm, unsigned width, const char* what) {
+  const i64 lo = -(1ll << (width - 1));
+  const i64 hi = (1ll << (width - 1)) - 1;
+  HULKV_CHECK(imm >= lo && imm <= hi,
+              std::string("immediate out of range for ") + what);
+}
+
+}  // namespace
+
+u32 encode(const Instr& in) {
+  const EncInfo* e = detail::lookup(in.op);
+  HULKV_CHECK(e != nullptr, "op has no encoding");
+  check_reg(in.rd, "rd");
+  check_reg(in.rs1, "rs1");
+  check_reg(in.rs2, "rs2");
+  check_reg(in.rs3, "rs3");
+
+  const u32 opc = e->opcode;
+  const u32 f3 = e->funct3;
+  const u32 f7 = e->funct7;
+  const u32 rd = in.rd, rs1 = in.rs1, rs2 = in.rs2, rs3 = in.rs3;
+  const i64 imm = in.imm;
+
+  switch (e->fmt) {
+    case Fmt::kR:
+      return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+             (rd << 7) | opc;
+    case Fmt::kRUnary:
+      return (f7 << 25) | (static_cast<u32>(e->rs2_fix) << 20) |
+             (rs1 << 15) | (f3 << 12) | (rd << 7) | opc;
+    case Fmt::kR4:
+      // funct7 slot = rs3 << 2 | funct2 (FP format).
+      return (rs3 << 27) | ((f7 & 3u) << 25) | (rs2 << 20) | (rs1 << 15) |
+             (f3 << 12) | (rd << 7) | opc;
+    case Fmt::kI:
+      check_imm_signed(imm, 12, mnemonic(in.op).data());
+      return ((static_cast<u32>(imm) & 0xFFFu) << 20) | (rs1 << 15) |
+             (f3 << 12) | (rd << 7) | opc;
+    case Fmt::kShamt: {
+      const unsigned max_shamt = (opc == 0x13 && f3 != 0) ? 63 : 31;
+      HULKV_CHECK(imm >= 0 && imm <= static_cast<i64>(max_shamt),
+                  "shift amount out of range");
+      // RV64 shifts use a 6-bit shamt; the funct7 high bits shrink to 6.
+      return ((f7 >> 1) << 26) | ((static_cast<u32>(imm) & 0x3Fu) << 20) |
+             (rs1 << 15) | (f3 << 12) | (rd << 7) | opc;
+    }
+    case Fmt::kS:
+      check_imm_signed(imm, 12, mnemonic(in.op).data());
+      return ((static_cast<u32>(imm >> 5) & 0x7Fu) << 25) | (rs2 << 20) |
+             (rs1 << 15) | (f3 << 12) | ((static_cast<u32>(imm) & 0x1Fu) << 7) |
+             opc;
+    case Fmt::kB: {
+      check_imm_signed(imm, 13, mnemonic(in.op).data());
+      HULKV_CHECK((imm & 1) == 0, "branch offset must be even");
+      const u32 v = static_cast<u32>(imm);
+      return (((v >> 12) & 1u) << 31) | (((v >> 5) & 0x3Fu) << 25) |
+             (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+             (((v >> 1) & 0xFu) << 8) | (((v >> 11) & 1u) << 7) | opc;
+    }
+    case Fmt::kU:
+      HULKV_CHECK((imm & 0xFFF) == 0, "U-type immediate low bits must be 0");
+      return (static_cast<u32>(imm) & 0xFFFFF000u) | (rd << 7) | opc;
+    case Fmt::kJ: {
+      check_imm_signed(imm, 21, mnemonic(in.op).data());
+      HULKV_CHECK((imm & 1) == 0, "jal offset must be even");
+      const u32 v = static_cast<u32>(imm);
+      return (((v >> 20) & 1u) << 31) | (((v >> 1) & 0x3FFu) << 21) |
+             (((v >> 11) & 1u) << 20) | (((v >> 12) & 0xFFu) << 12) |
+             (rd << 7) | opc;
+    }
+    case Fmt::kCsr:
+      HULKV_CHECK(imm >= 0 && imm <= 0xFFF, "csr address out of range");
+      return ((static_cast<u32>(imm) & 0xFFFu) << 20) | (rs1 << 15) |
+             (f3 << 12) | (rd << 7) | opc;
+    case Fmt::kCsrImm:
+      HULKV_CHECK(imm >= 0 && imm <= 0xFFF, "csr address out of range");
+      HULKV_CHECK(in.rs1 < 32, "csr uimm out of range");
+      return ((static_cast<u32>(imm) & 0xFFFu) << 20) | (rs1 << 15) |
+             (f3 << 12) | (rd << 7) | opc;
+    case Fmt::kSys:
+      return e->word;
+  }
+  throw SimError("unreachable: unknown format");
+}
+
+std::string_view mnemonic(Op op) {
+  switch (op) {
+    case Op::kIllegal: return "illegal";
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kLwu: return "lwu";
+    case Op::kLd: return "ld";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kSd: return "sd";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kAddiw: return "addiw";
+    case Op::kSlliw: return "slliw";
+    case Op::kSrliw: return "srliw";
+    case Op::kSraiw: return "sraiw";
+    case Op::kAddw: return "addw";
+    case Op::kSubw: return "subw";
+    case Op::kSllw: return "sllw";
+    case Op::kSrlw: return "srlw";
+    case Op::kSraw: return "sraw";
+    case Op::kFence: return "fence";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kWfi: return "wfi";
+    case Op::kCsrrw: return "csrrw";
+    case Op::kCsrrs: return "csrrs";
+    case Op::kCsrrc: return "csrrc";
+    case Op::kCsrrwi: return "csrrwi";
+    case Op::kCsrrsi: return "csrrsi";
+    case Op::kCsrrci: return "csrrci";
+    case Op::kMul: return "mul";
+    case Op::kMulh: return "mulh";
+    case Op::kMulhsu: return "mulhsu";
+    case Op::kMulhu: return "mulhu";
+    case Op::kDiv: return "div";
+    case Op::kDivu: return "divu";
+    case Op::kRem: return "rem";
+    case Op::kRemu: return "remu";
+    case Op::kMulw: return "mulw";
+    case Op::kDivw: return "divw";
+    case Op::kDivuw: return "divuw";
+    case Op::kRemw: return "remw";
+    case Op::kRemuw: return "remuw";
+    case Op::kFlw: return "flw";
+    case Op::kFsw: return "fsw";
+    case Op::kFaddS: return "fadd.s";
+    case Op::kFsubS: return "fsub.s";
+    case Op::kFmulS: return "fmul.s";
+    case Op::kFdivS: return "fdiv.s";
+    case Op::kFsqrtS: return "fsqrt.s";
+    case Op::kFmaddS: return "fmadd.s";
+    case Op::kFmsubS: return "fmsub.s";
+    case Op::kFsgnjS: return "fsgnj.s";
+    case Op::kFsgnjnS: return "fsgnjn.s";
+    case Op::kFsgnjxS: return "fsgnjx.s";
+    case Op::kFminS: return "fmin.s";
+    case Op::kFmaxS: return "fmax.s";
+    case Op::kFeqS: return "feq.s";
+    case Op::kFltS: return "flt.s";
+    case Op::kFleS: return "fle.s";
+    case Op::kFcvtWS: return "fcvt.w.s";
+    case Op::kFcvtSW: return "fcvt.s.w";
+    case Op::kFcvtLS: return "fcvt.l.s";
+    case Op::kFcvtSL: return "fcvt.s.l";
+    case Op::kFmvXW: return "fmv.x.w";
+    case Op::kFmvWX: return "fmv.w.x";
+    case Op::kFld: return "fld";
+    case Op::kFsd: return "fsd";
+    case Op::kFaddD: return "fadd.d";
+    case Op::kFsubD: return "fsub.d";
+    case Op::kFmulD: return "fmul.d";
+    case Op::kFdivD: return "fdiv.d";
+    case Op::kFmaddD: return "fmadd.d";
+    case Op::kFmsubD: return "fmsub.d";
+    case Op::kFsgnjD: return "fsgnj.d";
+    case Op::kFsgnjnD: return "fsgnjn.d";
+    case Op::kFsgnjxD: return "fsgnjx.d";
+    case Op::kFeqD: return "feq.d";
+    case Op::kFltD: return "flt.d";
+    case Op::kFleD: return "fle.d";
+    case Op::kFcvtWD: return "fcvt.w.d";
+    case Op::kFcvtDW: return "fcvt.d.w";
+    case Op::kFcvtDS: return "fcvt.d.s";
+    case Op::kFcvtSD: return "fcvt.s.d";
+    case Op::kFcvtLD: return "fcvt.l.d";
+    case Op::kFcvtDL: return "fcvt.d.l";
+    case Op::kFmvXD: return "fmv.x.d";
+    case Op::kFmvDX: return "fmv.d.x";
+    case Op::kLpStarti: return "lp.starti";
+    case Op::kLpEndi: return "lp.endi";
+    case Op::kLpCount: return "lp.count";
+    case Op::kLpCounti: return "lp.counti";
+    case Op::kLpSetup: return "lp.setup";
+    case Op::kPLbPost: return "p.lb";
+    case Op::kPLbuPost: return "p.lbu";
+    case Op::kPLhPost: return "p.lh";
+    case Op::kPLhuPost: return "p.lhu";
+    case Op::kPLwPost: return "p.lw";
+    case Op::kPSbPost: return "p.sb";
+    case Op::kPShPost: return "p.sh";
+    case Op::kPSwPost: return "p.sw";
+    case Op::kPMac: return "p.mac";
+    case Op::kPMsu: return "p.msu";
+    case Op::kPAbs: return "p.abs";
+    case Op::kPMin: return "p.min";
+    case Op::kPMax: return "p.max";
+    case Op::kPClip: return "p.clip";
+    case Op::kPExths: return "p.exths";
+    case Op::kPExthz: return "p.exthz";
+    case Op::kPExtbs: return "p.extbs";
+    case Op::kPExtbz: return "p.extbz";
+    case Op::kPvAddB: return "pv.add.b";
+    case Op::kPvAddH: return "pv.add.h";
+    case Op::kPvSubB: return "pv.sub.b";
+    case Op::kPvSubH: return "pv.sub.h";
+    case Op::kPvMinB: return "pv.min.b";
+    case Op::kPvMinH: return "pv.min.h";
+    case Op::kPvMaxB: return "pv.max.b";
+    case Op::kPvMaxH: return "pv.max.h";
+    case Op::kPvSraH: return "pv.sra.h";
+    case Op::kPvDotspB: return "pv.dotsp.b";
+    case Op::kPvDotspH: return "pv.dotsp.h";
+    case Op::kPvSdotspB: return "pv.sdotsp.b";
+    case Op::kPvSdotspH: return "pv.sdotsp.h";
+    case Op::kPvSdotspBMem: return "pv.sdotsp.b.ld";
+    case Op::kPvSdotspHMem: return "pv.sdotsp.h.ld";
+    case Op::kVfaddH: return "vfadd.h";
+    case Op::kVfsubH: return "vfsub.h";
+    case Op::kVfmulH: return "vfmul.h";
+    case Op::kVfmacH: return "vfmac.h";
+    case Op::kVfdotpexSH: return "vfdotpex.s.h";
+    case Op::kVfcvtHS: return "vfcvt.h.s";
+    case Op::kOpCount: break;
+  }
+  return "?";
+}
+
+bool is_load(Op op) {
+  switch (op) {
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kLwu:
+    case Op::kLd:
+    case Op::kFlw:
+    case Op::kFld:
+    case Op::kPLbPost:
+    case Op::kPLbuPost:
+    case Op::kPLhPost:
+    case Op::kPLhuPost:
+    case Op::kPLwPost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_store(Op op) {
+  switch (op) {
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+    case Op::kSd:
+    case Op::kFsw:
+    case Op::kFsd:
+    case Op::kPSbPost:
+    case Op::kPShPost:
+    case Op::kPSwPost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(Op op) {
+  switch (op) {
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_fp(Op op) {
+  const auto v = static_cast<u16>(op);
+  return (v >= static_cast<u16>(Op::kFlw) &&
+          v <= static_cast<u16>(Op::kFmvDX)) ||
+         is_simd_fp(op);
+}
+
+bool is_simd_int(Op op) {
+  const auto v = static_cast<u16>(op);
+  return v >= static_cast<u16>(Op::kPvAddB) &&
+         v <= static_cast<u16>(Op::kPvSdotspHMem);
+}
+
+bool is_simd_fp(Op op) {
+  const auto v = static_cast<u16>(op);
+  return v >= static_cast<u16>(Op::kVfaddH) &&
+         v <= static_cast<u16>(Op::kVfcvtHS);
+}
+
+bool is_mac(Op op) {
+  switch (op) {
+    case Op::kPMac:
+    case Op::kPMsu:
+    case Op::kPvDotspB:
+    case Op::kPvDotspH:
+    case Op::kPvSdotspB:
+    case Op::kPvSdotspH:
+    case Op::kPvSdotspBMem:
+    case Op::kPvSdotspHMem:
+    case Op::kVfmacH:
+    case Op::kVfdotpexSH:
+    case Op::kFmaddS:
+    case Op::kFmsubS:
+    case Op::kFmaddD:
+    case Op::kFmsubD:
+      return true;
+    default:
+      return false;
+  }
+}
+
+unsigned access_size(Op op) {
+  switch (op) {
+    case Op::kLb:
+    case Op::kLbu:
+    case Op::kSb:
+    case Op::kPLbPost:
+    case Op::kPLbuPost:
+    case Op::kPSbPost:
+      return 1;
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kSh:
+    case Op::kPLhPost:
+    case Op::kPLhuPost:
+    case Op::kPShPost:
+      return 2;
+    case Op::kLw:
+    case Op::kLwu:
+    case Op::kSw:
+    case Op::kFlw:
+    case Op::kFsw:
+    case Op::kPLwPost:
+    case Op::kPSwPost:
+      return 4;
+    case Op::kLd:
+    case Op::kSd:
+    case Op::kFld:
+    case Op::kFsd:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace hulkv::isa

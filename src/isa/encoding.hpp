@@ -1,0 +1,21 @@
+// Binary encodings for the HULK-V instruction set.
+//
+// Standard RV32/RV64 IMFD instructions use the real RISC-V formats
+// (R/R4/I/S/B/U/J/CSR/system). The Xpulp-style extensions occupy the
+// custom-0/1/2/3 major opcodes reserved by the RISC-V spec for vendor
+// extensions; the exact field assignment is repo-specific and documented
+// in encoding.cpp. encode() and decode() share one table, and
+// tests/isa_roundtrip_test.cc property-tests encode(decode(w)) == w over
+// the full operation set.
+#pragma once
+
+#include "isa/instr.hpp"
+
+namespace hulkv::isa {
+
+/// Encode a decoded instruction into its 32-bit word.
+/// Throws SimError if a field is out of range for the format (e.g. an
+/// immediate that does not fit, or a misaligned branch offset).
+u32 encode(const Instr& instr);
+
+}  // namespace hulkv::isa

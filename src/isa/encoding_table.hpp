@@ -1,0 +1,44 @@
+// Internal encoding table shared by encoder, decoder and disassembler.
+// Not part of the public API.
+#pragma once
+
+#include <span>
+
+#include "isa/instr.hpp"
+
+namespace hulkv::isa::detail {
+
+/// RISC-V instruction formats (plus repo-specific uses for the custom
+/// opcode space; see encoding.cpp for the field map).
+enum class Fmt : u8 {
+  kR,       // rd, rs1, rs2            (funct3 + funct7 discriminate)
+  kRUnary,  // rd, rs1                 (funct7 + fixed rs2 discriminate)
+  kR4,      // rd, rs1, rs2, rs3       (fused multiply-add, funct2 in f7 slot)
+  kI,       // rd, rs1, imm12
+  kShamt,   // rd, rs1, shamt          (funct7-high bits discriminate srai)
+  kS,       // rs1, rs2, imm12 (split)
+  kB,       // rs1, rs2, imm13 (branch)
+  kU,       // rd, imm[31:12]
+  kJ,       // rd, imm21 (jal)
+  kCsr,     // rd, rs1, csr-in-imm
+  kCsrImm,  // rd, uimm5-in-rs1, csr-in-imm
+  kSys,     // fixed 32-bit word (ecall/ebreak/wfi/fence)
+};
+
+struct EncInfo {
+  Op op;
+  Fmt fmt;
+  u8 opcode;   // 7-bit major opcode
+  u8 funct3;   // 3-bit minor (rounding mode slot for FP arith, forced 0)
+  u8 funct7;   // 7-bit (funct2 for R4; high shamt bits for kShamt)
+  u8 rs2_fix;  // fixed rs2 subcode for kRUnary, else 0
+  u32 word;    // fixed encoding for kSys, else 0
+};
+
+/// The full encoding table, one entry per Op (except kIllegal).
+std::span<const EncInfo> encoding_table();
+
+/// Entry for one op (nullptr if the op has no encoding).
+const EncInfo* lookup(Op op);
+
+}  // namespace hulkv::isa::detail

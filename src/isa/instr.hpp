@@ -1,0 +1,265 @@
+// Instruction-set definition for the two HULK-V processors:
+//
+//  * Host (CVA6):  RV64 IMFD subset — application-class, scalar only.
+//  * PMCA (RI5CY): RV32 IMF subset + XpulpV2-style DSP extensions:
+//    hardware loops, post-increment loads/stores, MAC, integer SIMD
+//    (8/16-bit), and packed-FP16 SIMD with FP32 accumulation.
+//
+// The decoded form `Instr` is shared by the encoder, decoder, disassembler
+// and both instruction-set simulators. Encodings are real RISC-V formats;
+// the Xpulp-style extensions live in the custom-0/1/2 opcode space with the
+// field assignment documented in encoding.cpp (the upstream XpulpV2 opcode
+// map is not normative here — DESIGN.md section 1 records this
+// substitution; round-trip encode/decode is property-tested instead).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace hulkv::isa {
+
+/// Mnemonic-level operation. Grouped by extension; the comment on each
+/// group names the RISC-V spec chapter or Xpulp feature it models.
+enum class Op : u16 {
+  kIllegal = 0,
+
+  // ---- RV32I / RV64I base ----
+  kLui,
+  kAuipc,
+  kJal,
+  kJalr,
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  kLb,
+  kLh,
+  kLw,
+  kLbu,
+  kLhu,
+  kLwu,  // RV64
+  kLd,   // RV64
+  kSb,
+  kSh,
+  kSw,
+  kSd,  // RV64
+  kAddi,
+  kSlti,
+  kSltiu,
+  kXori,
+  kOri,
+  kAndi,
+  kSlli,
+  kSrli,
+  kSrai,
+  kAdd,
+  kSub,
+  kSll,
+  kSlt,
+  kSltu,
+  kXor,
+  kSrl,
+  kSra,
+  kOr,
+  kAnd,
+  kAddiw,  // RV64 *W ops
+  kSlliw,
+  kSrliw,
+  kSraiw,
+  kAddw,
+  kSubw,
+  kSllw,
+  kSrlw,
+  kSraw,
+  kFence,
+  kEcall,
+  kEbreak,
+  kWfi,
+  kCsrrw,
+  kCsrrs,
+  kCsrrc,
+  kCsrrwi,
+  kCsrrsi,
+  kCsrrci,
+
+  // ---- M extension ----
+  kMul,
+  kMulh,
+  kMulhsu,
+  kMulhu,
+  kDiv,
+  kDivu,
+  kRem,
+  kRemu,
+  kMulw,  // RV64
+  kDivw,
+  kDivuw,
+  kRemw,
+  kRemuw,
+
+  // ---- F (single) ----
+  kFlw,
+  kFsw,
+  kFaddS,
+  kFsubS,
+  kFmulS,
+  kFdivS,
+  kFsqrtS,
+  kFmaddS,
+  kFmsubS,
+  kFsgnjS,
+  kFsgnjnS,
+  kFsgnjxS,
+  kFminS,
+  kFmaxS,
+  kFeqS,
+  kFltS,
+  kFleS,
+  kFcvtWS,
+  kFcvtSW,
+  kFcvtLS,  // RV64
+  kFcvtSL,  // RV64
+  kFmvXW,
+  kFmvWX,
+
+  // ---- D (double, host only) ----
+  kFld,
+  kFsd,
+  kFaddD,
+  kFsubD,
+  kFmulD,
+  kFdivD,
+  kFmaddD,
+  kFmsubD,
+  kFsgnjD,
+  kFsgnjnD,
+  kFsgnjxD,
+  kFeqD,
+  kFltD,
+  kFleD,
+  kFcvtWD,
+  kFcvtDW,
+  kFcvtDS,
+  kFcvtSD,
+  kFcvtLD,  // RV64
+  kFcvtDL,
+  kFmvXD,
+  kFmvDX,
+
+  // ---- Xpulp: hardware loops (zero-overhead, 2 nesting levels) ----
+  kLpStarti,  // loop[rd].start = pc + imm
+  kLpEndi,    // loop[rd].end   = pc + imm
+  kLpCount,   // loop[rd].count = x[rs1]
+  kLpCounti,  // loop[rd].count = uimm
+  kLpSetup,   // start = pc+4, end = pc + imm, count = x[rs1]
+
+  // ---- Xpulp: post-increment loads/stores (rs1 += imm after access) ----
+  kPLbPost,
+  kPLbuPost,
+  kPLhPost,
+  kPLhuPost,
+  kPLwPost,
+  kPSbPost,
+  kPShPost,
+  kPSwPost,
+
+  // ---- Xpulp: scalar DSP ----
+  kPMac,   // rd += rs1 * rs2 (32-bit)
+  kPMsu,   // rd -= rs1 * rs2
+  kPAbs,   // rd = |rs1|
+  kPMin,   // rd = min(rs1, rs2) signed
+  kPMax,   // rd = max(rs1, rs2) signed
+  kPClip,  // rd = clamp(rs1, -2^(imm-1), 2^(imm-1)-1)
+  kPExths,  // sign-extend halfword
+  kPExthz,  // zero-extend halfword
+  kPExtbs,  // sign-extend byte
+  kPExtbz,  // zero-extend byte
+
+  // ---- Xpulp: integer SIMD (4x8-bit ".b", 2x16-bit ".h") ----
+  kPvAddB,
+  kPvAddH,
+  kPvSubB,
+  kPvSubH,
+  kPvMinB,
+  kPvMinH,
+  kPvMaxB,
+  kPvMaxH,
+  kPvSraH,      // per-lane arithmetic shift right by rs2[3:0]
+  kPvDotspB,    // rd  = sdot(rs1, rs2) over 4 int8 lanes
+  kPvDotspH,    // rd  = sdot(rs1, rs2) over 2 int16 lanes
+  kPvSdotspB,   // rd += sdot(rs1, rs2) over 4 int8 lanes
+  kPvSdotspH,   // rd += sdot(rs1, rs2) over 2 int16 lanes
+
+  // MAC & Load (paper section III-C lists it among the DSP features):
+  // fused dot-product-accumulate with a memory operand and pointer
+  // post-increment — rd += sdot(mem32[rs1], rs2); rs1 += 4. One cycle,
+  // like the RI5CY/Darkside mlsdot family.
+  kPvSdotspBMem,
+  kPvSdotspHMem,
+
+  // ---- Xpulp: packed FP16 SIMD (2 lanes in a 32-bit F register) ----
+  kVfaddH,
+  kVfsubH,
+  kVfmulH,
+  kVfmacH,       // per-lane fp16 fma: fd[i] += fa[i] * fb[i]
+  kVfdotpexSH,   // fd(fp32) += fa[0]*fb[0] + fa[1]*fb[1] (fp16 in, fp32 acc)
+  kVfcvtHS,      // fd(2xfp16) = pack(cvt(fa fp32), cvt(fb fp32))
+
+  kOpCount,
+};
+
+/// Decoded instruction. Register indices address the integer file or the
+/// FP file depending on the operation; `imm` carries the sign-extended
+/// immediate (or CSR number for Zicsr ops, or loop index semantics noted
+/// on the Op).
+struct Instr {
+  Op op = Op::kIllegal;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  u8 rs3 = 0;   // fused multiply-add only
+  i32 imm = 0;  // sign-extended immediate / CSR address / shamt
+  u32 raw = 0;  // original encoding (0 when built synthetically)
+};
+
+/// Human-readable mnemonic, e.g. "pv.sdotsp.b".
+std::string_view mnemonic(Op op);
+
+/// Instruction classification helpers used by the timing models.
+bool is_load(Op op);
+bool is_store(Op op);
+bool is_branch(Op op);    // conditional branches only
+bool is_fp(Op op);        // touches the FP register file
+bool is_simd_int(Op op);  // Xpulp integer SIMD
+bool is_simd_fp(Op op);   // Xpulp packed-FP16 SIMD
+bool is_mac(Op op);       // multiply-accumulate family (for op counting)
+
+/// Memory access width in bytes for loads/stores, 0 otherwise.
+unsigned access_size(Op op);
+
+// Convenient ABI names for integer registers.
+namespace reg {
+inline constexpr u8 zero = 0, ra = 1, sp = 2, gp = 3, tp = 4;
+inline constexpr u8 t0 = 5, t1 = 6, t2 = 7;
+inline constexpr u8 s0 = 8, s1 = 9;
+inline constexpr u8 a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15,
+                    a6 = 16, a7 = 17;
+inline constexpr u8 s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23,
+                    s8 = 24, s9 = 25, s10 = 26, s11 = 27;
+inline constexpr u8 t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+}  // namespace reg
+
+// CSR addresses implemented by the simulators.
+namespace csr {
+inline constexpr u16 kCycle = 0xC00;
+inline constexpr u16 kInstret = 0xC02;
+inline constexpr u16 kMhartid = 0xF14;
+inline constexpr u16 kMcycle = 0xB00;
+inline constexpr u16 kMinstret = 0xB02;
+}  // namespace csr
+
+}  // namespace hulkv::isa

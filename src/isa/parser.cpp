@@ -1,0 +1,297 @@
+#include "isa/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "isa/encoding_table.hpp"
+
+namespace hulkv::isa {
+
+namespace {
+
+using detail::EncInfo;
+using detail::Fmt;
+
+/// mnemonic -> encoding entry, built once from the shared table.
+const std::map<std::string, const EncInfo*>& mnemonic_map() {
+  static const auto map = [] {
+    std::map<std::string, const EncInfo*> m;
+    for (const auto& entry : detail::encoding_table()) {
+      m[std::string(mnemonic(entry.op))] = &entry;
+    }
+    return m;
+  }();
+  return map;
+}
+
+/// ABI and xN register names.
+const std::map<std::string, u8>& reg_map() {
+  static const auto map = [] {
+    std::map<std::string, u8> m;
+    const char* abi[] = {"zero", "ra", "sp",  "gp",  "tp", "t0", "t1", "t2",
+                         "s0",   "s1", "a0",  "a1",  "a2", "a3", "a4", "a5",
+                         "a6",   "a7", "s2",  "s3",  "s4", "s5", "s6", "s7",
+                         "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+    for (u8 i = 0; i < 32; ++i) {
+      m[abi[i]] = i;
+      m["x" + std::to_string(i)] = i;
+      m["f" + std::to_string(i)] = i;  // FP file shares indices
+    }
+    m["fp"] = 8;
+    return m;
+  }();
+  return map;
+}
+
+struct LineError : SimError {
+  using SimError::SimError;
+};
+
+/// Tokenised operand list: mnemonic consumed separately; operands split
+/// on commas, whitespace-trimmed.
+std::vector<std::string> split_operands(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  for (auto& token : out) {
+    const auto begin = token.find_first_not_of(" \t");
+    const auto end = token.find_last_not_of(" \t");
+    token = begin == std::string::npos
+                ? ""
+                : token.substr(begin, end - begin + 1);
+  }
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+u8 parse_reg(const std::string& token) {
+  const auto it = reg_map().find(token);
+  if (it == reg_map().end()) {
+    throw LineError("unknown register '" + token + "'");
+  }
+  return it->second;
+}
+
+i64 parse_int(const std::string& token) {
+  if (token.empty()) throw LineError("missing immediate");
+  // Character literal: 'X'.
+  if (token.size() == 3 && token.front() == '\'' && token.back() == '\'') {
+    return static_cast<i64>(static_cast<unsigned char>(token[1]));
+  }
+  try {
+    size_t used = 0;
+    const i64 value = std::stoll(token, &used, 0);  // base 0: dec/hex/oct
+    if (used != token.size()) throw LineError("bad immediate '" + token + "'");
+    return value;
+  } catch (const LineError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw LineError("bad immediate '" + token + "'");
+  }
+}
+
+/// "imm(base)" for loads/stores.
+void parse_mem_operand(const std::string& token, i32* imm, u8* base) {
+  const auto open = token.find('(');
+  const auto close = token.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    throw LineError("expected offset(base), got '" + token + "'");
+  }
+  const std::string off = token.substr(0, open);
+  *imm = off.empty() ? 0 : static_cast<i32>(parse_int(off));
+  *base = parse_reg(token.substr(open + 1, close - open - 1));
+}
+
+/// Branch/jump target: label name or "pc+N"/"pc-N". Returns true when a
+/// pc-relative literal was parsed into *imm.
+bool parse_pc_relative(const std::string& token, i32* imm) {
+  if (token.rfind("pc", 0) != 0 || token.size() < 3) return false;
+  if (token[2] != '+' && token[2] != '-') return false;
+  *imm = static_cast<i32>(parse_int(token.substr(2)));
+  return true;
+}
+
+/// One instruction line (no label, no comment).
+void parse_instruction(Assembler& a, const std::string& line) {
+  std::istringstream is(line);
+  std::string mnem;
+  is >> mnem;
+  std::string rest;
+  std::getline(is, rest);
+  const auto ops = split_operands(rest);
+  const auto need = [&](size_t n) {
+    if (ops.size() != n) {
+      throw LineError("'" + mnem + "' expects " + std::to_string(n) +
+                      " operands, got " + std::to_string(ops.size()));
+    }
+  };
+
+  // ---- pseudo-instructions ----
+  if (mnem == "nop") return need(0), a.nop();
+  if (mnem == "mv") return need(2), a.mv(parse_reg(ops[0]), parse_reg(ops[1]));
+  if (mnem == "li") {
+    return need(2), a.li(parse_reg(ops[0]), parse_int(ops[1]));
+  }
+  if (mnem == "j") return need(1), a.j(ops[0]);
+  if (mnem == "call") return need(1), a.call(ops[0]);
+  if (mnem == "ret") return need(0), a.ret();
+  if (mnem == "beqz") return need(2), a.beqz(parse_reg(ops[0]), ops[1]);
+  if (mnem == "bnez") return need(2), a.bnez(parse_reg(ops[0]), ops[1]);
+
+  const auto it = mnemonic_map().find(mnem);
+  if (it == mnemonic_map().end()) {
+    throw LineError("unknown mnemonic '" + mnem + "'");
+  }
+  const EncInfo& info = *it->second;
+  Instr in;
+  in.op = info.op;
+
+  switch (info.fmt) {
+    case Fmt::kR:
+      need(3);
+      in.rd = parse_reg(ops[0]);
+      in.rs1 = parse_reg(ops[1]);
+      in.rs2 = parse_reg(ops[2]);
+      a.emit(in);
+      return;
+    case Fmt::kRUnary:
+      need(2);
+      in.rd = parse_reg(ops[0]);
+      in.rs1 = parse_reg(ops[1]);
+      a.emit(in);
+      return;
+    case Fmt::kR4:
+      need(4);
+      in.rd = parse_reg(ops[0]);
+      in.rs1 = parse_reg(ops[1]);
+      in.rs2 = parse_reg(ops[2]);
+      in.rs3 = parse_reg(ops[3]);
+      a.emit(in);
+      return;
+    case Fmt::kI:
+    case Fmt::kShamt:
+      if (is_load(info.op)) {
+        need(2);
+        in.rd = parse_reg(ops[0]);
+        parse_mem_operand(ops[1], &in.imm, &in.rs1);
+      } else {
+        need(3);
+        in.rd = parse_reg(ops[0]);
+        in.rs1 = parse_reg(ops[1]);
+        in.imm = static_cast<i32>(parse_int(ops[2]));
+      }
+      a.emit(in);
+      return;
+    case Fmt::kS:
+      need(2);
+      in.rs2 = parse_reg(ops[0]);
+      parse_mem_operand(ops[1], &in.imm, &in.rs1);
+      a.emit(in);
+      return;
+    case Fmt::kB: {
+      need(3);
+      in.rs1 = parse_reg(ops[0]);
+      in.rs2 = parse_reg(ops[1]);
+      i32 offset = 0;
+      if (parse_pc_relative(ops[2], &offset)) {
+        in.imm = offset;
+        a.emit(in);
+      } else {
+        a.branch(info.op, in.rs1, in.rs2, ops[2]);
+      }
+      return;
+    }
+    case Fmt::kJ: {
+      need(2);
+      in.rd = parse_reg(ops[0]);
+      i32 offset = 0;
+      if (parse_pc_relative(ops[1], &offset)) {
+        in.imm = offset;
+        a.emit(in);
+      } else {
+        a.jal(in.rd, ops[1]);
+      }
+      return;
+    }
+    case Fmt::kU:
+      need(2);
+      in.rd = parse_reg(ops[0]);
+      in.imm = static_cast<i32>(parse_int(ops[1]) << 12);
+      a.emit(in);
+      return;
+    case Fmt::kCsr:
+      need(3);
+      in.rd = parse_reg(ops[0]);
+      in.imm = static_cast<i32>(parse_int(ops[1]));
+      in.rs1 = parse_reg(ops[2]);
+      a.emit(in);
+      return;
+    case Fmt::kCsrImm:
+      need(3);
+      in.rd = parse_reg(ops[0]);
+      in.imm = static_cast<i32>(parse_int(ops[1]));
+      in.rs1 = static_cast<u8>(parse_int(ops[2]));  // uimm5
+      a.emit(in);
+      return;
+    case Fmt::kSys:
+      need(0);
+      a.emit(in);
+      return;
+  }
+  throw LineError("unhandled format for '" + mnem + "'");
+}
+
+}  // namespace
+
+std::vector<u32> parse_program(const std::string& text, Addr base,
+                               bool rv64) {
+  Assembler a(base, rv64);
+  std::istringstream is(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    // Strip comments ('#' and '//').
+    auto cut = raw.find('#');
+    if (const auto slashes = raw.find("//");
+        slashes != std::string::npos && slashes < cut) {
+      cut = slashes;
+    }
+    std::string line = cut == std::string::npos ? raw : raw.substr(0, cut);
+    // Trim.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    line = line.substr(begin, line.find_last_not_of(" \t\r") - begin + 1);
+
+    try {
+      // Leading "label:" (possibly followed by an instruction).
+      if (const auto colon = line.find(':'); colon != std::string::npos &&
+                                             line.find(' ') > colon &&
+                                             line.find('(') > colon) {
+        a.label(line.substr(0, colon));
+        line = line.substr(colon + 1);
+        const auto rest = line.find_first_not_of(" \t");
+        if (rest == std::string::npos) continue;
+        line = line.substr(rest);
+      }
+      parse_instruction(a, line);
+    } catch (const SimError& error) {
+      throw SimError("line " + std::to_string(line_no) + ": " +
+                     error.what());
+    }
+  }
+  return a.assemble();
+}
+
+}  // namespace hulkv::isa

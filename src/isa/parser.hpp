@@ -1,0 +1,33 @@
+// Text-assembly frontend: parses the same syntax the disassembler emits
+// (plus labels, comments and the common pseudo-instructions) into encoded
+// programs. Useful for writing kernels and test programs as plain text
+// instead of through the builder API; the disasm -> parse round-trip is
+// property-tested over the whole operation set.
+//
+// Syntax:
+//   label:                      # binds a label
+//   addi x5, x6, -4             // x-names or ABI names (t0, a0, sp, ...)
+//   lw a0, 8(a1)                # loads/stores use offset(base)
+//   fmadd.s f0, f1, f2, f3
+//   beq t0, t1, loop            # label target...
+//   bne t0, t1, pc+12           # ...or pc-relative offset
+//   lui x1, 0x12345             # U-type takes the upper-20 value
+//   csrrs x5, 0xc00, x0
+//   li t0, 0x123456789          # pseudo: nop, mv, li, j, call, ret,
+//   p.lw x10, 4(x5)             #         beqz, bnez
+//   pv.sdotsp.b x5, x6, x7
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hulkv::isa {
+
+/// Assemble a full program text at `base`. Throws SimError with the line
+/// number on any syntax error or undefined label.
+std::vector<u32> parse_program(const std::string& text, Addr base,
+                               bool rv64);
+
+}  // namespace hulkv::isa

@@ -1,0 +1,575 @@
+#include "kernels/cluster_kernels.hpp"
+
+#include <iterator>
+
+#include "cluster/pmca_core.hpp"
+#include "isa/assembler.hpp"
+
+namespace hulkv::kernels {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+namespace {
+
+/// Cluster code is position independent (PC-relative control flow only).
+Assembler make_cluster_asm() { return Assembler(0, /*rv64=*/false); }
+
+void env(Assembler& a, u64 function) {
+  a.li(a7, static_cast<i64>(function));
+  a.ecall();
+}
+
+void barrier(Assembler& a) { env(a, cluster::envcall::kBarrier); }
+
+void hartid(Assembler& a, u8 rd) {
+  a.ri(Op::kCsrrs, rd, 0, isa::csr::kMhartid);
+}
+
+/// Emit a core-0-only 1D DMA of `bytes_reg` bytes dst<-src.
+/// Caller must be inside a core-0 guard; clobbers a0..a2, a7.
+void dma_1d(Assembler& a, u8 dst_reg, u8 src_reg, u8 bytes_reg) {
+  a.mv(a0, dst_reg);
+  a.mv(a1, src_reg);
+  a.mv(a2, bytes_reg);
+  env(a, cluster::envcall::kDma1d);
+}
+
+void dma_wait(Assembler& a) { env(a, cluster::envcall::kDmaWait); }
+
+void exit_kernel(Assembler& a) { env(a, cluster::envcall::kExit); }
+
+/// Standard prologue: save the arg pointer to s0, load `nargs` argument
+/// words into s1.. (s1 = args[0], ...), fetch hart id into t0 and the
+/// core count into s11. Note the RISC-V ABI's s-registers are not
+/// contiguous indices (s0/s1 = x8/x9, s2..s11 = x18..x27), hence the
+/// explicit map.
+void prologue(Assembler& a, u32 nargs) {
+  static constexpr u8 kArgRegs[] = {s1, s2, s3, s4, s5, s6, s7, s8};
+  HULKV_CHECK(nargs <= std::size(kArgRegs), "too many kernel arguments");
+  a.mv(s0, a0);
+  for (u32 i = 0; i < nargs; ++i) {
+    a.lw(kArgRegs[i], static_cast<i32>(4 * i), s0);
+  }
+  env(a, cluster::envcall::kCoreCount);
+  a.mv(s11, a0);
+  hartid(a, t0);
+}
+
+}  // namespace
+
+KernelProgram cluster_matmul_i8(u32 m, u32 n, u32 k) {
+  HULKV_CHECK(k % 4 == 0, "cluster_matmul_i8 needs k % 4 == 0");
+  HULKV_CHECK(n % 2 == 0, "cluster_matmul_i8 needs n % 2 == 0");
+  Assembler a = make_cluster_asm();
+  // s1=A_ext s2=BT_ext s3=C_ext s4=A_l1 s5=BT_l1 s6=C_l1
+  prologue(a, 6);
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, static_cast<i64>(m) * k);
+  dma_1d(a, s4, s1, t1);
+  a.li(t1, static_cast<i64>(n) * k);
+  dma_1d(a, s5, s2, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  // Hot-loop structure (the paper's DSP features at work): the j loop is
+  // unrolled by two so each A word feeds two BT rows, the BT streams use
+  // the MAC&Load instruction (memory operand + post-increment folded into
+  // the dot-product-accumulate), and the k loop is a zero-overhead
+  // hardware loop: 3 instructions per 8 MACs.
+  a.li(s7, k / 4);                     // inner trip count (hoisted)
+  a.li(s8, n);                         // columns (hoisted)
+  a.li(s10, m);                        // rows (hoisted)
+  a.li(a3, k);                         // BT row stride (hoisted)
+  hartid(a, t0);                       // i = hart id
+  // Stagger each core's starting column so the 8 cores do not walk the
+  // shared BT rows in lockstep (TCDM bank-conflict avoidance):
+  // j0 = hart * ((n / ncores) & ~1), wrapping at n.
+  a.rr(Op::kDivu, t6, s8, s11);
+  a.andi(t6, t6, -2);
+  a.mul(t6, t6, t0);
+  a.mul(s1, t6, a3);
+  a.add(s1, s1, s5);                   // s1 = &BT[j0][0] (per-core start)
+  a.slli(s2, t6, 2);                   // s2 = j0 * 4 (C column offset)
+  a.mul(a6, s8, a3);
+  a.add(a6, a6, s5);                   // a6 = BT end sentinel
+  a.label("loop_i");
+  a.bge(t0, s10, "rows_done");
+  a.mul(a1, t0, a3);
+  a.add(a1, a1, s4);                   // &A_l1[i*k]
+  a.slli(t1, t0, 2);
+  a.mul(t1, t1, s8);
+  a.add(t1, t1, s6);                   // t1 = &C_l1[i*n] (row base)
+  a.add(t3, t1, s2);                   // C pointer at the staggered j0
+  a.mv(t4, s1);                        // BT row j (staggered start)
+  a.li(t2, 0);                         // pair counter
+  a.label("loop_j");
+  a.add(a5, t4, a3);                   // BT row j+1
+  a.li(t5, 0);                         // acc0
+  a.li(s9, 0);                         // acc1
+  a.mv(a2, a1);                        // pa
+  a.lp_setup(0, s7, "dot_end");
+  a.load(Op::kPLwPost, a4, 4, a2);     // 4 int8 of the A row
+  a.rr(Op::kPvSdotspBMem, t5, t4, a4);   // acc0 += dot(mem[t4]...), t4+=4
+  a.rr(Op::kPvSdotspBMem, s9, a5, a4);   // acc1 += dot(mem[a5]...), a5+=4
+  a.label("dot_end");
+  a.store(Op::kPSwPost, t5, 4, t3);    // C[i][j]
+  a.store(Op::kPSwPost, s9, 4, t3);    // C[i][j+1]
+  a.mv(t4, a5);                        // j += 2 rows of BT
+  a.addi(t2, t2, 2);
+  a.blt(t4, a6, "no_wrap");            // wrap j to column 0
+  a.mv(t4, s5);
+  a.mv(t3, t1);
+  a.label("no_wrap");
+  a.blt(t2, s8, "loop_j");
+  a.add(t0, t0, s11);                  // i += ncores
+  a.j("loop_i");
+  a.label("rows_done");
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_dma_out");
+  a.li(t1, static_cast<i64>(m) * n * 4);
+  dma_1d(a, s3, s6, t1);
+  dma_wait(a);
+  a.label("after_dma_out");
+  barrier(a);
+  exit_kernel(a);
+  return {"matmul", Precision::kInt8, a.assemble(), 2ull * m * n * k};
+}
+
+KernelProgram cluster_matmul_i32(u32 m, u32 n, u32 k) {
+  Assembler a = make_cluster_asm();
+  // s1=A_ext s2=BT_ext s3=C_ext s4=A_l1 s5=BT_l1 s6=C_l1 (all int32)
+  prologue(a, 6);
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, static_cast<i64>(m) * k * 4);
+  dma_1d(a, s4, s1, t1);
+  a.li(t1, static_cast<i64>(n) * k * 4);
+  dma_1d(a, s5, s2, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  // Scalar inner loop (no SIMD, no MAC&Load): p.lw + p.lw + p.mac per
+  // MAC — the baseline the reduced-precision kernels are measured
+  // against.
+  a.li(s7, k);                       // inner trip count
+  a.li(s8, n);
+  a.li(s10, m);
+  a.li(a3, static_cast<i64>(k) * 4); // BT row stride (bytes)
+  hartid(a, t0);
+  a.label("loop_i");
+  a.bge(t0, s10, "rows_done");
+  a.mul(a1, t0, a3);
+  a.add(a1, a1, s4);                 // &A_l1[i*k]
+  a.slli(t1, t0, 2);
+  a.mul(t1, t1, s8);
+  a.add(t3, t1, s6);                 // &C_l1[i*n]
+  a.mv(t4, s5);                      // BT walker
+  a.li(t2, 0);
+  a.label("loop_j");
+  a.li(t5, 0);                       // acc
+  a.mv(a2, a1);
+  a.lp_setup(0, s7, "dot_end");
+  a.load(Op::kPLwPost, a4, 4, a2);
+  a.load(Op::kPLwPost, a5, 4, t4);
+  a.rr(Op::kPMac, t5, a4, a5);
+  a.label("dot_end");
+  a.store(Op::kPSwPost, t5, 4, t3);
+  a.addi(t2, t2, 1);
+  a.blt(t2, s8, "loop_j");
+  a.add(t0, t0, s11);
+  a.j("loop_i");
+  a.label("rows_done");
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_dma_out");
+  a.li(t1, static_cast<i64>(m) * n * 4);
+  dma_1d(a, s3, s6, t1);
+  dma_wait(a);
+  a.label("after_dma_out");
+  barrier(a);
+  exit_kernel(a);
+  return {"matmul", Precision::kInt32, a.assemble(), 2ull * m * n * k};
+}
+
+KernelProgram cluster_axpy_f32(u32 n) {
+  HULKV_CHECK(n % 8 == 0, "cluster_axpy_f32 needs n % 8 == 0");
+  Assembler a = make_cluster_asm();
+  // s1=x_ext s2=y_ext s3=alpha bits s4=x_l1 s5=y_l1 (fp32 buffers)
+  prologue(a, 5);
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, static_cast<i64>(n) * 4);
+  dma_1d(a, s4, s1, t1);
+  a.li(t1, static_cast<i64>(n) * 4);
+  dma_1d(a, s5, s2, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  a.ri(Op::kFmvWX, 0, s3, 0);  // f0 = alpha
+  hartid(a, t0);
+  a.li(t1, n);
+  a.rr(Op::kDivu, t2, t1, s11);  // elements per core
+  a.mul(t3, t0, t2);
+  a.slli(t3, t3, 2);
+  a.add(a1, s4, t3);
+  a.add(a2, s5, t3);
+  a.lp_setup(0, t2, "axpy_end");
+  a.load(Op::kFlw, 1, 0, a1);
+  a.load(Op::kFlw, 2, 0, a2);
+  a.r4(Op::kFmaddS, 2, 0, 1, 2);  // y = alpha*x + y
+  a.store(Op::kFsw, 2, 0, a2);
+  a.addi(a1, a1, 4);
+  a.addi(a2, a2, 4);
+  a.label("axpy_end");
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_dma_out");
+  a.li(t1, static_cast<i64>(n) * 4);
+  dma_1d(a, s2, s5, t1);
+  dma_wait(a);
+  a.label("after_dma_out");
+  barrier(a);
+  exit_kernel(a);
+  return {"axpy", Precision::kFp32, a.assemble(), 2ull * n};
+}
+
+KernelProgram cluster_matmul_f16(u32 m, u32 n, u32 k) {
+  HULKV_CHECK(k % 2 == 0, "cluster_matmul_f16 needs k % 2 == 0");
+  Assembler a = make_cluster_asm();
+  prologue(a, 6);  // same block layout as matmul_i8 (fp16 buffers)
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, static_cast<i64>(m) * k * 2);
+  dma_1d(a, s4, s1, t1);
+  a.li(t1, static_cast<i64>(n) * k * 2);
+  dma_1d(a, s5, s2, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  hartid(a, t0);
+  a.label("loop_i");
+  a.li(t6, m);
+  a.bge(t0, t6, "rows_done");
+  a.li(t6, static_cast<i64>(k) * 2);
+  a.mul(a1, t0, t6);
+  a.add(a1, a1, s4);  // &A_l1[i*k] (2 B/elem)
+  a.li(t6, static_cast<i64>(n) * 4);
+  a.mul(t3, t0, t6);
+  a.add(t3, t3, s6);  // &C_l1[i*n] (fp32 out)
+  a.mv(t4, s5);       // BT walker
+  a.li(t2, 0);        // j
+  a.label("loop_j");
+  // f0 = 0.0f accumulator
+  a.ri(Op::kFcvtSW, 0, zero, 0);
+  a.mv(a2, a1);
+  a.li(t6, k / 2);
+  a.lp_setup(0, t6, "dot_end");
+  a.load(Op::kFlw, 1, 0, a2);        // 2 fp16 of A
+  a.load(Op::kFlw, 2, 0, t4);        // 2 fp16 of BT
+  a.rr(Op::kVfdotpexSH, 0, 1, 2);    // f0 += a0*b0 + a1*b1
+  a.addi(a2, a2, 4);
+  a.addi(t4, t4, 4);
+  a.label("dot_end");
+  a.store(Op::kFsw, 0, 0, t3);
+  a.addi(t3, t3, 4);
+  a.addi(t2, t2, 1);
+  a.li(t6, n);
+  a.blt(t2, t6, "loop_j");
+  a.add(t0, t0, s11);
+  a.j("loop_i");
+  a.label("rows_done");
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_dma_out");
+  a.li(t1, static_cast<i64>(m) * n * 4);
+  dma_1d(a, s3, s6, t1);
+  dma_wait(a);
+  a.label("after_dma_out");
+  barrier(a);
+  exit_kernel(a);
+  return {"matmul", Precision::kFp16, a.assemble(), 2ull * m * n * k};
+}
+
+KernelProgram cluster_conv3x3_i8(u32 h, u32 w) {
+  HULKV_CHECK(2 * w + 2 <= 2047, "image row too wide for the addressing");
+  Assembler a = make_cluster_asm();
+  // s1=img_ext s2=ker_ext s3=out_ext s4=img_l1 s5=ker_l1 s6=out_l1
+  prologue(a, 6);
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, static_cast<i64>(h) * w);
+  dma_1d(a, s4, s1, t1);
+  a.li(t1, 12);  // 9 coefficients, padded to words
+  dma_1d(a, s5, s2, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  // Hoist the 9 coefficients into s7..s10 + a3..a7? Registers are tight:
+  // keep them in t registers is impossible (used); reload per row is
+  // cheap enough: load into a2..a4 packed? Simplest faithful approach:
+  // keep coefficients in registers s7, s8, s9, s10, a3, a4, a5, a6, t5.
+  for (u32 i = 0; i < 4; ++i) {
+    a.load(Op::kLb, static_cast<u8>(s7 + i), static_cast<i32>(i), s5);
+  }
+  a.load(Op::kLb, a3, 4, s5);
+  a.load(Op::kLb, a4, 5, s5);
+  a.load(Op::kLb, a5, 6, s5);
+  a.load(Op::kLb, a6, 7, s5);
+  a.load(Op::kLb, t5, 8, s5);
+
+  hartid(a, t0);  // y = hart id
+  a.label("loop_y");
+  a.li(t6, h - 2);
+  a.bge(t0, t6, "rows_done");
+  // t1 = &img_l1[y*w], t3 = &out_l1[y*(w-2)*4]
+  a.li(t6, w);
+  a.mul(t1, t0, t6);
+  a.add(t1, t1, s4);
+  a.li(t6, static_cast<i64>(w - 2) * 4);
+  a.mul(t3, t0, t6);
+  a.add(t3, t3, s6);
+  a.li(t2, 0);  // x
+  a.label("loop_x");
+  a.li(t4, 0);  // acc
+  const u8 coeff[9] = {s7, s8, s9, s10, a3, a4, a5, a6, t5};
+  for (u32 ky = 0; ky < 3; ++ky) {
+    for (u32 kx = 0; kx < 3; ++kx) {
+      a.load(Op::kLb, a1, static_cast<i32>(ky * w + kx), t1);
+      a.rr(Op::kPMac, t4, a1, coeff[ky * 3 + kx]);
+    }
+  }
+  a.store(Op::kPSwPost, t4, 4, t3);
+  a.addi(t1, t1, 1);
+  a.addi(t2, t2, 1);
+  a.li(t6, w - 2);
+  a.blt(t2, t6, "loop_x");
+  a.add(t0, t0, s11);
+  a.j("loop_y");
+  a.label("rows_done");
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_dma_out");
+  a.li(t1, static_cast<i64>(h - 2) * (w - 2) * 4);
+  dma_1d(a, s3, s6, t1);
+  dma_wait(a);
+  a.label("after_dma_out");
+  barrier(a);
+  exit_kernel(a);
+  return {"conv3x3", Precision::kInt8, a.assemble(),
+          18ull * (h - 2) * (w - 2)};
+}
+
+KernelProgram cluster_fir_i8(u32 n, u32 taps) {
+  HULKV_CHECK(taps % 4 == 0, "cluster_fir_i8 needs taps % 4 == 0");
+  const u32 nout = n - taps + 1;
+  Assembler a = make_cluster_asm();
+  // s1=x_ext s2=h_ext s3=y_ext s4=x_l1 s5=h_l1 s6=y_l1
+  prologue(a, 6);
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, n);
+  dma_1d(a, s4, s1, t1);
+  a.li(t1, taps);
+  dma_1d(a, s5, s2, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  // Contiguous output chunk per core: chunk = ceil(nout / ncores).
+  hartid(a, t0);
+  a.li(t1, nout);
+  a.add(t2, t1, s11);
+  a.addi(t2, t2, -1);
+  a.rr(Op::kDivu, t2, t2, s11);  // chunk
+  a.mul(t3, t0, t2);             // start = hart * chunk
+  a.add(t4, t3, t2);             // end = start + chunk
+  a.li(t6, nout);
+  a.blt(t4, t6, "end_clamped");
+  a.mv(t4, t6);
+  a.label("end_clamped");
+  // y pointer: &y_l1[start*4]
+  a.slli(t5, t3, 2);
+  a.add(t5, t5, s6);
+  a.li(s7, taps / 4);  // inner trip count (hoisted)
+  a.label("loop_i");
+  a.bge(t3, t4, "chunk_done");
+  a.li(a1, 0);        // acc
+  a.add(a2, s4, t3);  // &x_l1[i]
+  a.mv(a3, s5);       // &h_l1[0]
+  a.lp_setup(0, s7, "dot_end");
+  a.load(Op::kPLwPost, a4, 4, a2);     // 4 int8 of the signal window
+  a.rr(Op::kPvSdotspBMem, a1, a3, a4);  // MAC&Load on the tap stream
+  a.label("dot_end");
+  a.store(Op::kPSwPost, a1, 4, t5);
+  a.addi(t3, t3, 1);
+  a.j("loop_i");
+  a.label("chunk_done");
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_dma_out");
+  a.li(t1, static_cast<i64>(nout) * 4);
+  dma_1d(a, s3, s6, t1);
+  dma_wait(a);
+  a.label("after_dma_out");
+  barrier(a);
+  exit_kernel(a);
+  return {"fir", Precision::kInt8, a.assemble(), 2ull * taps * nout};
+}
+
+KernelProgram cluster_axpy_f16(u32 n) {
+  HULKV_CHECK(n % 16 == 0, "cluster_axpy_f16 needs n % 16 == 0");
+  Assembler a = make_cluster_asm();
+  // s1=x_ext s2=y_ext s3=alpha-pair (by value) s4=x_l1 s5=y_l1
+  prologue(a, 5);
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, static_cast<i64>(n) * 2);
+  dma_1d(a, s4, s1, t1);
+  a.li(t1, static_cast<i64>(n) * 2);
+  dma_1d(a, s5, s2, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  a.ri(Op::kFmvWX, 0, s3, 0);  // f0 = packed alpha pair
+  // words (fp16 pairs) per core, contiguous chunks.
+  hartid(a, t0);
+  a.li(t1, n / 2);             // total pairs
+  a.rr(Op::kDivu, t2, t1, s11);  // pairs per core (n divisible)
+  a.mul(t3, t0, t2);           // start pair
+  a.slli(t3, t3, 2);           // byte offset
+  a.add(a1, s4, t3);           // x ptr
+  a.add(a2, s5, t3);           // y ptr
+  a.lp_setup(0, t2, "axpy_end");
+  a.load(Op::kFlw, 1, 0, a1);      // x pair
+  a.load(Op::kFlw, 2, 0, a2);      // y pair
+  a.rr(Op::kVfmacH, 2, 1, 0);      // y += x * alpha
+  a.store(Op::kFsw, 2, 0, a2);
+  a.addi(a1, a1, 4);
+  a.addi(a2, a2, 4);
+  a.label("axpy_end");
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_dma_out");
+  a.li(t1, static_cast<i64>(n) * 2);
+  dma_1d(a, s2, s5, t1);
+  dma_wait(a);
+  a.label("after_dma_out");
+  barrier(a);
+  exit_kernel(a);
+  return {"axpy", Precision::kFp16, a.assemble(), 2ull * n};
+}
+
+KernelProgram cluster_relu_i8(u32 n) {
+  HULKV_CHECK(n % 4 == 0, "cluster_relu_i8 needs n % 4 == 0");
+  Assembler a = make_cluster_asm();
+  // s1=x_ext s2=y_ext s3=x_l1 s4=y_l1
+  prologue(a, 4);
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, n);
+  dma_1d(a, s3, s1, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  // Contiguous word chunks per core; pv.max.b against zero = 4 ReLUs
+  // per cycle per core.
+  hartid(a, t0);
+  a.li(t1, n / 4);              // total words
+  a.rr(Op::kDivu, t2, t1, s11);  // words per core (n multiple of 4*team)
+  a.mul(t3, t0, t2);
+  a.slli(t3, t3, 2);            // byte offset
+  a.add(a1, s3, t3);
+  a.add(a2, s4, t3);
+  a.beqz(t2, "chunk_done");
+  a.lp_setup(0, t2, "relu_end");
+  a.load(Op::kPLwPost, a3, 4, a1);
+  a.rr(Op::kPvMaxB, a3, a3, zero);
+  a.store(Op::kPSwPost, a3, 4, a2);
+  a.label("relu_end");
+  a.label("chunk_done");
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_dma_out");
+  a.li(t1, n);
+  dma_1d(a, s2, s4, t1);
+  dma_wait(a);
+  a.label("after_dma_out");
+  barrier(a);
+  exit_kernel(a);
+  return {"relu", Precision::kInt8, a.assemble(), n};
+}
+
+KernelProgram cluster_dotp_f16(u32 n) {
+  HULKV_CHECK(n % 16 == 0, "cluster_dotp_f16 needs n % 16 == 0");
+  Assembler a = make_cluster_asm();
+  // s1=x_ext s2=y_ext s3=x_l1 s4=y_l1 s5=partials_l1 s6=result_l1
+  prologue(a, 6);
+
+  a.bnez(t0, "after_dma_in");
+  a.li(t1, static_cast<i64>(n) * 2);
+  dma_1d(a, s3, s1, t1);
+  a.li(t1, static_cast<i64>(n) * 2);
+  dma_1d(a, s4, s2, t1);
+  dma_wait(a);
+  a.label("after_dma_in");
+  barrier(a);
+
+  a.ri(Op::kFcvtSW, 0, zero, 0);  // f0 = fp32 partial
+  hartid(a, t0);
+  a.li(t1, n / 2);
+  a.rr(Op::kDivu, t2, t1, s11);  // pairs per core
+  a.mul(t3, t0, t2);
+  a.slli(t3, t3, 2);
+  a.add(a1, s3, t3);
+  a.add(a2, s4, t3);
+  a.lp_setup(0, t2, "dot_end");
+  a.load(Op::kFlw, 1, 0, a1);
+  a.load(Op::kFlw, 2, 0, a2);
+  a.rr(Op::kVfdotpexSH, 0, 1, 2);
+  a.addi(a1, a1, 4);
+  a.addi(a2, a2, 4);
+  a.label("dot_end");
+  // partials[hart] = f0 (fp32 bits)
+  a.ri(Op::kFmvXW, t4, 0, 0);
+  a.slli(t5, t0, 2);
+  a.add(t5, t5, s5);
+  a.sw(t4, 0, t5);
+  barrier(a);
+
+  hartid(a, t0);
+  a.bnez(t0, "after_reduce");
+  // Core 0 sums the ncores partials sequentially in fp32.
+  a.ri(Op::kFcvtSW, 0, zero, 0);
+  a.mv(a1, s5);
+  a.lp_setup(0, s11, "red_end");
+  a.load(Op::kFlw, 1, 0, a1);
+  a.rr(Op::kFaddS, 0, 0, 1);
+  a.addi(a1, a1, 4);
+  a.label("red_end");
+  a.store(Op::kFsw, 0, 0, s6);
+  a.label("after_reduce");
+  barrier(a);
+  exit_kernel(a);
+  return {"dotp", Precision::kFp16, a.assemble(), 2ull * n};
+}
+
+}  // namespace hulkv::kernels

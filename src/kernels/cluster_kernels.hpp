@@ -1,0 +1,66 @@
+// PMCA versions of the DSP kernels of Fig. 6: RV32 + Xpulp code executed
+// by all 8 cluster cores, at *reduced precision* (int8 / fp16) to exploit
+// the SIMD extensions the host lacks (paper section VI-A).
+//
+// Every kernel follows the PULP pattern the paper describes: core 0 DMAs
+// the inputs from the shared external memory into the TCDM, the team
+// barriers, cores partition the work by hart id (zero-overhead hardware
+// loops + post-increment accesses + sdotsp/vfmac in the hot loop), the
+// team barriers again, and core 0 DMAs the result back.
+//
+// Argument blocks are arrays of u32 words in the TCDM (see
+// runtime/offload.hpp); the layout of each kernel is documented on its
+// builder. Problem sizes are baked into the code as immediates.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hulkv::kernels {
+
+/// C[MxN](i32) = A[MxK](i8) x BT[NxK](i8)^T via pv.sdotsp.b.
+/// Args: [0]=A_ext [1]=BT_ext [2]=C_ext [3]=A_l1 [4]=BT_l1 [5]=C_l1.
+/// Requires k % 4 == 0.
+KernelProgram cluster_matmul_i8(u32 m, u32 n, u32 k);
+
+/// Full-precision variant of the matmul for the precision ablation
+/// (paper section VI-A: reduced precision doubles/quadruples the
+/// operations per cycle): C[MxN](i32) = A[MxK](i32) x BT[NxK](i32)^T,
+/// scalar p.mac inner loop. Args as cluster_matmul_i8 (word buffers).
+KernelProgram cluster_matmul_i32(u32 m, u32 n, u32 k);
+
+/// Full-precision axpy: y += alpha*x on fp32 via fmadd.s.
+/// Args: [0]=x_ext [1]=y_ext [2]=alpha (fp32 bits, by value)
+/// [3]=x_l1 [4]=y_l1. Requires n % 8 == 0.
+KernelProgram cluster_axpy_f32(u32 n);
+
+/// C[MxN](fp32) = A[MxK](fp16) x BT[NxK](fp16)^T via vfdotpex.s.h.
+/// Args as cluster_matmul_i8. Requires k % 2 == 0.
+KernelProgram cluster_matmul_f16(u32 m, u32 n, u32 k);
+
+/// 3x3 valid convolution, int8 image/kernel, int32 out, p.mac inner.
+/// Args: [0]=img_ext [1]=ker_ext [2]=out_ext [3]=img_l1 [4]=ker_l1
+/// [5]=out_l1.
+KernelProgram cluster_conv3x3_i8(u32 h, u32 w);
+
+/// FIR int8 x/h, int32 y, pv.sdotsp.b inner. Requires taps % 4 == 0.
+/// Args: [0]=x_ext [1]=h_ext [2]=y_ext [3]=x_l1 [4]=h_l1 [5]=y_l1.
+KernelProgram cluster_fir_i8(u32 n, u32 taps);
+
+/// y += alpha*x on packed fp16 pairs via vfmac.h. Requires n % 16 == 0.
+/// Args: [0]=x_ext [1]=y_ext [2]=alpha pair (fp16 value duplicated in
+/// both lanes, passed by value) [3]=x_l1 [4]=y_l1.
+KernelProgram cluster_axpy_f16(u32 n);
+
+/// ReLU over int8 via pv.max.b (4 lanes/cycle) — the activation stage of
+/// every DORY-deployed DNN layer. Requires n % 4 == 0.
+/// Args: [0]=x_ext [1]=y_ext [2]=x_l1 [3]=y_l1.
+KernelProgram cluster_relu_i8(u32 n);
+
+/// Dot product fp16 with fp32 accumulation (vfdotpex.s.h), tree-free
+/// reduction by core 0. Result (fp32 bits) left at args[5]. Requires
+/// n % 16 == 0.
+/// Args: [0]=x_ext [1]=y_ext [2]=x_l1 [3]=y_l1 [4]=partials_l1
+/// [5]=result_l1.
+KernelProgram cluster_dotp_f16(u32 n);
+
+}  // namespace hulkv::kernels

@@ -1,0 +1,200 @@
+#include "kernels/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hulkv::kernels::golden {
+
+void matmul_i32(std::span<const i32> a, std::span<const i32> b,
+                std::span<i32> c, u32 m, u32 n, u32 k) {
+  for (u32 i = 0; i < m; ++i) {
+    for (u32 j = 0; j < n; ++j) {
+      i32 acc = 0;
+      for (u32 kk = 0; kk < k; ++kk) {
+        acc += a[i * k + kk] * b[kk * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void matmul_i8(std::span<const i8> a, std::span<const i8> bt,
+               std::span<i32> c, u32 m, u32 n, u32 k) {
+  for (u32 i = 0; i < m; ++i) {
+    for (u32 j = 0; j < n; ++j) {
+      i32 acc = 0;
+      for (u32 kk = 0; kk < k; ++kk) {
+        acc += static_cast<i32>(a[i * k + kk]) *
+               static_cast<i32>(bt[j * k + kk]);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void conv3x3_i32(std::span<const i32> image, std::span<const i32> kernel3x3,
+                 std::span<i32> out, u32 h, u32 w) {
+  for (u32 y = 0; y + 2 < h; ++y) {
+    for (u32 x = 0; x + 2 < w; ++x) {
+      i32 acc = 0;
+      for (u32 ky = 0; ky < 3; ++ky) {
+        for (u32 kx = 0; kx < 3; ++kx) {
+          acc += image[(y + ky) * w + (x + kx)] * kernel3x3[ky * 3 + kx];
+        }
+      }
+      out[y * (w - 2) + x] = acc;
+    }
+  }
+}
+
+void conv3x3_i8(std::span<const i8> image, std::span<const i8> kernel3x3,
+                std::span<i32> out, u32 h, u32 w) {
+  for (u32 y = 0; y + 2 < h; ++y) {
+    for (u32 x = 0; x + 2 < w; ++x) {
+      i32 acc = 0;
+      for (u32 ky = 0; ky < 3; ++ky) {
+        for (u32 kx = 0; kx < 3; ++kx) {
+          acc += static_cast<i32>(image[(y + ky) * w + (x + kx)]) *
+                 static_cast<i32>(kernel3x3[ky * 3 + kx]);
+        }
+      }
+      out[y * (w - 2) + x] = acc;
+    }
+  }
+}
+
+void fir_i32(std::span<const i32> x, std::span<const i32> h,
+             std::span<i32> y, u32 n, u32 taps) {
+  for (u32 i = 0; i + taps <= n; ++i) {
+    i32 acc = 0;
+    for (u32 t = 0; t < taps; ++t) acc += x[i + t] * h[t];
+    y[i] = acc;
+  }
+}
+
+void fir_i8(std::span<const i8> x, std::span<const i8> h, std::span<i32> y,
+            u32 n, u32 taps) {
+  for (u32 i = 0; i + taps <= n; ++i) {
+    i32 acc = 0;
+    for (u32 t = 0; t < taps; ++t) {
+      acc += static_cast<i32>(x[i + t]) * static_cast<i32>(h[t]);
+    }
+    y[i] = acc;
+  }
+}
+
+void axpy_f32(float alpha, std::span<const float> x, std::span<float> y) {
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = std::fma(alpha, x[i], y[i]);
+  }
+}
+
+void axpy_f16(u16 alpha_bits, std::span<const u16> x, std::span<u16> y) {
+  const float alpha = half_bits_to_float(alpha_bits);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float xi = half_bits_to_float(x[i]);
+    const float yi = half_bits_to_float(y[i]);
+    y[i] = float_to_half_bits(std::fma(alpha, xi, yi));
+  }
+}
+
+float dotp_f32(std::span<const float> x, std::span<const float> y) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < x.size(); ++i) acc = std::fma(x[i], y[i], acc);
+  return acc;
+}
+
+float dotp_f16(std::span<const u16> x, std::span<const u16> y) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    acc = std::fma(half_bits_to_float(x[i]), half_bits_to_float(y[i]), acc);
+  }
+  return acc;
+}
+
+void matmul_f16(std::span<const u16> a, std::span<const u16> bt,
+                std::span<float> c, u32 m, u32 n, u32 k) {
+  for (u32 i = 0; i < m; ++i) {
+    for (u32 j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (u32 kk = 0; kk < k; ++kk) {
+        acc = std::fma(half_bits_to_float(a[i * k + kk]),
+                       half_bits_to_float(bt[j * k + kk]), acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void matmul_f32(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, u32 m, u32 n, u32 k) {
+  for (u32 i = 0; i < m; ++i) {
+    for (u32 j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (u32 kk = 0; kk < k; ++kk) {
+        acc = std::fma(a[i * k + kk], b[kk * n + j], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void relu_i8(std::span<const i8> x, std::span<i8> y) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] = std::max<i8>(x[i], 0);
+}
+
+std::vector<u32> crc32_table() {
+  std::vector<u32> table(256);
+  for (u32 i = 0; i < 256; ++i) {
+    u32 crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+u32 crc32(std::span<const u8> data) {
+  static const std::vector<u32> table = crc32_table();
+  u32 crc = 0xFFFFFFFFu;
+  for (const u8 byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void shell_sort(std::span<i32> data) {
+  static constexpr u32 kGaps[] = {1750, 701, 301, 132, 57, 23, 10, 4, 1};
+  const size_t n = data.size();
+  for (const u32 gap : kGaps) {
+    if (gap >= n) continue;
+    for (size_t i = gap; i < n; ++i) {
+      const i32 value = data[i];
+      size_t j = i;
+      while (j >= gap && data[j - gap] > value) {
+        data[j] = data[j - gap];
+        j -= gap;
+      }
+      data[j] = value;
+    }
+  }
+}
+
+void histogram(std::span<const u8> data, std::span<u32> bins) {
+  std::fill(bins.begin(), bins.end(), 0);
+  for (const u8 byte : data) ++bins[byte];
+}
+
+u32 strsearch(std::span<const u8> haystack, std::span<const u8> needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return 0;
+  u32 count = 0;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    size_t j = 0;
+    while (j < needle.size() && haystack[i + j] == needle[j]) ++j;
+    if (j == needle.size()) ++count;
+  }
+  return count;
+}
+
+}  // namespace hulkv::kernels::golden

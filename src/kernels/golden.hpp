@@ -1,0 +1,81 @@
+// Golden (reference) implementations of every kernel, in plain C++.
+// The test suite runs each assembly kernel on the ISS and compares its
+// output against these references — bit-exact for integer kernels,
+// matching the FP16 round-per-operation datapath for reduced precision.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/types.hpp"
+
+namespace hulkv::kernels::golden {
+
+/// C[MxN] = A[MxK] * B[KxN], row-major, int32.
+void matmul_i32(std::span<const i32> a, std::span<const i32> b,
+                std::span<i32> c, u32 m, u32 n, u32 k);
+
+/// C[MxN] = A[MxK] * BT[NxK]^T, int8 inputs, int32 accumulate/output.
+void matmul_i8(std::span<const i8> a, std::span<const i8> bt,
+               std::span<i32> c, u32 m, u32 n, u32 k);
+
+/// 3x3 valid convolution: out[(H-2)x(W-2)], int32.
+void conv3x3_i32(std::span<const i32> image, std::span<const i32> kernel3x3,
+                 std::span<i32> out, u32 h, u32 w);
+
+/// 3x3 valid convolution, int8 inputs, int32 output.
+void conv3x3_i8(std::span<const i8> image, std::span<const i8> kernel3x3,
+                std::span<i32> out, u32 h, u32 w);
+
+/// FIR: y[i] = sum_t x[i+t] * h[t] for i in [0, n-taps], int32.
+void fir_i32(std::span<const i32> x, std::span<const i32> h,
+             std::span<i32> y, u32 n, u32 taps);
+
+/// FIR with int8 inputs, int32 outputs.
+void fir_i8(std::span<const i8> x, std::span<const i8> h, std::span<i32> y,
+            u32 n, u32 taps);
+
+/// y[i] += alpha * x[i], fp32.
+void axpy_f32(float alpha, std::span<const float> x, std::span<float> y);
+
+/// y[i] += alpha * x[i] in fp16 with per-operation rounding (matches the
+/// vfmac.h datapath: one fused multiply-add rounded to fp16 per element).
+void axpy_f16(u16 alpha_bits, std::span<const u16> x, std::span<u16> y);
+
+/// Dot product fp32 (sequential accumulation order, as the scalar core).
+float dotp_f32(std::span<const float> x, std::span<const float> y);
+
+/// Dot product of fp16 vectors with fp32 accumulation (vfdotpex.s.h
+/// order: lane0, lane1 per pair, sequential pairs).
+float dotp_f16(std::span<const u16> x, std::span<const u16> y);
+
+/// C[MxN] = A[MxK] * BT[NxK]^T in fp16 with fp32 accumulation.
+void matmul_f16(std::span<const u16> a, std::span<const u16> bt,
+                std::span<float> c, u32 m, u32 n, u32 k);
+
+/// C[MxN] = A[MxK] * B[KxN], fp32.
+void matmul_f32(std::span<const float> a, std::span<const float> b,
+                std::span<float> c, u32 m, u32 n, u32 k);
+
+/// ReLU over int8 (DNN activation): y[i] = max(x[i], 0).
+void relu_i8(std::span<const i8> x, std::span<i8> y);
+
+// ---- IoT CPU-centric benchmarks (Fig. 8 substitutes) ----
+
+/// CRC-32 (IEEE 802.3, reflected, table-driven).
+u32 crc32(std::span<const u8> data);
+/// The 256-entry lookup table used by both golden and assembly versions.
+std::vector<u32> crc32_table();
+
+/// Shell sort (ascending), the exact gap sequence the assembly uses.
+void shell_sort(std::span<i32> data);
+
+/// 256-bin byte histogram.
+void histogram(std::span<const u8> data, std::span<u32> bins);
+
+/// Count occurrences of `needle` in `haystack` (naive scan).
+u32 strsearch(std::span<const u8> haystack, std::span<const u8> needle);
+
+}  // namespace hulkv::kernels::golden

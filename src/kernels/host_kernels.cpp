@@ -1,0 +1,222 @@
+#include "kernels/host_kernels.hpp"
+
+#include "isa/assembler.hpp"
+
+namespace hulkv::kernels {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+namespace {
+
+/// Epilogue shared by all host programs: exit(0).
+void emit_exit(Assembler& a) {
+  a.li(a7, 93);
+  a.li(a0, 0);
+  a.ecall();
+}
+
+Assembler make_host_asm() {
+  return Assembler(core::layout::kHostCodeBase, /*rv64=*/true);
+}
+
+}  // namespace
+
+KernelProgram host_matmul_i32(u32 m, u32 n, u32 k) {
+  Assembler a = make_host_asm();
+  // s0=i s1=j t0=acc t1=k t2=&A[i][kk] t3=&B[kk][j] t4/t5=operands
+  // s2 = N*4 (B row stride), sizes baked as immediates.
+  a.li(s2, static_cast<i64>(n) * 4);
+  a.li(s0, 0);
+  a.label("loop_i");
+  a.li(s1, 0);
+  a.label("loop_j");
+  a.li(t0, 0);
+  // t2 = A + i*K*4
+  a.li(t6, static_cast<i64>(k) * 4);
+  a.mul(t2, s0, t6);
+  a.add(t2, t2, a0);
+  // t3 = B + j*4
+  a.slli(t3, s1, 2);
+  a.add(t3, t3, a1);
+  a.li(t1, 0);
+  a.label("loop_k");
+  a.lw(t4, 0, t2);
+  a.lw(t5, 0, t3);
+  a.rr(Op::kMulw, t4, t4, t5);
+  a.rr(Op::kAddw, t0, t0, t4);
+  a.addi(t2, t2, 4);
+  a.add(t3, t3, s2);
+  a.addi(t1, t1, 1);
+  a.li(t6, k);
+  a.blt(t1, t6, "loop_k");
+  // C[i*N+j] = acc
+  a.li(t6, n);
+  a.mul(t4, s0, t6);
+  a.add(t4, t4, s1);
+  a.slli(t4, t4, 2);
+  a.add(t4, t4, a2);
+  a.sw(t0, 0, t4);
+  a.addi(s1, s1, 1);
+  a.li(t6, n);
+  a.blt(s1, t6, "loop_j");
+  a.addi(s0, s0, 1);
+  a.li(t6, m);
+  a.blt(s0, t6, "loop_i");
+  emit_exit(a);
+  return {"matmul", Precision::kInt32, a.assemble(),
+          2ull * m * n * k};
+}
+
+KernelProgram host_conv3x3_i32(u32 h, u32 w) {
+  Assembler a = make_host_asm();
+  // Hoist the 9 kernel coefficients into s2..s10.
+  for (u32 i = 0; i < 9; ++i) {
+    a.lw(static_cast<u8>(s2 + i), static_cast<i32>(4 * i), a1);
+  }
+  // s0=y s1=x t0=acc t1=row ptr; out ptr t3 walks linearly.
+  a.mv(t3, a2);
+  a.li(s0, 0);
+  a.label("loop_y");
+  a.li(s1, 0);
+  a.label("loop_x");
+  // t1 = image + (y*w + x)*4
+  a.li(t6, w);
+  a.mul(t1, s0, t6);
+  a.add(t1, t1, s1);
+  a.slli(t1, t1, 2);
+  a.add(t1, t1, a0);
+  a.li(t0, 0);
+  for (u32 ky = 0; ky < 3; ++ky) {
+    for (u32 kx = 0; kx < 3; ++kx) {
+      a.lw(t4, static_cast<i32>((ky * w + kx) * 4), t1);
+      a.rr(Op::kMulw, t4, t4, static_cast<u8>(s2 + ky * 3 + kx));
+      a.rr(Op::kAddw, t0, t0, t4);
+    }
+  }
+  a.sw(t0, 0, t3);
+  a.addi(t3, t3, 4);
+  a.addi(s1, s1, 1);
+  a.li(t6, w - 2);
+  a.blt(s1, t6, "loop_x");
+  a.addi(s0, s0, 1);
+  a.li(t6, h - 2);
+  a.blt(s0, t6, "loop_y");
+  emit_exit(a);
+  return {"conv3x3", Precision::kInt32, a.assemble(),
+          18ull * (h - 2) * (w - 2)};
+}
+
+KernelProgram host_fir_i32(u32 n, u32 taps) {
+  Assembler a = make_host_asm();
+  // s0=i t0=acc t1=t t2=&x[i+t] t3=&h[t]
+  a.li(s0, 0);
+  a.label("loop_i");
+  a.li(t0, 0);
+  a.slli(t2, s0, 2);
+  a.add(t2, t2, a0);
+  a.mv(t3, a1);
+  a.li(t1, 0);
+  a.label("loop_t");
+  a.lw(t4, 0, t2);
+  a.lw(t5, 0, t3);
+  a.rr(Op::kMulw, t4, t4, t5);
+  a.rr(Op::kAddw, t0, t0, t4);
+  a.addi(t2, t2, 4);
+  a.addi(t3, t3, 4);
+  a.addi(t1, t1, 1);
+  a.li(t6, taps);
+  a.blt(t1, t6, "loop_t");
+  a.slli(t4, s0, 2);
+  a.add(t4, t4, a2);
+  a.sw(t0, 0, t4);
+  a.addi(s0, s0, 1);
+  a.li(t6, n - taps + 1);
+  a.blt(s0, t6, "loop_i");
+  emit_exit(a);
+  return {"fir", Precision::kInt32, a.assemble(),
+          2ull * taps * (n - taps + 1)};
+}
+
+KernelProgram host_matmul_f32(u32 m, u32 n, u32 k) {
+  Assembler a = make_host_asm();
+  a.li(s2, static_cast<i64>(n) * 4);  // B row stride
+  a.li(s0, 0);
+  a.label("loop_i");
+  a.li(s1, 0);
+  a.label("loop_j");
+  // f0 = acc = 0.0
+  a.ri(Op::kFcvtSW, 0, zero, 0);
+  a.li(t6, static_cast<i64>(k) * 4);
+  a.mul(t2, s0, t6);
+  a.add(t2, t2, a0);
+  a.slli(t3, s1, 2);
+  a.add(t3, t3, a1);
+  a.li(t1, 0);
+  a.label("loop_k");
+  a.load(Op::kFlw, 1, 0, t2);  // f1 = A
+  a.load(Op::kFlw, 2, 0, t3);  // f2 = B
+  a.r4(Op::kFmaddS, 0, 1, 2, 0);  // f0 = f1*f2 + f0
+  a.addi(t2, t2, 4);
+  a.add(t3, t3, s2);
+  a.addi(t1, t1, 1);
+  a.li(t6, k);
+  a.blt(t1, t6, "loop_k");
+  a.li(t6, n);
+  a.mul(t4, s0, t6);
+  a.add(t4, t4, s1);
+  a.slli(t4, t4, 2);
+  a.add(t4, t4, a2);
+  a.store(Op::kFsw, 0, 0, t4);
+  a.addi(s1, s1, 1);
+  a.li(t6, n);
+  a.blt(s1, t6, "loop_j");
+  a.addi(s0, s0, 1);
+  a.li(t6, m);
+  a.blt(s0, t6, "loop_i");
+  emit_exit(a);
+  return {"matmul", Precision::kFp32, a.assemble(), 2ull * m * n * k};
+}
+
+KernelProgram host_axpy_f32(u32 n) {
+  Assembler a = make_host_asm();
+  a.load(Op::kFlw, 0, 0, a2);  // f0 = alpha
+  a.mv(t1, a0);
+  a.mv(t2, a1);
+  a.li(t0, 0);
+  a.label("loop");
+  a.load(Op::kFlw, 1, 0, t1);
+  a.load(Op::kFlw, 2, 0, t2);
+  a.r4(Op::kFmaddS, 2, 0, 1, 2);  // f2 = alpha*x + y
+  a.store(Op::kFsw, 2, 0, t2);
+  a.addi(t1, t1, 4);
+  a.addi(t2, t2, 4);
+  a.addi(t0, t0, 1);
+  a.li(t6, n);
+  a.blt(t0, t6, "loop");
+  emit_exit(a);
+  return {"axpy", Precision::kFp32, a.assemble(), 2ull * n};
+}
+
+KernelProgram host_dotp_f32(u32 n) {
+  Assembler a = make_host_asm();
+  a.ri(Op::kFcvtSW, 0, zero, 0);  // f0 = 0
+  a.mv(t1, a0);
+  a.mv(t2, a1);
+  a.li(t0, 0);
+  a.label("loop");
+  a.load(Op::kFlw, 1, 0, t1);
+  a.load(Op::kFlw, 2, 0, t2);
+  a.r4(Op::kFmaddS, 0, 1, 2, 0);
+  a.addi(t1, t1, 4);
+  a.addi(t2, t2, 4);
+  a.addi(t0, t0, 1);
+  a.li(t6, n);
+  a.blt(t0, t6, "loop");
+  a.store(Op::kFsw, 0, 0, a2);
+  emit_exit(a);
+  return {"dotp", Precision::kFp32, a.assemble(), 2ull * n};
+}
+
+}  // namespace hulkv::kernels

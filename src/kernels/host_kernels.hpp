@@ -1,0 +1,34 @@
+// Host (CVA6) versions of the DSP kernels of Fig. 6: scalar RV64 code,
+// full precision (int32 / fp32) — the host has no SIMD (paper section
+// VI-A: "SIMD operations, not available in the CVA6 host core").
+//
+// Each builder bakes the problem size into the program (compile-time
+// constants, as a compiler would) and takes data pointers as runtime
+// arguments in a0..a2. Programs exit via the Linux exit syscall.
+// Argument conventions are documented per builder.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace hulkv::kernels {
+
+/// C = A*B (row-major int32). Args: a0=A, a1=B, a2=C.
+KernelProgram host_matmul_i32(u32 m, u32 n, u32 k);
+
+/// 3x3 valid convolution, int32. Args: a0=image, a1=kernel, a2=out.
+KernelProgram host_conv3x3_i32(u32 h, u32 w);
+
+/// FIR, int32, `taps` taps over `n` samples. Args: a0=x, a1=h, a2=y.
+KernelProgram host_fir_i32(u32 n, u32 taps);
+
+/// C = A*B (row-major fp32). Args: a0=A, a1=B, a2=C.
+KernelProgram host_matmul_f32(u32 m, u32 n, u32 k);
+
+/// y += alpha*x (fp32). Args: a0=x, a1=y, a2=address of fp32 alpha.
+KernelProgram host_axpy_f32(u32 n);
+
+/// Dot product (fp32); result bits returned as the exit code.
+/// Args: a0=x, a1=y, a2=result address (fp32 stored there too).
+KernelProgram host_dotp_f32(u32 n);
+
+}  // namespace hulkv::kernels

@@ -1,0 +1,44 @@
+#include "kernels/kernel.hpp"
+
+#include "isa/instr.hpp"
+
+namespace hulkv::kernels {
+
+std::string_view precision_name(Precision p) {
+  switch (p) {
+    case Precision::kInt32:
+      return "int32";
+    case Precision::kInt8:
+      return "int8";
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kFp16:
+      return "fp16";
+  }
+  return "?";
+}
+
+HostRun run_host_program(core::HulkVSoc& soc,
+                         const std::vector<u32>& program,
+                         std::span<const u64> args) {
+  HULKV_CHECK(args.size() <= 6, "host programs take up to 6 arguments");
+  soc.load_program(core::layout::kHostCodeBase, program);
+
+  auto& host = soc.host();
+  for (size_t i = 0; i < args.size(); ++i) {
+    host.set_reg(static_cast<u8>(isa::reg::a0 + i), args[i]);
+  }
+  host.set_reg(isa::reg::sp, core::layout::kHostStackTop - 64);
+  host.set_pc(core::layout::kHostCodeBase);
+
+  const auto result = host.run();
+  HULKV_CHECK(result.exited, "host program did not exit");
+  return {result.cycles, result.instret, result.exit_code};
+}
+
+runtime::Arena make_dram_arena() {
+  return runtime::Arena(core::layout::kSharedBase,
+                        core::layout::kSharedSize);
+}
+
+}  // namespace hulkv::kernels

@@ -1,0 +1,52 @@
+// Kernel framework: descriptors and runners for the DSP/ML kernels and
+// IoT benchmarks of the evaluation (paper section VI).
+//
+// Every workload in this repo is a real program: host kernels are RV64
+// programs executed by the CVA6 ISS, cluster kernels are RV32+Xpulp
+// programs executed by the 8 PMCA cores. Programs are emitted by the
+// in-memory assembler (isa/assembler.hpp) from the builders in
+// host_kernels.hpp / cluster_kernels.hpp / iot_benchmarks.hpp.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/soc.hpp"
+#include "runtime/hulk_malloc.hpp"
+
+namespace hulkv::kernels {
+
+/// Arithmetic precision of a kernel variant.
+enum class Precision { kInt32, kInt8, kFp32, kFp16 };
+
+std::string_view precision_name(Precision p);
+
+/// Descriptor of one kernel variant: its program plus the operation count
+/// used for GOps (the paper counts a MAC as 2 operations).
+struct KernelProgram {
+  std::string name;
+  Precision precision = Precision::kInt32;
+  std::vector<u32> words;  // encoded instructions
+  u64 ops = 0;             // total arithmetic operations of the problem
+};
+
+/// Result of running a host program to completion.
+struct HostRun {
+  Cycles cycles = 0;
+  u64 instret = 0;
+  u64 exit_code = 0;
+};
+
+/// Load `program` at layout::kHostCodeBase, pass `args` in a0.., set up
+/// the stack, and run the host core until the program exits.
+/// The host core's clock keeps advancing across calls (one timeline).
+HostRun run_host_program(core::HulkVSoc& soc,
+                         const std::vector<u32>& program,
+                         std::span<const u64> args);
+
+/// Convenience arena over the shared external-memory data region for
+/// benches that do not instantiate the full offload runtime.
+runtime::Arena make_dram_arena();
+
+}  // namespace hulkv::kernels

@@ -1,0 +1,46 @@
+#include "mem/backing_store.hpp"
+
+#include <algorithm>
+
+namespace hulkv::mem {
+
+std::vector<u8>& BackingStore::page_for(Addr addr) {
+  auto& page = pages_[addr / kPageBytes];
+  if (page.empty()) page.resize(kPageBytes, 0);
+  return page;
+}
+
+const std::vector<u8>* BackingStore::find_page(Addr addr) const {
+  auto it = pages_.find(addr / kPageBytes);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void BackingStore::read(Addr addr, void* dst, u64 len) const {
+  u8* out = static_cast<u8*>(dst);
+  while (len > 0) {
+    const u64 in_page = addr % kPageBytes;
+    const u64 chunk = std::min(len, kPageBytes - in_page);
+    if (const std::vector<u8>* page = find_page(addr)) {
+      std::memcpy(out, page->data() + in_page, chunk);
+    } else {
+      std::memset(out, 0, chunk);
+    }
+    addr += chunk;
+    out += chunk;
+    len -= chunk;
+  }
+}
+
+void BackingStore::write(Addr addr, const void* src, u64 len) {
+  const u8* in = static_cast<const u8*>(src);
+  while (len > 0) {
+    const u64 in_page = addr % kPageBytes;
+    const u64 chunk = std::min(len, kPageBytes - in_page);
+    std::memcpy(page_for(addr).data() + in_page, in, chunk);
+    addr += chunk;
+    in += chunk;
+    len -= chunk;
+  }
+}
+
+}  // namespace hulkv::mem

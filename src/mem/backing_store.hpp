@@ -1,0 +1,53 @@
+// Sparse functional memory. Holds the *contents* of the main DRAM (up to
+// 512 MB of HyperRAM address space) without allocating it eagerly: pages
+// are materialised on first touch. Scratchpads (L2SPM, TCDM) use flat
+// vectors instead; this class is only for the large external-memory
+// region.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hulkv::mem {
+
+class BackingStore {
+ public:
+  static constexpr u64 kPageBytes = 4096;
+
+  /// Read `len` bytes at `addr` into `dst`. Unwritten memory reads as 0.
+  void read(Addr addr, void* dst, u64 len) const;
+
+  /// Write `len` bytes from `src` at `addr`.
+  void write(Addr addr, const void* src, u64 len);
+
+  // Typed helpers for tests and loaders.
+  template <typename T>
+  T load(Addr addr) const {
+    T v{};
+    read(addr, &v, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void store(Addr addr, T value) {
+    write(addr, &value, sizeof(T));
+  }
+
+  /// Number of 4 KiB pages currently materialised.
+  size_t resident_pages() const { return pages_.size(); }
+
+  /// Drop all contents.
+  void clear() { pages_.clear(); }
+
+ private:
+  std::vector<u8>& page_for(Addr addr);
+  const std::vector<u8>* find_page(Addr addr) const;
+
+  std::unordered_map<u64, std::vector<u8>> pages_;
+};
+
+}  // namespace hulkv::mem

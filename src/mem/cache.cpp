@@ -1,0 +1,173 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+
+namespace hulkv::mem {
+
+SetAssocTags::SetAssocTags(u32 num_sets, u32 num_ways, u32 line_bytes)
+    : num_sets_(num_sets), num_ways_(num_ways), line_bytes_(line_bytes) {
+  HULKV_CHECK(is_pow2(num_sets), "cache sets must be a power of two");
+  HULKV_CHECK(is_pow2(line_bytes), "cache line size must be a power of two");
+  HULKV_CHECK(num_ways >= 1, "cache needs at least one way");
+  ways_.resize(static_cast<size_t>(num_sets) * num_ways);
+}
+
+u32 SetAssocTags::set_index(Addr addr) const {
+  return static_cast<u32>((addr / line_bytes_) & (num_sets_ - 1));
+}
+
+u64 SetAssocTags::tag_of(Addr addr) const {
+  return addr / line_bytes_ / num_sets_;
+}
+
+SetAssocTags::Way* SetAssocTags::find(Addr addr) {
+  const u64 tag = tag_of(addr);
+  Way* base = &ways_[static_cast<size_t>(set_index(addr)) * num_ways_];
+  for (u32 w = 0; w < num_ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const SetAssocTags::Way* SetAssocTags::find(Addr addr) const {
+  return const_cast<SetAssocTags*>(this)->find(addr);
+}
+
+bool SetAssocTags::lookup(Addr addr) {
+  if (Way* way = find(addr)) {
+    way->lru = ++use_clock_;
+    return true;
+  }
+  return false;
+}
+
+bool SetAssocTags::probe(Addr addr) const { return find(addr) != nullptr; }
+
+SetAssocTags::Victim SetAssocTags::fill(Addr addr) {
+  Victim victim;
+  Way* base = &ways_[static_cast<size_t>(set_index(addr)) * num_ways_];
+  Way* slot = nullptr;
+  for (u32 w = 0; w < num_ways_; ++w) {
+    if (!base[w].valid) {
+      slot = &base[w];
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    slot = &base[0];
+    for (u32 w = 1; w < num_ways_; ++w) {
+      if (base[w].lru < slot->lru) slot = &base[w];
+    }
+    victim.valid = true;
+    victim.dirty = slot->dirty;
+    // Reconstruct the victim's base address from its tag and this set.
+    victim.line_addr =
+        (slot->tag * num_sets_ + set_index(addr)) * line_bytes_;
+  }
+  slot->tag = tag_of(addr);
+  slot->valid = true;
+  slot->dirty = false;
+  slot->lru = ++use_clock_;
+  return victim;
+}
+
+void SetAssocTags::mark_dirty(Addr addr) {
+  Way* way = find(addr);
+  HULKV_CHECK(way != nullptr, "mark_dirty on absent line");
+  way->dirty = true;
+}
+
+bool SetAssocTags::line_dirty(Addr addr) const {
+  const Way* way = find(addr);
+  return way != nullptr && way->dirty;
+}
+
+void SetAssocTags::flush() {
+  for (Way& way : ways_) way = Way{};
+  use_clock_ = 0;
+}
+
+CacheModel::CacheModel(const CacheConfig& config, MemTiming* next)
+    : config_(config),
+      next_(next),
+      tags_(config.size_bytes / config.line_bytes / config.ways, config.ways,
+            config.line_bytes),
+      stats_(config.name) {
+  HULKV_CHECK(next != nullptr, "cache needs a next-level timing model");
+  HULKV_CHECK(config.size_bytes % (config.line_bytes * config.ways) == 0,
+              "cache size must be a multiple of line_bytes * ways");
+}
+
+Cycles CacheModel::access(Cycles now, Addr addr, u32 bytes, bool is_write) {
+  // Split accesses that straddle a line boundary (rare; the ISS only
+  // issues naturally aligned scalar accesses, but the DMA engines may not).
+  const Addr first_line = tags_.line_of(addr);
+  const Addr last_line = tags_.line_of(addr + bytes - 1);
+  Cycles done = now;
+  for (Addr line = first_line; line <= last_line;
+       line += config_.line_bytes) {
+    done = access_line(done, line, is_write);
+  }
+  return done;
+}
+
+Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
+  stats_.increment(is_write ? "writes" : "reads");
+  const bool hit = tags_.lookup(line_addr);
+
+  if (hit) {
+    stats_.increment("hits");
+    if (is_write) {
+      if (config_.write_through) {
+        // Forward the word to the next level; the store buffer absorbs the
+        // latency so the core sees only the hit latency, but the next
+        // level's occupancy advances (bandwidth is consumed).
+        next_->access(now, line_addr, 8, /*is_write=*/true);
+        stats_.increment("writethrough_words");
+      } else {
+        tags_.mark_dirty(line_addr);
+      }
+    }
+    return now + config_.hit_latency;
+  }
+
+  stats_.increment("misses");
+  if (is_write && !config_.write_allocate) {
+    // Write miss, no allocate: forward the write downstream.
+    const Cycles done = next_->access(now, line_addr, 8, /*is_write=*/true);
+    stats_.increment("writethrough_words");
+    // The store buffer hides the downstream latency from the core.
+    (void)done;
+    return now + config_.hit_latency;
+  }
+
+  // Refill (and evict a dirty victim first for write-back caches).
+  const SetAssocTags::Victim victim = tags_.fill(line_addr);
+  Cycles t = now + config_.hit_latency;  // tag lookup before the miss
+  if (victim.valid && victim.dirty) {
+    stats_.increment("writebacks");
+    t = next_->access(t, victim.line_addr, config_.line_bytes,
+                      /*is_write=*/true);
+  }
+  t = next_->access(t, line_addr, config_.line_bytes, /*is_write=*/false);
+  t += config_.fill_penalty;
+  if (is_write) {
+    if (config_.write_through) {
+      next_->access(t, line_addr, 8, /*is_write=*/true);
+      stats_.increment("writethrough_words");
+    } else {
+      tags_.mark_dirty(line_addr);
+    }
+  }
+  return t;
+}
+
+double CacheModel::hit_ratio() const {
+  const u64 total = stats_.get("reads") + stats_.get("writes");
+  return total == 0 ? 0.0 : static_cast<double>(stats_.get("hits")) /
+                                static_cast<double>(total);
+}
+
+}  // namespace hulkv::mem

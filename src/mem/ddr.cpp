@@ -1,0 +1,2 @@
+// Ddr4Model is header-only; this translation unit anchors the vtable.
+#include "mem/ddr.hpp"

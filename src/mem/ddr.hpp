@@ -1,0 +1,57 @@
+// Idealised DDR4/LPDDR4 timing model.
+//
+// The paper's FPGA evaluation instantiates a Xilinx DDR4 controller whose
+// PHY runs at 1.2 GHz against a 50 MHz SoC: "The DDR4 models an ideal
+// off-chip memory, faster by one order of magnitude than the SoC"
+// (section VI). We reproduce exactly that idealisation: a fixed
+// controller+device round-trip latency plus a wide data path able to move
+// a full AXI beat per SoC cycle. The same model doubles as the LPDDR4
+// reference in the energy-efficiency comparison (Figs. 8/9), where only
+// its *power* differs (see power/power_model.hpp: the paper cites the
+// i.MX8M application note for LPDDR4 subsystem power).
+#pragma once
+
+#include "common/stats.hpp"
+#include "mem/timing.hpp"
+
+namespace hulkv::mem {
+
+struct DdrConfig {
+  Cycles latency = 21;        // fixed access latency in SoC cycles
+  u32 bytes_per_cycle = 8;    // 64-bit AXI beat per SoC cycle
+  u64 total_bytes = 512ull * 1024 * 1024;
+};
+
+class Ddr4Model final : public MemTiming {
+ public:
+  explicit Ddr4Model(const DdrConfig& config)
+      : config_(config), stats_("ddr4") {
+    HULKV_CHECK(config.bytes_per_cycle >= 1, "DDR data path too narrow");
+  }
+
+  Cycles access(Cycles now, Addr, u32 bytes, bool is_write) override {
+    HULKV_CHECK(bytes > 0, "zero-length DDR access");
+    stats_.increment(is_write ? "writes" : "reads");
+    stats_.add(is_write ? "bytes_written" : "bytes_read", bytes);
+    const Cycles start = std::max(now, busy_until_);
+    const Cycles done =
+        start + config_.latency +
+        (bytes + config_.bytes_per_cycle - 1) / config_.bytes_per_cycle;
+    // The data bus is occupied for the transfer only; latency pipelines.
+    busy_until_ =
+        start + (bytes + config_.bytes_per_cycle - 1) / config_.bytes_per_cycle;
+    stats_.add("busy_cycles", busy_until_ - start);
+    return done;
+  }
+
+  const DdrConfig& config() const { return config_; }
+  const StatGroup& stats() const { return stats_; }
+  StatGroup& stats() { return stats_; }
+
+ private:
+  DdrConfig config_;
+  Cycles busy_until_ = 0;
+  StatGroup stats_;
+};
+
+}  // namespace hulkv::mem

@@ -1,0 +1,63 @@
+#include "mem/llc.hpp"
+
+namespace hulkv::mem {
+
+Llc::Llc(const LlcConfig& config, MemTiming* ext_mem)
+    : config_(config),
+      ext_mem_(ext_mem),
+      tags_(config.num_lines, config.num_ways, config.line_bytes()),
+      stats_("llc") {
+  HULKV_CHECK(ext_mem != nullptr, "LLC needs an external memory model");
+}
+
+Cycles Llc::access(Cycles now, Addr addr, u32 bytes, bool is_write) {
+  HULKV_CHECK(bytes > 0, "zero-length LLC access");
+  // AXI filter: outside the cacheable region, propagate directly.
+  if (addr < config_.cacheable_base ||
+      addr >= config_.cacheable_base + config_.cacheable_size) {
+    stats_.increment("bypass");
+    return ext_mem_->access(now, addr, bytes, is_write);
+  }
+
+  const u32 line = config_.line_bytes();
+  const Addr first = tags_.line_of(addr);
+  const Addr last = tags_.line_of(addr + bytes - 1);
+  Cycles done = now;
+  for (Addr a = first; a <= last; a += line) {
+    done = access_line(done, a, is_write);
+  }
+  return done;
+}
+
+Cycles Llc::access_line(Cycles now, Addr line_addr, bool is_write) {
+  stats_.increment(is_write ? "writes" : "reads");
+  Cycles t = now + config_.tag_latency;  // descriptor tag lookup (1 cycle)
+
+  if (tags_.lookup(line_addr)) {
+    stats_.increment("hits");
+    if (is_write) tags_.mark_dirty(line_addr);
+    return t + config_.hit_latency;
+  }
+
+  stats_.increment("misses");
+  const SetAssocTags::Victim victim = tags_.fill(line_addr);
+  if (victim.valid && victim.dirty) {
+    // Eviction: AXI write transaction on the output port.
+    stats_.increment("evictions");
+    t = ext_mem_->access(t, victim.line_addr, config_.line_bytes(),
+                         /*is_write=*/true);
+  }
+  // Refill: AXI read transaction on the output port.
+  t = ext_mem_->access(t, line_addr, config_.line_bytes(),
+                       /*is_write=*/false);
+  if (is_write) tags_.mark_dirty(line_addr);
+  return t + config_.hit_latency;
+}
+
+double Llc::hit_ratio() const {
+  const u64 total = stats_.get("reads") + stats_.get("writes");
+  return total == 0 ? 0.0 : static_cast<double>(stats_.get("hits")) /
+                                static_cast<double>(total);
+}
+
+}  // namespace hulkv::mem

@@ -1,0 +1,121 @@
+#include "power/power_model.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hulkv::power {
+
+OperatingPoint typical_tt() { return {"TT 0.80V 25C", 0.80, 1.0, 1.0}; }
+
+OperatingPoint worst_ssg() {
+  // Slow-slow process at reduced voltage: less leakage and slower logic;
+  // the Table II fmax values are already quoted at this corner, so
+  // freq_scale stays 1.0 and only the supply scaling applies.
+  return {"SSG 0.72V", 0.72, 0.55, 1.0};
+}
+
+OperatingPoint overdrive() { return {"OD 0.88V", 0.88, 1.6, 1.15}; }
+
+double block_power_mw(const BlockPower& block, const OperatingPoint& op,
+                      double freq_mhz, double alpha) {
+  return block.leakage_mw * op.leakage_scale +
+         block.dynamic_uw_per_mhz * 1e-3 * freq_mhz * alpha *
+             op.dynamic_scale();
+}
+
+std::string render_corner_table(const PowerModel& model) {
+  std::ostringstream os;
+  os << "Per-corner total power (all blocks at their fmax x freq_scale):\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-14s %8s %10s %12s\n", "corner",
+                "V", "fmax scale", "total (mW)");
+  os << line;
+  for (const OperatingPoint& op :
+       {worst_ssg(), typical_tt(), overdrive()}) {
+    double total = 0;
+    for (const BlockPower* block : model.blocks()) {
+      total += block_power_mw(*block, op,
+                              block->max_freq_mhz * op.freq_scale);
+    }
+    std::snprintf(line, sizeof(line), "%-14s %8.2f %10.2f %12.2f\n",
+                  op.name.c_str(), op.voltage, op.freq_scale, total);
+    os << line;
+  }
+  return os.str();
+}
+
+std::string render_power_table(const PowerModel& model) {
+  std::ostringstream os;
+  os << "TABLE II: Power consumption at 25C, 0.8V, TT\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %8s %9s %10s %9s %10s\n", "",
+                "Area", "Leakage", "Dynamic", "Max Freq", "Max Power");
+  os << line;
+  std::snprintf(line, sizeof(line), "%-10s %8s %9s %10s %9s %10s\n", "",
+                "(mm2)", "(mW)", "(uW/MHz)", "(MHz)", "(mW)");
+  os << line;
+  os << std::string(62, '-') << "\n";
+  for (const BlockPower* b : model.blocks()) {
+    std::snprintf(line, sizeof(line), "%-10s %8.2f %9.2f %10.1f %9.0f %10.2f\n",
+                  b->name.c_str(), b->area_mm2, b->leakage_mw,
+                  b->dynamic_uw_per_mhz, b->max_freq_mhz, b->max_power_mw());
+    os << line;
+  }
+  os << std::string(62, '-') << "\n";
+  std::snprintf(line, sizeof(line), "%-10s %8.2f %9.2f %10.1f %9s %10.2f\n",
+                "Total", model.die_area_mm2(), model.total_leakage_mw(),
+                model.top.dynamic_uw_per_mhz + model.cva6.dynamic_uw_per_mhz +
+                    model.pmca.dynamic_uw_per_mhz +
+                    model.mem_ctrl.dynamic_uw_per_mhz,
+                "-", model.total_max_power_mw());
+  os << line;
+  return os.str();
+}
+
+std::string render_floorplan(const PowerModel& model) {
+  // Scale the die to a fixed-width character canvas; blocks are placed in
+  // the corners like the Fig. 5 layout (PMCA macro-dominated corner, CVA6
+  // + caches, memory controller at the pad ring, the rest is "Top").
+  const int width = 56;
+  const int height = 22;
+  const double die = model.die_area_mm2();
+  const auto rows_for = [&](double area) {
+    return std::max(3, static_cast<int>(std::lround(height * area / die)));
+  };
+
+  const int pmca_rows = rows_for(model.pmca.area_mm2 * 2.2);
+  const int cva6_rows = rows_for(model.cva6.area_mm2 * 4.0);
+
+  std::ostringstream os;
+  os << "Fig. 5 (area accounting, " << die << " mm^2 die):\n";
+  os << "+" << std::string(width, '-') << "+\n";
+  for (int r = 0; r < height; ++r) {
+    std::string row(width, ' ');
+    if (r < pmca_rows) {
+      const std::string tag = " PMCA (1.56 mm2) ";
+      row.replace(1, width / 2 - 1, std::string(width / 2 - 1, '#'));
+      row.replace(3, tag.size(), tag);
+    } else if (r < pmca_rows + cva6_rows) {
+      const std::string tag = " CVA6 + L1 (0.49 mm2) ";
+      row.replace(1, width / 3, std::string(width / 3, '@'));
+      row.replace(3, tag.size(), tag);
+    }
+    if (r >= height - 3) {
+      const std::string tag = " HyperRAM ctrl (0.27 mm2) ";
+      row.replace(width - width / 2, width / 2 - 1,
+                  std::string(width / 2 - 1, '='));
+      row.replace(width - width / 2 + 2, tag.size(), tag);
+    } else if (r >= pmca_rows && r < height - 3) {
+      const std::string tag = " Top: AXI xbar, L2SPM, LLC, periph ";
+      if (r == (pmca_rows + height - 3) / 2) {
+        row.replace(width / 2, tag.size(), tag);
+      }
+    }
+    os << "|" << row << "|\n";
+  }
+  os << "+" << std::string(width, '-') << "+\n";
+  return os.str();
+}
+
+}  // namespace hulkv::power

@@ -1,0 +1,18 @@
+#include "runtime/hulk_malloc.hpp"
+
+#include "common/bitutil.hpp"
+
+namespace hulkv::runtime {
+
+Addr Arena::alloc(u64 bytes, u64 align) {
+  HULKV_CHECK(is_pow2(align), "arena alignment must be a power of two");
+  HULKV_CHECK(bytes > 0, "zero-byte allocation");
+  const Addr aligned = align_up(cursor_, align);
+  HULKV_CHECK(aligned + bytes <= base_ + size_,
+              "arena exhausted (asked " + std::to_string(bytes) + " B, " +
+                  std::to_string(base_ + size_ - aligned) + " B left)");
+  cursor_ = aligned + bytes;
+  return aligned;
+}
+
+}  // namespace hulkv::runtime

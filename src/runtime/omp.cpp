@@ -1,0 +1,22 @@
+#include "runtime/omp.hpp"
+
+namespace hulkv::runtime::omp {
+
+TargetRegion::TargetRegion(OffloadRuntime* runtime, const std::string& name,
+                           const std::vector<u32>& device_image)
+    : runtime_(runtime), name_(name) {
+  HULKV_CHECK(runtime != nullptr, "target region needs a runtime");
+  handle_ = runtime->register_kernel(name, device_image);
+}
+
+OffloadRuntime::OffloadResult TargetRegion::operator()(
+    std::span<const u32> args) {
+  return runtime_->offload(handle_, args, num_threads_);
+}
+
+OffloadRuntime::OffloadResult TargetRegion::operator()(
+    std::initializer_list<u32> args) {
+  return (*this)(std::span<const u32>(args.begin(), args.size()));
+}
+
+}  // namespace hulkv::runtime::omp

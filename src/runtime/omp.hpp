@@ -1,0 +1,56 @@
+// OpenMP-5 style heterogeneous programming facade (paper section IV).
+//
+// HULK-V adapts the HERO OpenMP-5 flow: a single heterogeneous source
+// file where `#pragma omp target` regions are compiled for the PMCA and
+// offloaded through the runtime. Without a RISC-V OpenMP compiler in the
+// loop, this facade provides the same programming *model* over the
+// simulator: a TargetRegion couples a PMCA kernel image with the lazy
+// first-touch load semantics of `omp target`, and `firstprivate`-style
+// scalars travel through the argument block.
+//
+//   OpenMP 5 construct                      This API
+//   ------------------------------------    ---------------------------
+//   #pragma omp target map(...)             TargetRegion region(rt, ...)
+//   region body (compiled for RI5CY)        kernel image (isa::Assembler)
+//   firstprivate(a, b, n)                   region({a, b, n})
+//   #pragma omp parallel for (inside)       hart-id work partitioning +
+//                                           envcall barrier in the image
+//   omp_get_num_threads()/thread_num()      envcall::kCoreCount / mhartid
+#pragma once
+
+#include <initializer_list>
+#include <string>
+
+#include "runtime/offload.hpp"
+
+namespace hulkv::runtime::omp {
+
+/// One `#pragma omp target` region: a PMCA kernel with OpenMP-like
+/// launch semantics (lazy device code load at first execution).
+class TargetRegion {
+ public:
+  TargetRegion(OffloadRuntime* runtime, const std::string& name,
+               const std::vector<u32>& device_image);
+
+  /// Execute the region with `firstprivate` scalar arguments.
+  OffloadRuntime::OffloadResult operator()(std::span<const u32> args);
+  OffloadRuntime::OffloadResult operator()(std::initializer_list<u32> args);
+
+  /// omp_set_num_threads() for this region (0 = whole cluster).
+  void set_num_threads(u32 n) { num_threads_ = n; }
+  u32 num_threads() const { return num_threads_; }
+
+  /// omp_target_alloc equivalent in the shared region.
+  Addr target_alloc(u64 bytes) { return runtime_->hulk_malloc(bytes); }
+
+  const std::string& name() const { return name_; }
+  KernelHandle handle() const { return handle_; }
+
+ private:
+  OffloadRuntime* runtime_;
+  std::string name_;
+  KernelHandle handle_;
+  u32 num_threads_ = 0;
+};
+
+}  // namespace hulkv::runtime::omp

@@ -1,0 +1,114 @@
+// DNN descriptor and DORY-tiler tests: layer arithmetic, network
+// op-counts, schedule invariants, and the Fig. 9 memory-system contrast.
+#include <gtest/gtest.h>
+
+#include "apps/dory_tiler.hpp"
+#include "apps/networks.hpp"
+
+namespace hulkv::apps {
+namespace {
+
+TEST(ConvLayer, MacAndByteAccounting) {
+  ConvLayer conv{"c", 32, 32, 16, 32, 3, 1, false};
+  EXPECT_EQ(conv.out_h(), 32u);
+  EXPECT_EQ(conv.macs(), 32ull * 32 * 3 * 3 * 16 * 32);
+  EXPECT_EQ(conv.weight_bytes(), 9ull * 16 * 32);
+  ConvLayer dw{"d", 32, 32, 16, 16, 3, 2, true};
+  EXPECT_EQ(dw.out_h(), 16u);
+  EXPECT_EQ(dw.macs(), 16ull * 16 * 3 * 3 * 16);
+  EXPECT_EQ(dw.weight_bytes(), 9ull * 16);
+}
+
+TEST(Networks, MobileNetShape) {
+  const Network net = mobilenet_v1_128();
+  EXPECT_EQ(net.layers.size(), 1 + 13 * 2 + 1u);
+  // MobileNet-V1 at 128x128 is ~186M MACs; accept the architecture class.
+  EXPECT_GT(net.total_macs(), 120'000'000ull);
+  EXPECT_LT(net.total_macs(), 260'000'000ull);
+  // ~4.2M int8 weights.
+  EXPECT_GT(net.total_weight_bytes(), 3'000'000ull);
+  EXPECT_LT(net.total_weight_bytes(), 6'000'000ull);
+}
+
+TEST(Networks, DronetShape) {
+  const Network net = dronet_200();
+  // DroNet-class workload: tens of M MACs, ~0.3M weights.
+  EXPECT_GT(net.total_macs(), 20'000'000ull);
+  EXPECT_LT(net.total_macs(), 150'000'000ull);
+  EXPECT_LT(net.total_weight_bytes(), 1'000'000ull);
+}
+
+core::SocConfig config_with(core::MainMemoryKind kind) {
+  core::SocConfig cfg;
+  cfg.main_memory = kind;
+  return cfg;
+}
+
+TEST(DoryTiler, ScheduleInvariants) {
+  core::HulkVSoc soc(config_with(core::MainMemoryKind::kHyperRam));
+  DoryTiler tiler(&soc, {});
+  const auto sched = tiler.run(mobilenet_v1_128());
+
+  EXPECT_EQ(sched.layers.size(), mobilenet_v1_128().layers.size());
+  EXPECT_EQ(sched.macs, mobilenet_v1_128().total_macs());
+  Cycles sum = 0;
+  for (const auto& layer : sched.layers) {
+    // Wall time of a layer is at least its pure compute time and at
+    // least the (overlappable) external stream cannot make it negative.
+    EXPECT_GE(layer.total_cycles, layer.compute_cycles) << layer.name;
+    EXPECT_GE(layer.tiles, 1u) << layer.name;
+    sum += layer.total_cycles;
+  }
+  EXPECT_EQ(sum, sched.total_cycles);
+  // All weights cross the external memory at least once.
+  EXPECT_GE(sched.ext_bytes, mobilenet_v1_128().total_weight_bytes());
+  EXPECT_GT(sched.ext_busy_cycles, 0u);
+  EXPECT_GT(sched.ccr(), 0.0);
+}
+
+TEST(DoryTiler, DdrIsNoSlowerThanHyper) {
+  core::HulkVSoc hyper_soc(config_with(core::MainMemoryKind::kHyperRam));
+  core::HulkVSoc ddr_soc(config_with(core::MainMemoryKind::kDdr4));
+  DoryTiler hyper_tiler(&hyper_soc, {});
+  DoryTiler ddr_tiler(&ddr_soc, {});
+  const auto hyper = hyper_tiler.run(mobilenet_v1_128());
+  const auto ddr = ddr_tiler.run(mobilenet_v1_128());
+  EXPECT_LE(ddr.total_cycles, hyper.total_cycles);
+  // Compute-bound with DORY tiling: the Hyper penalty is bounded (this
+  // is the "negligible performance loss" claim of the abstract).
+  EXPECT_LT(static_cast<double>(hyper.total_cycles) /
+                static_cast<double>(ddr.total_cycles),
+            2.0);
+}
+
+TEST(DoryTiler, ComputeBoundNetworksHaveHighCcr) {
+  core::HulkVSoc soc(config_with(core::MainMemoryKind::kHyperRam));
+  DoryTiler tiler(&soc, {});
+  const auto mobilenet = tiler.run(mobilenet_v1_128());
+  // High data reuse (conv layers) -> CCR well above the crossover.
+  EXPECT_GT(mobilenet.ccr(), 1.0);
+}
+
+TEST(DoryTiler, ThroughputScalesWithMacRate) {
+  // Separate SoCs: the external-memory device occupancy is stateful.
+  core::HulkVSoc slow_soc(config_with(core::MainMemoryKind::kHyperRam));
+  core::HulkVSoc fast_soc(config_with(core::MainMemoryKind::kHyperRam));
+  DoryConfig slow_cfg;
+  slow_cfg.macs_per_cycle = 2.0;
+  DoryConfig fast_cfg;
+  fast_cfg.macs_per_cycle = 16.0;
+  DoryTiler slow(&slow_soc, slow_cfg), fast(&fast_soc, fast_cfg);
+  const auto s = slow.run(dronet_200());
+  const auto f = fast.run(dronet_200());
+  EXPECT_GT(s.total_cycles, f.total_cycles);
+}
+
+TEST(DoryTiler, RejectsBadConfig) {
+  core::HulkVSoc soc(config_with(core::MainMemoryKind::kHyperRam));
+  DoryConfig cfg;
+  cfg.macs_per_cycle = 0.0;
+  EXPECT_THROW(DoryTiler bad(&soc, cfg), SimError);
+}
+
+}  // namespace
+}  // namespace hulkv::apps

@@ -1,0 +1,412 @@
+// PMCA cluster tests: TCDM bank conflicts, event-unit barriers, the
+// RV32+Xpulp instruction semantics (hardware loops, post-increment,
+// MAC, integer SIMD, packed FP16), cluster DMA, and team execution.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "cluster/cluster.hpp"
+#include "cluster/event_unit.hpp"
+#include "cluster/tcdm.hpp"
+#include "common/half.hpp"
+#include "core/soc.hpp"
+#include "isa/assembler.hpp"
+
+namespace hulkv {
+namespace {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+core::SocConfig fast_config() {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  return cfg;
+}
+
+constexpr Addr kTcdm = mem::map::kTcdmBase;
+constexpr Addr kKernelL2 = mem::map::kL2Base;  // kernels loaded here
+
+/// Run a cluster program on all 8 cores; returns the kernel result.
+cluster::Cluster::KernelResult run_cluster(
+    core::HulkVSoc& soc, const std::function<void(Assembler&)>& body,
+    u32 arg0 = static_cast<u32>(kTcdm)) {
+  Assembler a(0, /*rv64=*/false);
+  body(a);
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  soc.load_program(kKernelL2, a.assemble());
+  return soc.cluster().run_kernel(soc.host().now(), kKernelL2, arg0);
+}
+
+u32 tcdm_word(core::HulkVSoc& soc, u32 offset) {
+  u32 v = 0;
+  std::memcpy(&v, soc.cluster().tcdm().storage().data() + offset, 4);
+  return v;
+}
+
+TEST(Tcdm, SingleAccessOneCycle) {
+  cluster::Tcdm tcdm({});
+  EXPECT_EQ(tcdm.access(10, 0x100, 4), 11u);
+}
+
+TEST(Tcdm, SameBankConflictsSerialise) {
+  cluster::Tcdm tcdm({});
+  const Cycles a = tcdm.access(0, 0x0, 4);
+  const Cycles b = tcdm.access(0, 0x0, 4);  // same word, same cycle
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(tcdm.stats().get("conflicts"), 1u);
+}
+
+TEST(Tcdm, DifferentBanksNoConflict) {
+  cluster::Tcdm tcdm({});
+  const Cycles a = tcdm.access(0, 0x0, 4);
+  const Cycles b = tcdm.access(0, 0x4, 4);  // next word = next bank
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(tcdm.stats().get("conflicts"), 0u);
+}
+
+TEST(Tcdm, WordInterleavingAcrossBanks) {
+  cluster::Tcdm tcdm({});
+  EXPECT_EQ(tcdm.bank_of(0x00), 0u);
+  EXPECT_EQ(tcdm.bank_of(0x04), 1u);
+  EXPECT_EQ(tcdm.bank_of(0x3C), 15u);
+  EXPECT_EQ(tcdm.bank_of(0x40), 0u);
+}
+
+TEST(Tcdm, UnalignedAccessTouchesBothBanks) {
+  cluster::Tcdm tcdm({});
+  tcdm.access(0, 0x2, 4);  // straddles words 0 and 1
+  // Both banks are now busy at cycle 0.
+  const Cycles b0 = tcdm.access(0, 0x0, 4);
+  const Cycles b1 = tcdm.access(0, 0x4, 4);
+  EXPECT_EQ(b0, 2u);
+  EXPECT_EQ(b1, 2u);
+}
+
+TEST(Tcdm, OutOfRangeThrows) {
+  cluster::Tcdm tcdm({});
+  EXPECT_THROW(tcdm.access(0, 128 * 1024, 4), SimError);
+}
+
+TEST(EventUnit, BarrierReleasesAtMaxArrival) {
+  cluster::EventUnit eu(4, 2);
+  EXPECT_FALSE(eu.arrive(0, 100));
+  EXPECT_FALSE(eu.arrive(1, 50));
+  EXPECT_FALSE(eu.arrive(2, 300));
+  EXPECT_TRUE(eu.arrive(3, 200));
+  EXPECT_EQ(eu.release(), 302u);
+  // Reusable after release.
+  EXPECT_FALSE(eu.arrive(0, 400));
+}
+
+TEST(EventUnit, DoubleArrivalThrows) {
+  cluster::EventUnit eu(2);
+  eu.arrive(0, 1);
+  EXPECT_THROW(eu.arrive(0, 2), SimError);
+}
+
+TEST(PmcaCore, HartIdsAndTeamWrite) {
+  core::HulkVSoc soc(fast_config());
+  // Each core writes its hart id to tcdm[0x400 + 4*hart].
+  const auto result = run_cluster(soc, [](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.slli(t1, t0, 2);
+    a.li(t2, kTcdm + 0x400);
+    a.add(t1, t1, t2);
+    a.sw(t0, 0, t1);
+  });
+  for (u32 c = 0; c < 8; ++c) {
+    EXPECT_EQ(tcdm_word(soc, 0x400 + 4 * c), c);
+  }
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GT(result.instret, 8u);
+}
+
+TEST(PmcaCore, HardwareLoopZeroOverhead) {
+  core::HulkVSoc soc(fast_config());
+  // Only core 0 does the work; sum 1..100 with lp.setup.
+  run_cluster(soc, [](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "skip");
+    a.li(t1, 0);   // sum
+    a.li(t2, 0);   // i
+    a.li(t3, 100);
+    a.lp_setup(0, t3, "loop_end");
+    a.addi(t2, t2, 1);
+    a.add(t1, t1, t2);
+    a.label("loop_end");
+    a.li(t4, kTcdm + 0x500);
+    a.sw(t1, 0, t4);
+    a.label("skip");
+  });
+  EXPECT_EQ(tcdm_word(soc, 0x500), 5050u);
+}
+
+TEST(PmcaCore, NestedHardwareLoops) {
+  core::HulkVSoc soc(fast_config());
+  // outer 10 x inner 7 increments = 70.
+  run_cluster(soc, [](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "skip");
+    a.li(t1, 0);
+    a.li(t2, 10);
+    a.li(t3, 7);
+    a.lp_setup(1, t2, "outer_end");
+    a.lp_setup(0, t3, "inner_end");
+    a.addi(t1, t1, 1);
+    a.label("inner_end");
+    a.nop();  // outer body tail (end addresses must differ)
+    a.label("outer_end");
+    a.li(t4, kTcdm + 0x504);
+    a.sw(t1, 0, t4);
+    a.label("skip");
+  });
+  EXPECT_EQ(tcdm_word(soc, 0x504), 70u);
+}
+
+TEST(PmcaCore, HardwareLoopCountMatchesCycles) {
+  core::HulkVSoc soc(fast_config());
+  // A 1000-iteration hw loop with a 1-instruction body should cost
+  // ~1000 cycles on core 0 (zero loop overhead), not ~3000.
+  const auto result = run_cluster(soc, [](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "skip");
+    a.li(t3, 1000);
+    a.lp_setup(0, t3, "loop_end");
+    a.addi(t1, t1, 1);
+    a.label("loop_end");
+    a.label("skip");
+  });
+  // Total includes dispatch/exit/fetch overheads; the loop dominates.
+  EXPECT_LT(result.cycles, 1400u);
+}
+
+TEST(PmcaCore, PostIncrementLoadStore) {
+  core::HulkVSoc soc(fast_config());
+  run_cluster(soc, [](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "skip");
+    a.li(t1, kTcdm + 0x600);  // src
+    a.li(t2, kTcdm + 0x700);  // dst
+    // Store 3,4 with post-increment, then read back with post-increment.
+    a.li(t3, 3);
+    a.store(Op::kPSwPost, t3, 4, t1);
+    a.li(t3, 4);
+    a.store(Op::kPSwPost, t3, 4, t1);
+    a.li(t1, kTcdm + 0x600);
+    a.load(Op::kPLwPost, t4, 4, t1);
+    a.load(Op::kPLwPost, t5, 4, t1);
+    a.add(t4, t4, t5);
+    a.store(Op::kPSwPost, t4, 4, t2);
+    // t1 must have advanced by 8 total.
+    a.li(t6, kTcdm + 0x608);
+    a.sub(t6, t1, t6);
+    a.sw(t6, 0, t2);
+    a.label("skip");
+  });
+  EXPECT_EQ(tcdm_word(soc, 0x700), 7u);
+  EXPECT_EQ(tcdm_word(soc, 0x704), 0u);  // pointer advanced exactly
+}
+
+TEST(PmcaCore, MacAndClip) {
+  core::HulkVSoc soc(fast_config());
+  run_cluster(soc, [](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "skip");
+    a.li(t1, 10);  // acc
+    a.li(t2, 6);
+    a.li(t3, 7);
+    a.rr(Op::kPMac, t1, t2, t3);  // 10 + 42 = 52
+    a.li(t4, kTcdm + 0x800);
+    a.sw(t1, 0, t4);
+    a.li(t5, 300);
+    a.ri(Op::kPClip, t6, t5, 8);  // clamp to [-128, 127]
+    a.sw(t6, 4, t4);
+    a.li(t5, -300);
+    a.ri(Op::kPClip, t6, t5, 8);
+    a.sw(t6, 8, t4);
+    a.label("skip");
+  });
+  EXPECT_EQ(tcdm_word(soc, 0x800), 52u);
+  EXPECT_EQ(static_cast<i32>(tcdm_word(soc, 0x804)), 127);
+  EXPECT_EQ(static_cast<i32>(tcdm_word(soc, 0x808)), -128);
+}
+
+TEST(PmcaCore, SimdInt8DotProduct) {
+  core::HulkVSoc soc(fast_config());
+  run_cluster(soc, [](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "skip");
+    // lanes: [1, 2, 3, -4] . [5, 6, 7, 8] = 5+12+21-32 = 6, acc 100.
+    a.li(t1, static_cast<i32>(0xFC030201));  // bytes 1,2,3,-4 (LE)
+    a.li(t2, 0x08070605);
+    a.li(t3, 100);
+    a.rr(Op::kPvSdotspB, t3, t1, t2);
+    a.li(t4, kTcdm + 0x900);
+    a.sw(t3, 0, t4);
+    // pv.add.b with wrap: 127 + 1 = -128 per lane.
+    a.li(t1, 0x7F7F7F7F);
+    a.li(t2, 0x01010101);
+    a.rr(Op::kPvAddB, t5, t1, t2);
+    a.sw(t5, 4, t4);
+    // pv.max.h: max(-1, 5) per 16-bit lane.
+    a.li(t1, static_cast<i32>(0xFFFFFFFF));
+    a.li(t2, 0x00050005);
+    a.rr(Op::kPvMaxH, t5, t1, t2);
+    a.sw(t5, 8, t4);
+    a.label("skip");
+  });
+  EXPECT_EQ(tcdm_word(soc, 0x900), 106u);
+  EXPECT_EQ(tcdm_word(soc, 0x904), 0x80808080u);
+  EXPECT_EQ(tcdm_word(soc, 0x908), 0x00050005u);
+}
+
+TEST(PmcaCore, PackedFp16Mac) {
+  core::HulkVSoc soc(fast_config());
+  const u16 two = float_to_half_bits(2.0f);
+  const u16 three = float_to_half_bits(3.0f);
+  const u16 ten = float_to_half_bits(10.0f);
+  const u32 a_pair = two | (static_cast<u32>(three) << 16);
+  const u32 b_pair = three | (static_cast<u32>(two) << 16);
+  const u32 acc_pair = ten | (static_cast<u32>(ten) << 16);
+  run_cluster(soc, [&](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "skip");
+    a.li(t1, static_cast<i32>(a_pair));
+    a.li(t2, static_cast<i32>(b_pair));
+    a.li(t3, static_cast<i32>(acc_pair));
+    a.ri(Op::kFmvWX, 1, t1, 0);
+    a.ri(Op::kFmvWX, 2, t2, 0);
+    a.ri(Op::kFmvWX, 3, t3, 0);
+    a.rr(Op::kVfmacH, 3, 1, 2);  // each lane: 10 + 2*3 = 16
+    a.ri(Op::kFmvXW, t4, 3, 0);
+    a.li(t5, kTcdm + 0xA00);
+    a.sw(t4, 0, t5);
+    // vfdotpex.s.h: fp32 acc = 2*3 + 3*2 = 12.
+    a.ri(Op::kFcvtSW, 4, zero, 0);
+    a.rr(Op::kVfdotpexSH, 4, 1, 2);
+    a.ri(Op::kFmvXW, t4, 4, 0);
+    a.sw(t4, 4, t5);
+    a.label("skip");
+  });
+  const u16 sixteen = float_to_half_bits(16.0f);
+  EXPECT_EQ(tcdm_word(soc, 0xA00),
+            sixteen | (static_cast<u32>(sixteen) << 16));
+  EXPECT_EQ(std::bit_cast<float>(tcdm_word(soc, 0xA04)), 12.0f);
+}
+
+TEST(Cluster, BarrierSynchronisesClocks) {
+  core::HulkVSoc soc(fast_config());
+  // Core 0 burns ~2000 cycles, others arrive early; after the barrier
+  // every core stamps its cycle counter; all stamps must be >= core 0's.
+  run_cluster(soc, [](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "wait");
+    a.li(t3, 2000);
+    a.lp_setup(0, t3, "spin_end");
+    a.nop();
+    a.label("spin_end");
+    a.label("wait");
+    a.li(a7, cluster::envcall::kBarrier);
+    a.ecall();
+    a.ri(Op::kCsrrs, t1, 0, isa::csr::kMcycle);
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.slli(t2, t0, 2);
+    a.li(t4, kTcdm + 0xB00);
+    a.add(t2, t2, t4);
+    a.sw(t1, 0, t2);
+  });
+  const u32 core0 = tcdm_word(soc, 0xB00);
+  EXPECT_GT(core0, 2000u);
+  for (u32 c = 1; c < 8; ++c) {
+    EXPECT_GE(tcdm_word(soc, 0xB00 + 4 * c) + 50, core0) << c;
+  }
+}
+
+TEST(Cluster, DmaRoundTrip) {
+  core::HulkVSoc soc(fast_config());
+  // Prepare a pattern in shared DRAM; core 0 DMAs it in, doubles it,
+  // DMAs it back out.
+  const Addr src = core::layout::kSharedBase;
+  std::vector<u32> pattern(64);
+  for (u32 i = 0; i < 64; ++i) pattern[i] = i + 1;
+  soc.write_mem(src, pattern.data(), 256);
+
+  run_cluster(soc, [&](Assembler& a) {
+    a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+    a.bnez(t0, "skip");
+    a.li(a0, kTcdm + 0xC00);
+    a.li(a1, static_cast<i64>(src));
+    a.li(a2, 256);
+    a.li(a7, cluster::envcall::kDma1d);
+    a.ecall();
+    a.li(a7, cluster::envcall::kDmaWait);
+    a.ecall();
+    // Double each word in place.
+    a.li(t1, kTcdm + 0xC00);
+    a.li(t2, 64);
+    a.lp_setup(0, t2, "dbl_end");
+    a.lw(t3, 0, t1);
+    a.slli(t3, t3, 1);
+    a.store(Op::kPSwPost, t3, 4, t1);
+    a.label("dbl_end");
+    // DMA out.
+    a.li(a0, static_cast<i64>(src + 0x1000));
+    a.li(a1, kTcdm + 0xC00);
+    a.li(a2, 256);
+    a.li(a7, cluster::envcall::kDma1d);
+    a.ecall();
+    a.li(a7, cluster::envcall::kDmaWait);
+    a.ecall();
+    a.label("skip");
+  });
+
+  std::vector<u32> out(64);
+  soc.read_mem(src + 0x1000, out.data(), 256);
+  for (u32 i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[i], 2 * (i + 1)) << i;
+  }
+  EXPECT_EQ(soc.cluster().dma().stats().get("jobs_1d"), 2u);
+}
+
+TEST(Cluster, DeadlockDetected) {
+  core::HulkVSoc soc(fast_config());
+  // Only core 0 reaches the barrier; everyone else exits -> deadlock.
+  EXPECT_THROW(run_cluster(soc,
+                           [](Assembler& a) {
+                             a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+                             a.bnez(t0, "skip");
+                             a.li(a7, cluster::envcall::kBarrier);
+                             a.ecall();
+                             a.label("skip");
+                           }),
+               SimError);
+}
+
+TEST(Cluster, IopmpBlocksStrayClusterAccess) {
+  core::HulkVSoc soc(fast_config());
+  // The boot ROM is not granted to the cluster: a demand load must trap.
+  EXPECT_THROW(run_cluster(soc,
+                           [](Assembler& a) {
+                             a.li(t1, mem::map::kBootRomBase);
+                             a.lw(t2, 0, t1);
+                           }),
+               SimError);
+}
+
+TEST(Cluster, InstretAggregatesAllCores) {
+  core::HulkVSoc soc(fast_config());
+  const auto result = run_cluster(soc, [](Assembler& a) {
+    for (int i = 0; i < 10; ++i) a.nop();
+  });
+  // 8 cores x (10 nops + prologue-free exit sequence of 2-3 instrs).
+  EXPECT_GE(result.instret, 8u * 12);
+  EXPECT_LE(result.instret, 8u * 20);
+}
+
+}  // namespace
+}  // namespace hulkv

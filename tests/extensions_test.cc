@@ -1,0 +1,243 @@
+// Tests for the extensions beyond the paper's evaluated configurations:
+// the RPC-DRAM-backed SoC, the SV39 TLB model, the UART peripheral, and
+// the voltage/frequency corner model.
+#include <gtest/gtest.h>
+
+#include "core/soc.hpp"
+#include "host/tlb.hpp"
+#include "host/uart.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/iot_benchmarks.hpp"
+#include "kernels/kernel.hpp"
+#include "power/power_model.hpp"
+
+namespace hulkv {
+namespace {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+// ---------------------------------------------------------------------
+// RPC DRAM as main memory.
+// ---------------------------------------------------------------------
+
+TEST(RpcDramSoc, BootsAndRunsPrograms) {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kRpcDram;
+  core::HulkVSoc soc(cfg);
+  ASSERT_NE(soc.rpcdram(), nullptr);
+  EXPECT_EQ(soc.hyperram(), nullptr);
+
+  Assembler a(core::layout::kHostCodeBase, true);
+  a.li(a0, 7);
+  a.li(a7, 93);
+  a.ecall();
+  EXPECT_EQ(kernels::run_host_program(soc, a.assemble(), {}).exit_code, 7u);
+  EXPECT_GT(soc.rpcdram()->stats().get("reads"), 0u);  // code fetch refills
+}
+
+TEST(RpcDramSoc, SitsBetweenHyperAndDdrOnStreams) {
+  auto run = [](core::MainMemoryKind kind) {
+    core::SocConfig cfg;
+    cfg.main_memory = kind;
+    cfg.enable_llc = false;
+    core::HulkVSoc soc(cfg);
+    const std::array<u64, 1> args = {core::layout::kSharedBase};
+    const auto prog = kernels::host_stride_reads(64, 1024, 6);
+    return kernels::run_host_program(soc, prog.words, args).cycles;
+  };
+  const Cycles hyper = run(core::MainMemoryKind::kHyperRam);
+  const Cycles rpc = run(core::MainMemoryKind::kRpcDram);
+  const Cycles ddr = run(core::MainMemoryKind::kDdr4);
+  EXPECT_LT(ddr, rpc);
+  EXPECT_LT(rpc, hyper);
+}
+
+// ---------------------------------------------------------------------
+// TLB / SV39 model.
+// ---------------------------------------------------------------------
+
+TEST(TlbModel, HitsAreFreeMissesWalk) {
+  u32 walks = 0;
+  host::Tlb tlb({.entries = 2},
+                [&walks](Cycles now, Addr) {
+                  ++walks;
+                  return now + 10;
+                });
+  // First touch of a page: 3-level walk = 30 cycles.
+  EXPECT_EQ(tlb.translate(0, 0x8000'0000), 30u);
+  EXPECT_EQ(walks, 3u);
+  // Same page: hit, no cost.
+  EXPECT_EQ(tlb.translate(100, 0x8000'0FFF), 100u);
+  EXPECT_EQ(walks, 3u);
+  // Two more pages evict the first (2 entries, LRU).
+  tlb.translate(200, 0x8000'1000);
+  tlb.translate(300, 0x8000'2000);
+  EXPECT_EQ(walks, 9u);
+  EXPECT_GT(tlb.translate(400, 0x8000'0000), 400u);  // walked again
+  EXPECT_EQ(tlb.stats().get("misses"), 4u);
+  EXPECT_EQ(tlb.stats().get("hits"), 1u);
+}
+
+TEST(TlbModel, FlushDropsEverything) {
+  host::Tlb tlb({}, [](Cycles now, Addr) { return now + 1; });
+  tlb.translate(0, 0x8000'0000);
+  EXPECT_EQ(tlb.translate(10, 0x8000'0000), 10u);  // hit
+  tlb.flush();
+  EXPECT_GT(tlb.translate(20, 0x8000'0000), 20u);  // walks again
+}
+
+TEST(TlbModel, RejectsBadConfig) {
+  EXPECT_THROW(host::Tlb bad({.entries = 0},
+                             [](Cycles now, Addr) { return now; }),
+               SimError);
+  EXPECT_THROW(host::Tlb bad2({}, nullptr), SimError);
+}
+
+TEST(TlbInCore, MmuCostsCyclesButPreservesResults) {
+  auto run = [](bool mmu) {
+    core::SocConfig cfg;
+    cfg.main_memory = core::MainMemoryKind::kDdr4;
+    cfg.host.enable_mmu = mmu;
+    core::HulkVSoc soc(cfg);
+    // Touch 64 pages once each (worst case for the TLB).
+    Assembler a(core::layout::kHostCodeBase, true);
+    a.li(t0, core::layout::kSharedBase);
+    a.li(t1, 64);
+    a.label("loop");
+    a.lw(t2, 0, t0);
+    a.li(t3, 4096);
+    a.add(t0, t0, t3);
+    a.addi(t1, t1, -1);
+    a.bnez(t1, "loop");
+    a.li(a7, 93);
+    a.li(a0, 55);
+    a.ecall();
+    const auto result = kernels::run_host_program(soc, a.assemble(), {});
+    EXPECT_EQ(result.exit_code, 55u);
+    return result.cycles;
+  };
+  const Cycles bare = run(false);
+  const Cycles paged = run(true);
+  EXPECT_GT(paged, bare);  // 64+ page walks are visible
+}
+
+// ---------------------------------------------------------------------
+// UART.
+// ---------------------------------------------------------------------
+
+TEST(UartModel, CollectsTransmittedBytes) {
+  host::Uart uart;
+  EXPECT_EQ(uart.mmio_read(host::Uart::kLsr, 4), host::Uart::kLsrTxIdle);
+  for (const char c : std::string("HULK"))
+    uart.mmio_write(host::Uart::kThr, static_cast<u64>(c), 4);
+  EXPECT_EQ(uart.output(), "HULK");
+  uart.clear();
+  EXPECT_TRUE(uart.output().empty());
+}
+
+TEST(UartInSoc, GuestProgramPrintsThroughMmio) {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  core::HulkVSoc soc(cfg);
+  // Guest putc loop: poll LSR, then write THR — the real earlycon path.
+  const std::string message = "hello uart";
+  Assembler a(core::layout::kHostCodeBase, true);
+  a.li(t0, core::apbmap::kUartBase);
+  for (size_t i = 0; i < message.size(); ++i) {
+    const std::string wait = "wait_" + std::to_string(i);
+    a.label(wait);
+    a.lw(t1, static_cast<i32>(host::Uart::kLsr), t0);
+    a.andi(t1, t1, 0x20);  // THR empty bit
+    a.beqz(t1, wait);
+    a.li(t2, message[i]);
+    a.sw(t2, static_cast<i32>(host::Uart::kThr), t0);
+  }
+  a.li(a7, 93);
+  a.li(a0, 0);
+  a.ecall();
+  kernels::run_host_program(soc, a.assemble(), {});
+  EXPECT_EQ(soc.uart().output(), message);
+}
+
+// ---------------------------------------------------------------------
+// Peripheral uDMA (I2S/CPI/SPI streams into the L2SPM).
+// ---------------------------------------------------------------------
+
+TEST(PeriphUdma, RxStreamsLandInL2AtTheDeviceRate) {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  core::HulkVSoc soc(cfg);
+  soc.plic().mmio_write(4 * core::kPeriphIrqSource, 1, 4);
+  soc.plic().mmio_write(host::Plic::kEnableOffset,
+                        1u << core::kPeriphIrqSource, 4);
+
+  std::vector<u8> samples(1024);
+  for (u32 i = 0; i < samples.size(); ++i) samples[i] = static_cast<u8>(i);
+  // An I2S-class device: 1 byte every 4 SoC cycles.
+  const Cycles done = soc.periph_udma().start_rx(
+      100, mem::map::kL2Base + 0x8000, samples, 0.25);
+  EXPECT_GE(done, 100u + 4 * 1024);  // stream-rate bound
+  EXPECT_TRUE(soc.plic().interrupt_pending());
+
+  std::vector<u8> got(samples.size());
+  soc.read_mem(mem::map::kL2Base + 0x8000, got.data(), got.size());
+  EXPECT_EQ(got, samples);
+}
+
+TEST(PeriphUdma, TxReadsL2AndLogs) {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  core::HulkVSoc soc(cfg);
+  const std::string message = "sensor-frame-7";
+  soc.write_mem(mem::map::kL2Base + 0x100, message.data(), message.size());
+  const Cycles done = soc.periph_udma().start_tx(
+      0, mem::map::kL2Base + 0x100, static_cast<u32>(message.size()), 0.5);
+  EXPECT_GE(done, message.size() * 2);
+  EXPECT_EQ(soc.periph_udma().tx_log(), message);
+}
+
+TEST(PeriphUdma, RejectsNonL2Targets) {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  core::HulkVSoc soc(cfg);
+  std::vector<u8> data(16);
+  EXPECT_THROW(
+      soc.periph_udma().start_rx(0, core::layout::kSharedBase, data, 1.0),
+      SimError);
+  EXPECT_THROW(soc.periph_udma().start_tx(0, mem::map::kL2Base, 0, 1.0),
+               SimError);
+}
+
+// ---------------------------------------------------------------------
+// Operating points.
+// ---------------------------------------------------------------------
+
+TEST(Corners, VoltageScalingOrdersPower) {
+  const power::PowerModel model;
+  const auto total_at = [&](const power::OperatingPoint& op) {
+    double total = 0;
+    for (const auto* block : model.blocks()) {
+      total += power::block_power_mw(*block, op,
+                                     block->max_freq_mhz * op.freq_scale);
+    }
+    return total;
+  };
+  const double ssg = total_at(power::worst_ssg());
+  const double tt = total_at(power::typical_tt());
+  const double od = total_at(power::overdrive());
+  EXPECT_LT(ssg, tt);
+  EXPECT_LT(tt, od);
+  // The typical corner reproduces Table II exactly.
+  EXPECT_NEAR(tt, model.total_max_power_mw(), 1e-9);
+}
+
+TEST(Corners, DynamicScalesQuadratically) {
+  power::OperatingPoint op = power::typical_tt();
+  op.voltage = 1.6;  // 2x the nominal 0.8 V
+  EXPECT_NEAR(op.dynamic_scale(), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hulkv

@@ -1,0 +1,368 @@
+// CVA6 host-core tests: RV64 IMFD semantics (via small assembled
+// programs whose exit code carries the result), timing behaviour, CSRs,
+// interrupt-controller models.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/soc.hpp"
+#include "host/clint.hpp"
+#include "host/plic.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/kernel.hpp"
+
+namespace hulkv {
+namespace {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+core::SocConfig fast_config() {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;  // fast + deterministic
+  return cfg;
+}
+
+/// Run a program fragment that leaves its result in a0 and exits.
+u64 run_for_exit_code(const std::function<void(Assembler&)>& body,
+                      std::span<const u64> args = {}) {
+  core::HulkVSoc soc(fast_config());
+  Assembler a(core::layout::kHostCodeBase, /*rv64=*/true);
+  body(a);
+  a.li(a7, 93);
+  a.ecall();
+  return kernels::run_host_program(soc, a.assemble(), args).exit_code;
+}
+
+TEST(Cva6, BasicArithmetic) {
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, 20);
+              a.li(t1, 22);
+              a.add(a0, t0, t1);
+            }),
+            42u);
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, 5);
+              a.li(t1, 7);
+              a.mul(a0, t0, t1);
+            }),
+            35u);
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, -8);
+              a.srai(a0, t0, 1);
+            }),
+            static_cast<u64>(-4));
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, -8);
+              a.srli(a0, t0, 60);
+            }),
+            0xFu);
+}
+
+TEST(Cva6, X0IsHardwiredZero) {
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(zero, 123);  // addi x0, x0, ... is a nop
+              a.mv(a0, zero);
+            }),
+            0u);
+}
+
+TEST(Cva6, Rv64WordOps) {
+  // addiw sign-extends the 32-bit result.
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, 0x7FFFFFFF);
+              a.ri(Op::kAddiw, a0, t0, 1);
+            }),
+            0xFFFFFFFF80000000ull);
+  // sllw uses only the low 5 shift bits and sign-extends.
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, 1);
+              a.li(t1, 31);
+              a.rr(Op::kSllw, a0, t0, t1);
+            }),
+            0xFFFFFFFF80000000ull);
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, 0x123456789ll);
+              a.li(t1, 0x1000000000ll);
+              a.rr(Op::kMulw, a0, t0, t1);  // only low halves multiply
+            }),
+            0u);
+}
+
+TEST(Cva6, DivisionEdgeCases) {
+  // Division by zero returns -1 (RISC-V spec, no trap).
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, 42);
+              a.li(t1, 0);
+              a.rr(Op::kDiv, a0, t0, t1);
+            }),
+            ~0ull);
+  // INT_MIN / -1 returns INT_MIN.
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, INT64_MIN);
+              a.li(t1, -1);
+              a.rr(Op::kDiv, a0, t0, t1);
+            }),
+            static_cast<u64>(INT64_MIN));
+  // Remainder by zero returns the dividend.
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, 42);
+              a.li(t1, 0);
+              a.rr(Op::kRem, a0, t0, t1);
+            }),
+            42u);
+}
+
+TEST(Cva6, MulhVariants) {
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, -1);
+              a.li(t1, -1);
+              a.rr(Op::kMulhu, a0, t0, t1);  // (2^64-1)^2 >> 64
+            }),
+            0xFFFFFFFFFFFFFFFEull);
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, -1);
+              a.li(t1, -1);
+              a.rr(Op::kMulh, a0, t0, t1);  // (-1 * -1) >> 64 = 0
+            }),
+            0u);
+}
+
+TEST(Cva6, LoadStoreWidths) {
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, core::layout::kSharedBase);
+              a.li(t1, -2);  // 0xFFFF...FE
+              a.sb(t1, 0, t0);
+              a.lbu(a0, 0, t0);
+            }),
+            0xFEu);
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, core::layout::kSharedBase);
+              a.li(t1, -2);
+              a.sb(t1, 0, t0);
+              a.load(Op::kLb, a0, 0, t0);  // sign-extends
+            }),
+            static_cast<u64>(-2));
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, core::layout::kSharedBase);
+              a.li(t1, 0x1122334455667788ll);
+              a.sd(t1, 0, t0);
+              a.lw(a0, 4, t0);  // upper word, sign-extended
+            }),
+            0x11223344u);
+}
+
+TEST(Cva6, BranchesAndLoops) {
+  // Sum 1..10 with a loop.
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(a0, 0);
+              a.li(t0, 1);
+              a.li(t1, 11);
+              a.label("loop");
+              a.add(a0, a0, t0);
+              a.addi(t0, t0, 1);
+              a.blt(t0, t1, "loop");
+            }),
+            55u);
+  // Unsigned comparison: -1 > 1 unsigned.
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, -1);
+              a.li(t1, 1);
+              a.li(a0, 0);
+              a.bltu(t0, t1, "skip");
+              a.li(a0, 1);
+              a.label("skip");
+            }),
+            1u);
+}
+
+TEST(Cva6, JalLinksAndReturns) {
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(a0, 1);
+              a.call("fn");
+              a.addi(a0, a0, 100);
+              a.j("done");
+              a.label("fn");
+              a.addi(a0, a0, 10);
+              a.ret();
+              a.label("done");
+            }),
+            111u);
+}
+
+TEST(Cva6, Fp32Arithmetic) {
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, std::bit_cast<u32>(1.5f));
+              a.ri(Op::kFmvWX, 1, t0, 0);
+              a.li(t0, std::bit_cast<u32>(2.25f));
+              a.ri(Op::kFmvWX, 2, t0, 0);
+              a.rr(Op::kFaddS, 0, 1, 2);
+              a.ri(Op::kFmvXW, a0, 0, 0);
+            }),
+            static_cast<u64>(std::bit_cast<u32>(3.75f)));
+  // fmadd: 2*3+4 = 10.
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, 2);
+              a.ri(Op::kFcvtSW, 1, t0, 0);
+              a.li(t0, 3);
+              a.ri(Op::kFcvtSW, 2, t0, 0);
+              a.li(t0, 4);
+              a.ri(Op::kFcvtSW, 3, t0, 0);
+              a.r4(Op::kFmaddS, 0, 1, 2, 3);
+              a.ri(Op::kFcvtWS, a0, 0, 0);
+            }),
+            10u);
+}
+
+TEST(Cva6, Fp64Arithmetic) {
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, std::bit_cast<u64>(0.5));
+              a.ri(Op::kFmvDX, 1, t0, 0);
+              a.li(t0, std::bit_cast<u64>(0.25));
+              a.ri(Op::kFmvDX, 2, t0, 0);
+              a.rr(Op::kFmulD, 0, 1, 2);
+              a.ri(Op::kFmvXD, a0, 0, 0);
+            }),
+            std::bit_cast<u64>(0.125));
+  // fcvt.d.s widens exactly.
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, std::bit_cast<u32>(7.5f));
+              a.ri(Op::kFmvWX, 1, t0, 0);
+              a.ri(Op::kFcvtDS, 2, 1, 0);
+              a.ri(Op::kFmvXD, a0, 2, 0);
+            }),
+            std::bit_cast<u64>(7.5));
+}
+
+TEST(Cva6, FpComparisons) {
+  EXPECT_EQ(run_for_exit_code([](Assembler& a) {
+              a.li(t0, std::bit_cast<u32>(1.0f));
+              a.ri(Op::kFmvWX, 1, t0, 0);
+              a.li(t0, std::bit_cast<u32>(2.0f));
+              a.ri(Op::kFmvWX, 2, t0, 0);
+              a.rr(Op::kFltS, a0, 1, 2);
+            }),
+            1u);
+}
+
+TEST(Cva6, CsrCycleAndInstret) {
+  // instret after N instructions must be close to N; cycle >= instret.
+  core::HulkVSoc soc(fast_config());
+  Assembler a(core::layout::kHostCodeBase, true);
+  for (int i = 0; i < 10; ++i) a.nop();
+  a.ri(Op::kCsrrs, t0, 0, isa::csr::kInstret);
+  a.ri(Op::kCsrrs, t1, 0, isa::csr::kCycle);
+  a.mv(a0, t0);
+  a.li(a7, 93);
+  a.ecall();
+  const auto run = kernels::run_host_program(soc, a.assemble(), {});
+  EXPECT_EQ(run.exit_code, 10u);  // the 10 nops
+  EXPECT_GE(run.cycles, run.instret);
+}
+
+TEST(Cva6, IllegalInstructionThrows) {
+  core::HulkVSoc soc(fast_config());
+  // A cluster-only Xpulp instruction must trap on the host.
+  Assembler a(core::layout::kHostCodeBase, true);
+  a.rr(Op::kPvAddB, a0, a1, a2);
+  soc.load_program(core::layout::kHostCodeBase, a.assemble());
+  soc.host().set_pc(core::layout::kHostCodeBase);
+  EXPECT_THROW(soc.host().run(10), SimError);
+}
+
+TEST(Cva6, UnhandledEcallThrows) {
+  core::HulkVSoc soc(fast_config());
+  Assembler a(core::layout::kHostCodeBase, true);
+  a.li(a7, 9999);
+  a.ecall();
+  soc.load_program(core::layout::kHostCodeBase, a.assemble());
+  soc.host().set_pc(core::layout::kHostCodeBase);
+  EXPECT_THROW(soc.host().run(10), SimError);
+}
+
+TEST(Cva6, WfiHandlerAdvancesClock) {
+  core::HulkVSoc soc(fast_config());
+  soc.host().set_wfi_handler([](Cycles now) { return now + 1000; });
+  Assembler a(core::layout::kHostCodeBase, true);
+  a.wfi();
+  a.li(a7, 93);
+  a.li(a0, 0);
+  a.ecall();
+  const auto run = kernels::run_host_program(soc, a.assemble(), {});
+  EXPECT_GE(run.cycles, 1000u);
+}
+
+TEST(Cva6, DcacheCountsHitsAndMisses) {
+  core::HulkVSoc soc(fast_config());
+  Assembler a(core::layout::kHostCodeBase, true);
+  // Read the same line twice: one miss then one hit.
+  a.li(t0, core::layout::kSharedBase);
+  a.lw(t1, 0, t0);
+  a.lw(t2, 4, t0);
+  a.li(a7, 93);
+  a.li(a0, 0);
+  a.ecall();
+  kernels::run_host_program(soc, a.assemble(), {});
+  EXPECT_EQ(soc.host().dcache().stats().get("misses"), 1u);
+  EXPECT_EQ(soc.host().dcache().stats().get("hits"), 1u);
+}
+
+TEST(Cva6, BtfnBranchModel) {
+  // A tight loop's backward taken branch must not pay the flush: the
+  // loop below retires ~4 instructions per iteration and should take
+  // close to 4 cycles per iteration, far less than with a 4-cycle
+  // penalty per back edge.
+  core::HulkVSoc soc(fast_config());
+  Assembler a(core::layout::kHostCodeBase, true);
+  a.li(t0, 1000);
+  a.label("loop");
+  a.addi(t1, t1, 1);
+  a.addi(t0, t0, -1);
+  a.bnez(t0, "loop");
+  a.li(a7, 93);
+  a.li(a0, 0);
+  a.ecall();
+  const auto run = kernels::run_host_program(soc, a.assemble(), {});
+  EXPECT_LT(run.cycles, 3500u);
+  EXPECT_EQ(soc.host().stats().get("branch_mispredicts"), 1u);  // exit only
+}
+
+TEST(Clint, TimerAndSoftwareInterrupt) {
+  Cycles now = 0;
+  host::Clint clint([&now] { return now; });
+  EXPECT_FALSE(clint.software_interrupt_pending());
+  clint.mmio_write(host::Clint::kMsip, 1, 4);
+  EXPECT_TRUE(clint.software_interrupt_pending());
+  clint.mmio_write(host::Clint::kMtimecmp, 500, 8);
+  now = 499;
+  EXPECT_FALSE(clint.timer_interrupt_pending());
+  now = 500;
+  EXPECT_TRUE(clint.timer_interrupt_pending());
+  EXPECT_EQ(clint.mmio_read(host::Clint::kMtime, 8), 500u);
+}
+
+TEST(Plic, ClaimCompleteFlow) {
+  host::Plic plic;
+  plic.mmio_write(4 * 1, 1, 4);  // priority source 1
+  plic.mmio_write(host::Plic::kEnableOffset, 0b10, 4);
+  EXPECT_FALSE(plic.interrupt_pending());
+  plic.raise(1);
+  EXPECT_TRUE(plic.interrupt_pending());
+  EXPECT_EQ(plic.mmio_read(host::Plic::kClaimOffset, 4), 1u);
+  EXPECT_FALSE(plic.interrupt_pending());  // claimed
+  plic.mmio_write(host::Plic::kClaimOffset, 1, 4);  // complete
+  EXPECT_FALSE(plic.interrupt_pending());
+  plic.raise(1);
+  EXPECT_TRUE(plic.interrupt_pending());
+}
+
+TEST(Plic, DisabledSourcesStayPendingOnly) {
+  host::Plic plic;
+  plic.raise(3);
+  EXPECT_FALSE(plic.interrupt_pending());  // not enabled
+  EXPECT_EQ(plic.mmio_read(host::Plic::kPendingOffset, 4), 0b1000u);
+}
+
+}  // namespace
+}  // namespace hulkv

@@ -1,0 +1,297 @@
+// ISA tests: encoding round-trips (property over the whole op set),
+// immediate range checks, assembler label resolution, li expansion,
+// disassembly smoke checks.
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hpp"
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/encoding_table.hpp"
+
+namespace hulkv::isa {
+namespace {
+
+using detail::Fmt;
+
+/// Build a random-but-valid Instr for an encoding-table entry.
+Instr random_instr(const detail::EncInfo& info, Xoshiro256& rng) {
+  Instr in;
+  in.op = info.op;
+  in.rd = static_cast<u8>(rng.next_below(32));
+  in.rs1 = static_cast<u8>(rng.next_below(32));
+  in.rs2 = static_cast<u8>(rng.next_below(32));
+  in.rs3 = static_cast<u8>(rng.next_below(32));
+  switch (info.fmt) {
+    case Fmt::kI:
+      in.imm = static_cast<i32>(rng.next_range(-2048, 2047));
+      break;
+    case Fmt::kShamt:
+      in.imm = static_cast<i32>(rng.next_below(info.opcode == 0x13 ? 64 : 32));
+      break;
+    case Fmt::kS:
+      in.imm = static_cast<i32>(rng.next_range(-2048, 2047));
+      break;
+    case Fmt::kB:
+      in.imm = static_cast<i32>(rng.next_range(-2048, 2047)) * 2;
+      break;
+    case Fmt::kU:
+      in.imm = static_cast<i32>(rng.next_below(1u << 20) << 12);
+      break;
+    case Fmt::kJ:
+      in.imm = static_cast<i32>(rng.next_range(-(1 << 19), (1 << 19) - 1)) * 2;
+      break;
+    case Fmt::kCsr:
+    case Fmt::kCsrImm:
+      in.imm = static_cast<i32>(rng.next_below(0x1000));
+      break;
+    case Fmt::kR:
+    case Fmt::kRUnary:
+    case Fmt::kR4:
+    case Fmt::kSys:
+      break;
+  }
+  if (info.fmt == Fmt::kRUnary) in.rs2 = 0;
+  if (info.fmt == Fmt::kSys) in.rd = in.rs1 = in.rs2 = 0;
+  return in;
+}
+
+bool same_fields(const Instr& a, const Instr& b, Fmt fmt) {
+  if (a.op != b.op) return false;
+  switch (fmt) {
+    case Fmt::kR:
+      return a.rd == b.rd && a.rs1 == b.rs1 && a.rs2 == b.rs2;
+    case Fmt::kRUnary:
+      return a.rd == b.rd && a.rs1 == b.rs1;
+    case Fmt::kR4:
+      return a.rd == b.rd && a.rs1 == b.rs1 && a.rs2 == b.rs2 &&
+             a.rs3 == b.rs3;
+    case Fmt::kI:
+    case Fmt::kShamt:
+      return a.rd == b.rd && a.rs1 == b.rs1 && a.imm == b.imm;
+    case Fmt::kS:
+    case Fmt::kB:
+      return a.rs1 == b.rs1 && a.rs2 == b.rs2 && a.imm == b.imm;
+    case Fmt::kU:
+    case Fmt::kJ:
+      return a.rd == b.rd && a.imm == b.imm;
+    case Fmt::kCsr:
+    case Fmt::kCsrImm:
+      return a.rd == b.rd && a.rs1 == b.rs1 && a.imm == b.imm;
+    case Fmt::kSys:
+      return true;
+  }
+  return false;
+}
+
+TEST(Encoding, RoundTripPropertyAllOps) {
+  Xoshiro256 rng(2023);
+  for (const auto& info : detail::encoding_table()) {
+    for (int trial = 0; trial < 64; ++trial) {
+      const Instr in = random_instr(info, rng);
+      const u32 word = encode(in);
+      const Instr out = decode(word);
+      EXPECT_TRUE(same_fields(in, out, info.fmt))
+          << mnemonic(info.op) << " trial " << trial << ": encoded 0x"
+          << std::hex << word << " decoded as " << disasm(out);
+      // Re-encoding the decode must reproduce the word exactly.
+      EXPECT_EQ(encode(out), word) << mnemonic(info.op);
+    }
+  }
+}
+
+TEST(Encoding, EveryOpHasUniqueEncoding) {
+  // Two distinct ops must never decode from the same canonical word.
+  Xoshiro256 rng(7);
+  for (const auto& info : detail::encoding_table()) {
+    const Instr in = random_instr(info, rng);
+    EXPECT_EQ(decode(encode(in)).op, info.op) << mnemonic(info.op);
+  }
+}
+
+TEST(Encoding, KnownGoldenWords) {
+  // Cross-checked against the RISC-V spec / binutils.
+  EXPECT_EQ(encode({.op = Op::kAddi, .rd = 1, .rs1 = 2, .imm = 3}),
+            0x00310093u);  // addi x1, x2, 3
+  EXPECT_EQ(encode({.op = Op::kAdd, .rd = 3, .rs1 = 4, .rs2 = 5}),
+            0x005201B3u);  // add x3, x4, x5
+  EXPECT_EQ(encode({.op = Op::kLw, .rd = 10, .rs1 = 11, .imm = -4}),
+            0xFFC5A503u);  // lw a0, -4(a1)
+  EXPECT_EQ(encode({.op = Op::kSw, .rs1 = 11, .rs2 = 10, .imm = 8}),
+            0x00A5A423u);  // sw a0, 8(a1)
+  EXPECT_EQ(encode({.op = Op::kJal, .rd = 1, .imm = 16}),
+            0x010000EFu);  // jal ra, +16
+  EXPECT_EQ(encode({.op = Op::kEcall}), 0x00000073u);
+  EXPECT_EQ(encode({.op = Op::kMul, .rd = 5, .rs1 = 6, .rs2 = 7}),
+            0x027302B3u);  // mul t0, t1, t2
+}
+
+TEST(Encoding, RejectsOutOfRangeImmediates) {
+  EXPECT_THROW(encode({.op = Op::kAddi, .rd = 1, .rs1 = 1, .imm = 5000}),
+               SimError);
+  EXPECT_THROW(encode({.op = Op::kBeq, .rs1 = 1, .rs2 = 2, .imm = 3}),
+               SimError);  // odd branch offset
+  EXPECT_THROW(encode({.op = Op::kLui, .rd = 1, .imm = 0x123}), SimError);
+  EXPECT_THROW(encode({.op = Op::kSlli, .rd = 1, .rs1 = 1, .imm = 64}),
+               SimError);
+}
+
+TEST(Decoder, UnknownWordIsIllegal) {
+  EXPECT_EQ(decode(0x00000000u).op, Op::kIllegal);
+  EXPECT_EQ(decode(0xFFFFFFFFu).op, Op::kIllegal);
+}
+
+TEST(Decoder, FenceVariantsAllDecode) {
+  EXPECT_EQ(decode(0x0000000Fu).op, Op::kFence);
+  EXPECT_EQ(decode(0x0FF0000Fu).op, Op::kFence);  // fence iorw, iorw
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  Assembler a(0x1000, /*rv64=*/true);
+  a.label("start");
+  a.addi(1, 0, 1);
+  a.beq(1, 2, "end");  // forward
+  a.addi(1, 1, 1);
+  a.j("start");  // backward
+  a.label("end");
+  a.ret();
+  const auto words = a.assemble();
+  ASSERT_EQ(words.size(), 5u);
+  const Instr beq = decode(words[1]);
+  EXPECT_EQ(beq.op, Op::kBeq);
+  EXPECT_EQ(beq.imm, 12);  // 3 instructions forward
+  const Instr jmp = decode(words[3]);
+  EXPECT_EQ(jmp.op, Op::kJal);
+  EXPECT_EQ(jmp.imm, -12);
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler a(0, true);
+  a.beq(1, 2, "nowhere");
+  EXPECT_THROW(a.assemble(), SimError);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler a(0, true);
+  a.label("x");
+  EXPECT_THROW(a.label("x"), SimError);
+}
+
+TEST(Assembler, AddressOf) {
+  Assembler a(0x2000, true);
+  a.nop();
+  a.label("here");
+  a.nop();
+  EXPECT_EQ(a.address_of("here"), 0x2004u);
+  EXPECT_THROW(a.address_of("gone"), SimError);
+}
+
+TEST(Assembler, LpSetupOffset) {
+  Assembler a(0, false);
+  a.lp_setup(0, 5, "end");
+  a.nop();
+  a.nop();
+  a.label("end");
+  a.nop();
+  const auto words = a.assemble();
+  const Instr setup = decode(words[0]);
+  EXPECT_EQ(setup.op, Op::kLpSetup);
+  EXPECT_EQ(setup.imm, 12);  // end is 3 instructions ahead
+}
+
+/// li must materialise any value exactly; verified by symbolic
+/// interpretation of the emitted sequence.
+i64 interpret_li(const std::vector<u32>& words, bool rv64) {
+  i64 reg = 0;
+  for (const u32 w : words) {
+    const Instr in = decode(w);
+    switch (in.op) {
+      case Op::kAddi:
+        reg = reg + in.imm;
+        break;
+      case Op::kAddiw:
+        reg = static_cast<i32>(reg + in.imm);
+        break;
+      case Op::kLui:
+        reg = static_cast<i32>(in.imm);
+        break;
+      case Op::kSlli:
+        reg = static_cast<i64>(static_cast<u64>(reg) << in.imm);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected op in li: " << disasm(in);
+    }
+  }
+  if (!rv64) reg = static_cast<i64>(static_cast<u64>(reg) & 0xFFFFFFFFull);
+  return reg;
+}
+
+class LiExpansion : public ::testing::TestWithParam<i64> {};
+
+TEST_P(LiExpansion, MaterialisesExactValue) {
+  const i64 value = GetParam();
+  Assembler a(0, /*rv64=*/true);
+  a.li(5, value);
+  EXPECT_EQ(interpret_li(a.assemble(), true), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, LiExpansion,
+    ::testing::Values(0ll, 1ll, -1ll, 2047ll, -2048ll, 2048ll, 4096ll,
+                      0x7FFFFFFFll, -0x80000000ll, 0x80000000ll,
+                      0x12345678ll, 0xDEADBEEFll, 0x1C000000ll,
+                      0x80000000ll, 0x123456789ABCDEFll,
+                      -0x123456789ABCDEFll, INT64_MAX, INT64_MIN + 1));
+
+TEST(LiExpansion, Rv32MaterialisesMasked) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const i64 value = static_cast<i64>(sign_extend(rng.next(), 32));
+    Assembler a(0, /*rv64=*/false);
+    a.li(6, value);
+    const i64 got = interpret_li(a.assemble(), false);
+    EXPECT_EQ(got, static_cast<i64>(static_cast<u64>(value) & 0xFFFFFFFF));
+  }
+}
+
+TEST(LiExpansion, RandomProperty64) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const i64 value = static_cast<i64>(rng.next());
+    Assembler a(0, true);
+    a.li(7, value);
+    EXPECT_EQ(interpret_li(a.assemble(), true), value) << value;
+  }
+}
+
+TEST(Disasm, ReadableOutput) {
+  EXPECT_EQ(disasm_word(0x00310093u), "addi x1, x2, 3");
+  EXPECT_EQ(disasm_word(0x005201B3u), "add x3, x4, x5");
+  EXPECT_EQ(disasm_word(0x00000073u), "ecall");
+  // Custom-space ops render their mnemonics.
+  const u32 sdot = encode({.op = Op::kPvSdotspB, .rd = 5, .rs1 = 6, .rs2 = 7});
+  EXPECT_EQ(disasm_word(sdot), "pv.sdotsp.b x5, x6, x7");
+}
+
+TEST(Classification, Helpers) {
+  EXPECT_TRUE(is_load(Op::kLw));
+  EXPECT_TRUE(is_load(Op::kPLwPost));
+  EXPECT_TRUE(is_store(Op::kPSwPost));
+  EXPECT_FALSE(is_store(Op::kLw));
+  EXPECT_TRUE(is_branch(Op::kBgeu));
+  EXPECT_FALSE(is_branch(Op::kJal));
+  EXPECT_TRUE(is_fp(Op::kFmaddS));
+  EXPECT_TRUE(is_fp(Op::kVfmacH));
+  EXPECT_TRUE(is_simd_int(Op::kPvSdotspB));
+  EXPECT_FALSE(is_simd_int(Op::kVfmacH));
+  EXPECT_TRUE(is_simd_fp(Op::kVfdotpexSH));
+  EXPECT_TRUE(is_mac(Op::kPMac));
+  EXPECT_EQ(access_size(Op::kLd), 8u);
+  EXPECT_EQ(access_size(Op::kPLhPost), 2u);
+  EXPECT_EQ(access_size(Op::kAdd), 0u);
+}
+
+}  // namespace
+}  // namespace hulkv::isa

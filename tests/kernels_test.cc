@@ -1,0 +1,511 @@
+// Kernel validation: every assembly kernel (host RV64 and cluster
+// RV32+Xpulp) is executed on the ISS and compared against its golden C++
+// reference — bit-exact for integer, exact-by-construction for the FP16
+// datapath (the golden models replicate the rounding order).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "core/soc.hpp"
+#include "kernels/cluster_kernels.hpp"
+#include "kernels/golden.hpp"
+#include "kernels/host_kernels.hpp"
+#include "kernels/iot_benchmarks.hpp"
+
+namespace hulkv::kernels {
+namespace {
+
+core::SocConfig fast_config() {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  return cfg;
+}
+
+constexpr Addr kTcdm = mem::map::kTcdmBase;
+constexpr Addr kKernelL2 = mem::map::kL2Base + 256 * 1024;  // code high in L2
+
+/// Fill a DRAM buffer with random bytes; returns host copies.
+template <typename T>
+std::vector<T> random_vec(Xoshiro256& rng, size_t count, i64 lo, i64 hi) {
+  std::vector<T> v(count);
+  for (auto& x : v) x = static_cast<T>(rng.next_range(lo, hi));
+  return v;
+}
+
+std::vector<u16> random_halves(Xoshiro256& rng, size_t count) {
+  std::vector<u16> v(count);
+  for (auto& x : v) {
+    v[&x - v.data()] = float_to_half_bits(
+        static_cast<float>(rng.next_range(-64, 64)) / 8.0f);
+  }
+  return v;
+}
+
+/// Run a registered cluster kernel with a prepared TCDM argument block.
+void run_cluster_kernel(core::HulkVSoc& soc, const KernelProgram& kernel,
+                        std::span<const u32> args) {
+  soc.load_program(kKernelL2, kernel.words);
+  soc.write_mem(kTcdm, args.data(), args.size() * 4);
+  soc.cluster().run_kernel(soc.host().now(), kKernelL2,
+                           static_cast<u32>(kTcdm));
+}
+
+TEST(HostKernels, MatmulI32MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(1);
+  const u32 m = 7, n = 9, k = 8;
+  const auto a = random_vec<i32>(rng, m * k, -1000, 1000);
+  const auto b = random_vec<i32>(rng, k * n, -1000, 1000);
+  const Addr pa = core::layout::kSharedBase;
+  const Addr pb = pa + a.size() * 4;
+  const Addr pc = pb + b.size() * 4;
+  soc.write_mem(pa, a.data(), a.size() * 4);
+  soc.write_mem(pb, b.data(), b.size() * 4);
+
+  const auto prog = host_matmul_i32(m, n, k);
+  EXPECT_EQ(prog.ops, 2ull * m * n * k);
+  run_host_program(soc, prog.words, std::array<u64, 3>{pa, pb, pc});
+
+  std::vector<i32> got(m * n), want(m * n);
+  soc.read_mem(pc, got.data(), got.size() * 4);
+  golden::matmul_i32(a, b, want, m, n, k);
+  EXPECT_EQ(got, want);
+}
+
+TEST(HostKernels, Conv3x3I32MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(2);
+  const u32 h = 12, w = 16;
+  const auto img = random_vec<i32>(rng, h * w, -100, 100);
+  const auto ker = random_vec<i32>(rng, 9, -8, 8);
+  const Addr pi = core::layout::kSharedBase;
+  const Addr pk = pi + img.size() * 4;
+  const Addr po = pk + 64;
+  soc.write_mem(pi, img.data(), img.size() * 4);
+  soc.write_mem(pk, ker.data(), ker.size() * 4);
+
+  run_host_program(soc, host_conv3x3_i32(h, w).words,
+                   std::array<u64, 3>{pi, pk, po});
+
+  std::vector<i32> got((h - 2) * (w - 2)), want(got.size());
+  soc.read_mem(po, got.data(), got.size() * 4);
+  golden::conv3x3_i32(img, ker, want, h, w);
+  EXPECT_EQ(got, want);
+}
+
+TEST(HostKernels, FirI32MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(3);
+  const u32 n = 64, taps = 8;
+  const auto x = random_vec<i32>(rng, n, -500, 500);
+  const auto h = random_vec<i32>(rng, taps, -16, 16);
+  const Addr px = core::layout::kSharedBase;
+  const Addr ph = px + n * 4;
+  const Addr py = ph + taps * 4;
+  soc.write_mem(px, x.data(), n * 4);
+  soc.write_mem(ph, h.data(), taps * 4);
+
+  run_host_program(soc, host_fir_i32(n, taps).words,
+                   std::array<u64, 3>{px, ph, py});
+
+  std::vector<i32> got(n - taps + 1), want(got.size());
+  soc.read_mem(py, got.data(), got.size() * 4);
+  golden::fir_i32(x, h, want, n, taps);
+  EXPECT_EQ(got, want);
+}
+
+TEST(HostKernels, MatmulF32MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(4);
+  const u32 m = 5, n = 6, k = 4;
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<float>(rng.next_range(-50, 50)) / 4.0f;
+  for (auto& v : b) v = static_cast<float>(rng.next_range(-50, 50)) / 4.0f;
+  const Addr pa = core::layout::kSharedBase;
+  const Addr pb = pa + a.size() * 4;
+  const Addr pc = pb + b.size() * 4;
+  soc.write_mem(pa, a.data(), a.size() * 4);
+  soc.write_mem(pb, b.data(), b.size() * 4);
+
+  run_host_program(soc, host_matmul_f32(m, n, k).words,
+                   std::array<u64, 3>{pa, pb, pc});
+
+  std::vector<float> got(m * n), want(m * n);
+  soc.read_mem(pc, got.data(), got.size() * 4);
+  golden::matmul_f32(a, b, want, m, n, k);
+  EXPECT_EQ(got, want);  // same fma order -> bit exact
+}
+
+TEST(HostKernels, AxpyAndDotpF32MatchGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(5);
+  const u32 n = 100;
+  std::vector<float> x(n), y(n);
+  for (auto& v : x) v = static_cast<float>(rng.next_range(-100, 100)) / 8.0f;
+  for (auto& v : y) v = static_cast<float>(rng.next_range(-100, 100)) / 8.0f;
+  const float alpha = 1.25f;
+  const Addr px = core::layout::kSharedBase;
+  const Addr py = px + n * 4;
+  const Addr pa = py + n * 4;
+  soc.write_mem(px, x.data(), n * 4);
+  soc.write_mem(py, y.data(), n * 4);
+  soc.write_mem(pa, &alpha, 4);
+
+  run_host_program(soc, host_axpy_f32(n).words,
+                   std::array<u64, 3>{px, py, pa});
+  std::vector<float> got(n);
+  soc.read_mem(py, got.data(), n * 4);
+  auto want = y;
+  golden::axpy_f32(alpha, x, want);
+  EXPECT_EQ(got, want);
+
+  // Dot product of x with the updated y.
+  const Addr pr = pa + 64;
+  run_host_program(soc, host_dotp_f32(n).words,
+                   std::array<u64, 3>{px, py, pr});
+  float dot = 0;
+  soc.read_mem(pr, &dot, 4);
+  EXPECT_EQ(dot, golden::dotp_f32(x, got));
+}
+
+TEST(ClusterKernels, MatmulI8MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(6);
+  const u32 m = 16, n = 12, k = 32;
+  const auto a = random_vec<i8>(rng, m * k, -128, 127);
+  const auto bt = random_vec<i8>(rng, n * k, -128, 127);
+  const Addr pa = core::layout::kSharedBase;
+  const Addr pbt = pa + a.size();
+  const Addr pc = (pbt + bt.size() + 63) & ~63ull;
+  soc.write_mem(pa, a.data(), a.size());
+  soc.write_mem(pbt, bt.data(), bt.size());
+
+  const u32 a_l1 = kTcdm + 0x100;
+  const u32 bt_l1 = a_l1 + m * k;
+  const u32 c_l1 = bt_l1 + n * k;
+  const std::array<u32, 6> args = {
+      static_cast<u32>(pa),  static_cast<u32>(pbt), static_cast<u32>(pc),
+      a_l1,                  bt_l1,                 c_l1};
+  run_cluster_kernel(soc, cluster_matmul_i8(m, n, k), args);
+
+  std::vector<i32> got(m * n), want(m * n);
+  soc.read_mem(pc, got.data(), got.size() * 4);
+  golden::matmul_i8(a, bt, want, m, n, k);
+  EXPECT_EQ(got, want);
+}
+
+TEST(ClusterKernels, MatmulF16MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(7);
+  const u32 m = 9, n = 8, k = 16;
+  const auto a = random_halves(rng, m * k);
+  const auto bt = random_halves(rng, n * k);
+  const Addr pa = core::layout::kSharedBase;
+  const Addr pbt = pa + a.size() * 2;
+  const Addr pc = (pbt + bt.size() * 2 + 63) & ~63ull;
+  soc.write_mem(pa, a.data(), a.size() * 2);
+  soc.write_mem(pbt, bt.data(), bt.size() * 2);
+
+  const u32 a_l1 = kTcdm + 0x100;
+  const u32 bt_l1 = a_l1 + m * k * 2;
+  const u32 c_l1 = bt_l1 + n * k * 2;
+  const std::array<u32, 6> args = {
+      static_cast<u32>(pa),  static_cast<u32>(pbt), static_cast<u32>(pc),
+      a_l1,                  bt_l1,                 c_l1};
+  run_cluster_kernel(soc, cluster_matmul_f16(m, n, k), args);
+
+  std::vector<float> got(m * n), want(m * n);
+  soc.read_mem(pc, got.data(), got.size() * 4);
+  golden::matmul_f16(a, bt, want, m, n, k);
+  EXPECT_EQ(got, want);
+}
+
+TEST(ClusterKernels, Conv3x3I8MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(8);
+  const u32 h = 20, w = 24;
+  const auto img = random_vec<i8>(rng, h * w, -128, 127);
+  const auto ker = random_vec<i8>(rng, 9, -16, 16);
+  const Addr pi = core::layout::kSharedBase;
+  const Addr pk = pi + ((img.size() + 63) & ~63ull);
+  const Addr po = pk + 64;
+  soc.write_mem(pi, img.data(), img.size());
+  soc.write_mem(pk, ker.data(), ker.size());
+
+  const u32 img_l1 = kTcdm + 0x100;
+  const u32 ker_l1 = img_l1 + h * w;
+  const u32 out_l1 = (ker_l1 + 12 + 3) & ~3u;
+  const std::array<u32, 6> args = {
+      static_cast<u32>(pi),  static_cast<u32>(pk), static_cast<u32>(po),
+      img_l1,                ker_l1,               out_l1};
+  run_cluster_kernel(soc, cluster_conv3x3_i8(h, w), args);
+
+  std::vector<i32> got((h - 2) * (w - 2)), want(got.size());
+  soc.read_mem(po, got.data(), got.size() * 4);
+  golden::conv3x3_i8(img, ker, want, h, w);
+  EXPECT_EQ(got, want);
+}
+
+TEST(ClusterKernels, FirI8MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(9);
+  const u32 n = 128, taps = 16;
+  const auto x = random_vec<i8>(rng, n, -128, 127);
+  const auto h = random_vec<i8>(rng, taps, -32, 32);
+  const Addr px = core::layout::kSharedBase;
+  const Addr ph = px + 256;
+  const Addr py = ph + 64;
+  soc.write_mem(px, x.data(), n);
+  soc.write_mem(ph, h.data(), taps);
+
+  const u32 x_l1 = kTcdm + 0x100;
+  const u32 h_l1 = x_l1 + 256;
+  const u32 y_l1 = h_l1 + 64;
+  const std::array<u32, 6> args = {
+      static_cast<u32>(px), static_cast<u32>(ph), static_cast<u32>(py),
+      x_l1,                 h_l1,                 y_l1};
+  run_cluster_kernel(soc, cluster_fir_i8(n, taps), args);
+
+  std::vector<i32> got(n - taps + 1), want(got.size());
+  soc.read_mem(py, got.data(), got.size() * 4);
+  golden::fir_i8(x, h, want, n, taps);
+  EXPECT_EQ(got, want);
+}
+
+TEST(ClusterKernels, AxpyF16MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(10);
+  const u32 n = 256;  // multiple of 16
+  const auto x = random_halves(rng, n);
+  auto y = random_halves(rng, n);
+  const u16 alpha = float_to_half_bits(0.5f);
+  const u32 alpha_pair = alpha | (static_cast<u32>(alpha) << 16);
+  const Addr px = core::layout::kSharedBase;
+  const Addr py = px + n * 2;
+  soc.write_mem(px, x.data(), n * 2);
+  soc.write_mem(py, y.data(), n * 2);
+
+  const u32 x_l1 = kTcdm + 0x100;
+  const u32 y_l1 = x_l1 + n * 2;
+  const std::array<u32, 5> args = {static_cast<u32>(px),
+                                   static_cast<u32>(py), alpha_pair, x_l1,
+                                   y_l1};
+  run_cluster_kernel(soc, cluster_axpy_f16(n), args);
+
+  std::vector<u16> got(n);
+  soc.read_mem(py, got.data(), n * 2);
+  golden::axpy_f16(alpha, x, y);
+  EXPECT_EQ(got, y);
+}
+
+TEST(ClusterKernels, DotpF16MatchesChunkedGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(11);
+  const u32 n = 512;
+  const auto x = random_halves(rng, n);
+  const auto y = random_halves(rng, n);
+  const Addr px = core::layout::kSharedBase;
+  const Addr py = px + n * 2;
+  soc.write_mem(px, x.data(), n * 2);
+  soc.write_mem(py, y.data(), n * 2);
+
+  const u32 x_l1 = kTcdm + 0x100;
+  const u32 y_l1 = x_l1 + n * 2;
+  const u32 part_l1 = y_l1 + n * 2;
+  const u32 res_l1 = part_l1 + 64;
+  const std::array<u32, 6> args = {static_cast<u32>(px),
+                                   static_cast<u32>(py), x_l1, y_l1,
+                                   part_l1, res_l1};
+  run_cluster_kernel(soc, cluster_dotp_f16(n), args);
+
+  // Expected: same partitioning as the kernel (8 contiguous chunks,
+  // partials summed in core order).
+  const u32 chunk = n / 8;
+  float want = 0.0f;
+  for (u32 c = 0; c < 8; ++c) {
+    const float partial =
+        golden::dotp_f16(std::span(x).subspan(c * chunk, chunk),
+                         std::span(y).subspan(c * chunk, chunk));
+    want += partial;
+  }
+  u32 bits = 0;
+  std::memcpy(&bits,
+              soc.cluster().tcdm().storage().data() + (res_l1 - kTcdm), 4);
+  EXPECT_EQ(std::bit_cast<float>(bits), want);
+}
+
+TEST(ClusterKernels, SpeedupOverHostIsLarge) {
+  // The headline mechanism of Fig. 6: the 8-core SIMD cluster beats the
+  // scalar host by a wide margin on int8 matmul.
+  const u32 m = 16, n = 16, k = 32;
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(12);
+
+  // Host run.
+  const auto a32 = random_vec<i32>(rng, m * k, -128, 127);
+  const auto b32 = random_vec<i32>(rng, k * n, -128, 127);
+  const Addr pa = core::layout::kSharedBase;
+  const Addr pb = pa + a32.size() * 4;
+  const Addr pc = pb + b32.size() * 4;
+  soc.write_mem(pa, a32.data(), a32.size() * 4);
+  soc.write_mem(pb, b32.data(), b32.size() * 4);
+  const auto host_run = run_host_program(soc, host_matmul_i32(m, n, k).words,
+                                         std::array<u64, 3>{pa, pb, pc});
+
+  // Cluster run (same problem, int8).
+  const auto a8 = random_vec<i8>(rng, m * k, -128, 127);
+  const auto bt8 = random_vec<i8>(rng, n * k, -128, 127);
+  const Addr qa = pc + m * n * 4;
+  const Addr qbt = qa + a8.size();
+  const Addr qc = (qbt + bt8.size() + 63) & ~63ull;
+  soc.write_mem(qa, a8.data(), a8.size());
+  soc.write_mem(qbt, bt8.data(), bt8.size());
+  const u32 a_l1 = kTcdm + 0x100;
+  const u32 bt_l1 = a_l1 + m * k;
+  const u32 c_l1 = bt_l1 + n * k;
+  const std::array<u32, 6> args = {
+      static_cast<u32>(qa),  static_cast<u32>(qbt), static_cast<u32>(qc),
+      a_l1,                  bt_l1,                 c_l1};
+  soc.load_program(kKernelL2, cluster_matmul_i8(m, n, k).words);
+  soc.write_mem(kTcdm, args.data(), args.size() * 4);
+  const auto kres = soc.cluster().run_kernel(soc.host().now(), kKernelL2,
+                                             static_cast<u32>(kTcdm));
+
+  EXPECT_GT(host_run.cycles, 10 * kres.cycles)
+      << "host " << host_run.cycles << " vs cluster " << kres.cycles;
+}
+
+TEST(IotBenchmarks, Crc32MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(13);
+  const u32 n = 4096;
+  const auto data = random_vec<u8>(rng, n, 0, 255);
+  const auto table = golden::crc32_table();
+  const Addr pd = core::layout::kSharedBase;
+  const Addr pt = pd + n;
+  const Addr pr = pt + 1024;
+  soc.write_mem(pd, data.data(), n);
+  soc.write_mem(pt, table.data(), 1024);
+
+  run_host_program(soc, host_crc32(n).words, std::array<u64, 3>{pd, pt, pr});
+  u32 got = 0;
+  soc.read_mem(pr, &got, 4);
+  EXPECT_EQ(got, golden::crc32(data));
+}
+
+TEST(IotBenchmarks, Crc32KnownVector) {
+  // "123456789" -> 0xCBF43926 (the canonical CRC-32 check value).
+  const char* s = "123456789";
+  std::vector<u8> data(s, s + 9);
+  EXPECT_EQ(golden::crc32(data), 0xCBF43926u);
+
+  core::HulkVSoc soc(fast_config());
+  const auto table = golden::crc32_table();
+  const Addr pd = core::layout::kSharedBase;
+  const Addr pt = pd + 64;
+  const Addr pr = pt + 1024;
+  soc.write_mem(pd, data.data(), 9);
+  soc.write_mem(pt, table.data(), 1024);
+  run_host_program(soc, host_crc32(9).words, std::array<u64, 3>{pd, pt, pr});
+  u32 got = 0;
+  soc.read_mem(pr, &got, 4);
+  EXPECT_EQ(got, 0xCBF43926u);
+}
+
+TEST(IotBenchmarks, ShellSortSorts) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(14);
+  const u32 n = 2000;
+  auto data = random_vec<i32>(rng, n, -100000, 100000);
+  const Addr pd = core::layout::kSharedBase;
+  soc.write_mem(pd, data.data(), n * 4);
+
+  run_host_program(soc, host_shell_sort(n).words, std::array<u64, 1>{pd});
+
+  std::vector<i32> got(n);
+  soc.read_mem(pd, got.data(), n * 4);
+  auto want = data;
+  golden::shell_sort(want);
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+TEST(IotBenchmarks, HistogramMatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(15);
+  const u32 n = 8192;
+  const auto data = random_vec<u8>(rng, n, 0, 255);
+  const Addr pd = core::layout::kSharedBase;
+  const Addr pb = pd + n;
+  soc.write_mem(pd, data.data(), n);
+
+  run_host_program(soc, host_histogram(n).words, std::array<u64, 2>{pd, pb});
+
+  std::vector<u32> got(256), want(256);
+  soc.read_mem(pb, got.data(), 1024);
+  golden::histogram(data, want);
+  EXPECT_EQ(got, want);
+}
+
+TEST(IotBenchmarks, StrsearchCounts) {
+  core::HulkVSoc soc(fast_config());
+  std::string text = "abcabcababcabc";
+  std::string pat = "abc";
+  const Addr ph = core::layout::kSharedBase;
+  const Addr pn = ph + 4096;
+  const Addr pr = pn + 64;
+  soc.write_mem(ph, text.data(), text.size());
+  soc.write_mem(pn, pat.data(), pat.size());
+
+  run_host_program(soc,
+                   host_strsearch(static_cast<u32>(text.size()),
+                                  static_cast<u32>(pat.size()))
+                       .words,
+                   std::array<u64, 3>{ph, pn, pr});
+  u32 got = 0;
+  soc.read_mem(pr, &got, 4);
+  const auto bytes = [](const std::string& s) {
+    return std::span<const u8>(reinterpret_cast<const u8*>(s.data()),
+                               s.size());
+  };
+  EXPECT_EQ(got, golden::strsearch(bytes(text), bytes(pat)));
+  EXPECT_EQ(got, 4u);
+}
+
+TEST(IotBenchmarks, DhrystoneMixRunsAndScales) {
+  core::HulkVSoc soc(fast_config());
+  const Addr b1 = core::layout::kSharedBase;
+  const Addr b2 = b1 + 128;
+  std::vector<u8> buf(64, 0x41);
+  soc.write_mem(b1, buf.data(), 64);
+
+  const auto r10 = run_host_program(soc, host_dhrystone_mix(10).words,
+                                    std::array<u64, 2>{b1, b2});
+  const auto r100 = run_host_program(soc, host_dhrystone_mix(100).words,
+                                     std::array<u64, 2>{b1, b2});
+  // Cycles scale ~linearly with iterations.
+  EXPECT_GT(r100.cycles, 8 * r10.cycles);
+  EXPECT_LT(r100.cycles, 12 * r10.cycles);
+}
+
+TEST(IotBenchmarks, StrideReadsMissRatioGrowsWithFootprint) {
+  // Small footprint -> L1 hits; large footprint -> misses (Fig. 7's
+  // independent variable).
+  core::SocConfig cfg = fast_config();
+  core::HulkVSoc soc_small(cfg), soc_large(cfg);
+  const Addr buf = core::layout::kSharedBase;
+
+  run_host_program(soc_small, host_stride_reads(4, 1024, 8).words,
+                   std::array<u64, 1>{buf});  // 4 kB footprint
+  run_host_program(soc_large, host_stride_reads(256, 1024, 8).words,
+                   std::array<u64, 1>{buf});  // 256 kB footprint
+
+  const double small_ratio = soc_small.host().dcache().hit_ratio();
+  const double large_ratio = soc_large.host().dcache().hit_ratio();
+  EXPECT_GT(small_ratio, 0.95);
+  EXPECT_LT(large_ratio, 0.2);
+}
+
+}  // namespace
+}  // namespace hulkv::kernels

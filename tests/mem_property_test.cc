@@ -1,0 +1,318 @@
+// Property-based tests over the memory-system models: parameterized
+// geometry sweeps for the caches, timing-monotonicity and bandwidth
+// identities for the DRAM devices, and a randomized differential test of
+// the backing store against a reference map.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/cache.hpp"
+#include "mem/ddr.hpp"
+#include "mem/hyperram.hpp"
+#include "mem/llc.hpp"
+#include "mem/rpcdram.hpp"
+
+namespace hulkv::mem {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cache geometry sweep: (size, ways, line) combinations.
+// ---------------------------------------------------------------------
+
+struct Geometry {
+  u32 size_bytes;
+  u32 ways;
+  u32 line_bytes;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometry, ResidentWorkingSetFullyHitsAfterWarmup) {
+  const Geometry g = GetParam();
+  FixedLatency next(100);
+  CacheConfig cfg{.name = "sweep",
+                  .size_bytes = g.size_bytes,
+                  .line_bytes = g.line_bytes,
+                  .ways = g.ways,
+                  .write_through = false,
+                  .write_allocate = true,
+                  .hit_latency = 1,
+                  .fill_penalty = 0};
+  CacheModel cache(cfg, &next);
+  // Cyclic reads over exactly the cache capacity: after one warm pass,
+  // every subsequent access must hit (true LRU, power-of-two geometry).
+  Cycles t = 0;
+  for (Addr a = 0; a < g.size_bytes; a += g.line_bytes) {
+    t = cache.access(t, a, 4, false);
+  }
+  const u64 warm_misses = cache.stats().get("misses");
+  EXPECT_EQ(warm_misses, g.size_bytes / g.line_bytes);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (Addr a = 0; a < g.size_bytes; a += g.line_bytes) {
+      t = cache.access(t, a, 4, false);
+    }
+  }
+  EXPECT_EQ(cache.stats().get("misses"), warm_misses)
+      << "size=" << g.size_bytes << " ways=" << g.ways
+      << " line=" << g.line_bytes;
+  EXPECT_GT(cache.hit_ratio(), 0.74);
+}
+
+TEST_P(CacheGeometry, OverCapacityCyclicThrashes) {
+  const Geometry g = GetParam();
+  FixedLatency next(100);
+  CacheConfig cfg{.name = "sweep",
+                  .size_bytes = g.size_bytes,
+                  .line_bytes = g.line_bytes,
+                  .ways = g.ways,
+                  .write_through = false,
+                  .write_allocate = true};
+  CacheModel cache(cfg, &next);
+  // 2x capacity cyclic with LRU: every access misses after the first
+  // lap (the classic LRU pathological case).
+  Cycles t = 0;
+  const Addr span = 2ull * g.size_bytes;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (Addr a = 0; a < span; a += g.line_bytes) {
+      t = cache.access(t, a, 4, false);
+    }
+  }
+  EXPECT_LT(cache.hit_ratio(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheGeometry,
+    ::testing::Values(Geometry{1024, 1, 32}, Geometry{1024, 2, 64},
+                      Geometry{4096, 4, 64}, Geometry{16 * 1024, 8, 64},
+                      Geometry{32 * 1024, 8, 64}, Geometry{512, 1, 16},
+                      Geometry{2048, 16, 32}, Geometry{8192, 2, 128}));
+
+TEST(CacheInvariants, HitsPlusMissesEqualsAccesses) {
+  Xoshiro256 rng(21);
+  FixedLatency next(50);
+  CacheModel cache({.name = "inv", .size_bytes = 2048, .line_bytes = 64,
+                    .ways = 2},
+                   &next);
+  Cycles t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Addr addr = rng.next_below(1 << 14);
+    t = cache.access(t, addr & ~3ull, 4, rng.next_below(4) == 0);
+  }
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.get("hits") + s.get("misses"),
+            s.get("reads") + s.get("writes"));
+}
+
+TEST(CacheInvariants, WritebacksNeverExceedDirtyingWrites) {
+  Xoshiro256 rng(22);
+  FixedLatency next(50);
+  CacheModel cache({.name = "wb",
+                    .size_bytes = 1024,
+                    .line_bytes = 64,
+                    .ways = 1,
+                    .write_through = false,
+                    .write_allocate = true},
+                   &next);
+  Cycles t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Addr addr = rng.next_below(1 << 13);
+    t = cache.access(t, addr & ~7ull, 8, rng.next_below(2) == 0);
+  }
+  EXPECT_LE(cache.stats().get("writebacks"), cache.stats().get("writes"));
+}
+
+// ---------------------------------------------------------------------
+// Timing monotonicity: every MemTiming must return completion >= now,
+// monotone in `now` across a request sequence.
+// ---------------------------------------------------------------------
+
+template <typename Model>
+void check_monotone(Model& model, u64 seed, bool serialised) {
+  Xoshiro256 rng(seed);
+  Cycles now = 0;
+  Cycles last_done = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += rng.next_below(50);
+    const Addr addr = 0x8000'0000ull + rng.next_below(1 << 22);
+    const u32 bytes = 1u << rng.next_below(10);
+    const Cycles done =
+        model.access(now, addr, bytes, rng.next_below(2) == 0);
+    EXPECT_GE(done, now);
+    if (serialised) {
+      // Devices with internal occupancy serialise: completions are
+      // non-decreasing when requests are issued in time order.
+      EXPECT_GE(done, last_done);
+    }
+    last_done = done;
+  }
+}
+
+TEST(TimingMonotonicity, HyperRam) {
+  HyperRamModel model({});
+  check_monotone(model, 31, true);
+}
+
+TEST(TimingMonotonicity, RpcDram) {
+  RpcDramModel model({});
+  check_monotone(model, 32, true);
+}
+
+TEST(TimingMonotonicity, Ddr4) {
+  Ddr4Model model({});
+  check_monotone(model, 33, true);
+}
+
+TEST(TimingMonotonicity, LlcOverDdr) {
+  Ddr4Model ddr({});
+  Llc llc(LlcConfig{}, &ddr);
+  check_monotone(llc, 34, /*serialised=*/false);  // LLC hits overtake misses
+}
+
+// ---------------------------------------------------------------------
+// Bandwidth identities.
+// ---------------------------------------------------------------------
+
+TEST(Bandwidth, HyperRamApproachesPeakOnLargeBursts) {
+  HyperRamConfig cfg;
+  cfg.refresh_period = 1u << 30;
+  HyperRamModel model(cfg);
+  const u32 bytes = 1 << 20;
+  const Cycles done = model.access(0, 0x8000'0000, bytes, false);
+  const double achieved = static_cast<double>(bytes) / done;
+  EXPECT_GT(achieved, 0.9 * cfg.peak_bytes_per_cycle());
+  EXPECT_LE(achieved, cfg.peak_bytes_per_cycle());
+}
+
+TEST(Bandwidth, RpcDramOutpacesHyperRamAtSameClock) {
+  HyperRamConfig hcfg;
+  hcfg.refresh_period = 1u << 30;
+  RpcDramConfig rcfg;
+  rcfg.refresh_period = 1u << 30;
+  HyperRamModel hyper(hcfg);
+  RpcDramModel rpc(rcfg);
+  const u32 bytes = 64 * 1024;
+  EXPECT_LT(rpc.access(0, 0x8000'0000, bytes, false),
+            hyper.access(0, 0x8000'0000, bytes, false));
+}
+
+TEST(Bandwidth, TransferTimeMonotoneInSize) {
+  HyperRamModel model({});
+  Cycles prev = 0;
+  for (u32 bytes = 16; bytes <= 1 << 16; bytes *= 2) {
+    HyperRamModel fresh({});
+    const Cycles done = fresh.access(0, 0x8000'0000, bytes, false);
+    EXPECT_GT(done, prev) << bytes;
+    prev = done;
+  }
+  (void)model;
+}
+
+// ---------------------------------------------------------------------
+// RPC DRAM row-buffer behaviour.
+// ---------------------------------------------------------------------
+
+TEST(RpcDram, RowHitsAreFasterThanRowMisses) {
+  RpcDramConfig cfg;
+  cfg.refresh_period = 1u << 30;
+  RpcDramModel model(cfg);
+  // First access opens the row.
+  const Cycles t0 = model.access(0, 0x8000'0000, 64, false);
+  // Same row: hit.
+  const Cycles hit = model.access(t0, 0x8000'0040, 64, false) - t0;
+  // Different row, same bank: precharge + activate.
+  const Addr far = 0x8000'0000 + cfg.row_bytes * cfg.num_banks * 4;
+  const Cycles t1 = model.access(t0 + hit, far, 64, false);
+  const Cycles miss = t1 - (t0 + hit);
+  EXPECT_LT(hit, miss);
+  EXPECT_GE(model.stats().get("row_hits"), 1u);
+  EXPECT_GE(model.stats().get("row_conflicts"), 1u);
+}
+
+TEST(RpcDram, SequentialStreamMostlyRowHits) {
+  RpcDramConfig cfg;
+  cfg.refresh_period = 1u << 30;
+  RpcDramModel model(cfg);
+  Cycles t = 0;
+  for (Addr a = 0; a < 64 * 1024; a += 64) {
+    t = model.access(t, 0x8000'0000 + a, 64, false);
+  }
+  EXPECT_GT(model.stats().get("row_hits"),
+            4 * model.stats().get("row_activations"));
+}
+
+// ---------------------------------------------------------------------
+// Backing store: randomized differential test vs a reference byte map.
+// ---------------------------------------------------------------------
+
+TEST(BackingStoreDifferential, MatchesReferenceModel) {
+  Xoshiro256 rng(99);
+  BackingStore store;
+  std::map<Addr, u8> reference;
+
+  for (int i = 0; i < 3000; ++i) {
+    const Addr addr = 0x8000'0000ull + rng.next_below(1 << 16);
+    const u32 len = 1 + static_cast<u32>(rng.next_below(64));
+    if (rng.next_below(2) == 0) {
+      std::vector<u8> data(len);
+      for (auto& b : data) b = static_cast<u8>(rng.next());
+      store.write(addr, data.data(), len);
+      for (u32 j = 0; j < len; ++j) reference[addr + j] = data[j];
+    } else {
+      std::vector<u8> got(len);
+      store.read(addr, got.data(), len);
+      for (u32 j = 0; j < len; ++j) {
+        const auto it = reference.find(addr + j);
+        const u8 want = it == reference.end() ? 0 : it->second;
+        ASSERT_EQ(got[j], want) << "addr=" << addr + j << " iter=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// LLC conservation properties.
+// ---------------------------------------------------------------------
+
+TEST(LlcProperties, RefillsEqualMisses) {
+  Xoshiro256 rng(7);
+  Ddr4Model ddr({});
+  Llc llc(LlcConfig{}, &ddr);
+  Cycles t = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const Addr addr = 0x8000'0000ull + (rng.next_below(1 << 19) & ~7ull);
+    t = llc.access(t, addr, 8, rng.next_below(3) == 0);
+  }
+  // Every miss triggers exactly one refill read of one line downstream.
+  EXPECT_EQ(ddr.stats().get("reads"), llc.stats().get("misses"));
+  EXPECT_EQ(ddr.stats().get("bytes_read"),
+            llc.stats().get("misses") * llc.config().line_bytes());
+  // Write-backs downstream match evictions.
+  EXPECT_EQ(ddr.stats().get("writes"), llc.stats().get("evictions"));
+}
+
+TEST(LlcProperties, MoreWaysNeverMissMore) {
+  // LRU is a stack algorithm per set: at a fixed set count, growing the
+  // associativity can only remove misses (inclusion property).
+  Xoshiro256 rng(8);
+  std::vector<Addr> trace(20000);
+  for (auto& addr : trace) {
+    addr = 0x8000'0000ull + (rng.next_below(1 << 18) & ~7ull);
+  }
+  u64 prev_misses = ~0ull;
+  for (const u32 ways : {1u, 2u, 4u, 8u, 16u}) {
+    Ddr4Model ddr({});
+    LlcConfig cfg;
+    cfg.num_ways = ways;
+    cfg.num_lines = 256;
+    Llc llc(cfg, &ddr);
+    Cycles t = 0;
+    for (const Addr addr : trace) t = llc.access(t, addr, 8, false);
+    EXPECT_LE(llc.stats().get("misses"), prev_misses) << ways;
+    prev_misses = llc.stats().get("misses");
+  }
+}
+
+}  // namespace
+}  // namespace hulkv::mem

@@ -1,0 +1,166 @@
+// Text-assembler tests, including the disasm -> parse -> encode
+// round-trip property over the full operation set.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/soc.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "isa/encoding_table.hpp"
+#include "isa/parser.hpp"
+#include "kernels/kernel.hpp"
+
+namespace hulkv::isa {
+namespace {
+
+using detail::Fmt;
+
+Instr random_instr(const detail::EncInfo& info, Xoshiro256& rng) {
+  Instr in;
+  in.op = info.op;
+  in.rd = static_cast<u8>(rng.next_below(32));
+  in.rs1 = static_cast<u8>(rng.next_below(32));
+  in.rs2 = static_cast<u8>(rng.next_below(32));
+  in.rs3 = static_cast<u8>(rng.next_below(32));
+  switch (info.fmt) {
+    case Fmt::kI:
+    case Fmt::kS:
+      in.imm = static_cast<i32>(rng.next_range(-2048, 2047));
+      break;
+    case Fmt::kShamt:
+      in.imm = static_cast<i32>(rng.next_below(info.opcode == 0x13 ? 64 : 32));
+      break;
+    case Fmt::kB:
+      in.imm = static_cast<i32>(rng.next_range(-1024, 1023)) * 2;
+      break;
+    case Fmt::kU:
+      in.imm = static_cast<i32>(rng.next_below(1u << 20) << 12);
+      break;
+    case Fmt::kJ:
+      in.imm = static_cast<i32>(rng.next_range(-(1 << 18), (1 << 18))) * 2;
+      break;
+    case Fmt::kCsr:
+      in.imm = static_cast<i32>(rng.next_below(0x1000));
+      break;
+    case Fmt::kCsrImm:
+      in.imm = static_cast<i32>(rng.next_below(0x1000));
+      in.rs1 = static_cast<u8>(rng.next_below(32));  // uimm5
+      break;
+    default:
+      break;
+  }
+  if (info.fmt == Fmt::kRUnary) in.rs2 = 0;
+  if (info.fmt == Fmt::kSys) in.rd = in.rs1 = in.rs2 = 0;
+  return in;
+}
+
+TEST(Parser, DisasmParseRoundTripAllOps) {
+  Xoshiro256 rng(404);
+  for (const auto& info : detail::encoding_table()) {
+    for (int trial = 0; trial < 16; ++trial) {
+      const Instr in = random_instr(info, rng);
+      const u32 want = encode(in);
+      const std::string text = disasm(in);
+      std::vector<u32> words;
+      ASSERT_NO_THROW(words = parse_program(text, 0, true))
+          << mnemonic(info.op) << ": '" << text << "'";
+      ASSERT_EQ(words.size(), 1u) << text;
+      EXPECT_EQ(words[0], want)
+          << mnemonic(info.op) << ": '" << text << "' -> "
+          << disasm_word(words[0]);
+    }
+  }
+}
+
+TEST(Parser, AbiNamesAndComments) {
+  const auto words = parse_program(R"(
+      # whole-line comment
+      addi t0, zero, 5     // trailing comment
+      add  a0, t0, sp
+      sw   a0, -8(fp)      # fp == s0 == x8
+  )",
+                                   0, true);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(disasm_word(words[0]), "addi x5, x0, 5");
+  EXPECT_EQ(disasm_word(words[1]), "add x10, x5, x2");
+  EXPECT_EQ(disasm_word(words[2]), "sw x10, -8(x8)");
+}
+
+TEST(Parser, LabelsAndPseudos) {
+  const auto words = parse_program(R"(
+      li   t0, 3
+      li   t1, 0
+    loop:
+      addi t1, t1, 2
+      addi t0, t0, -1
+      bnez t0, loop
+      mv   a0, t1
+      ret
+  )",
+                                   0x1000, true);
+  ASSERT_GE(words.size(), 7u);
+  // The backward branch resolves to the loop label.
+  const Instr branch = decode(words[4]);
+  EXPECT_EQ(branch.op, Op::kBne);
+  EXPECT_EQ(branch.imm, -8);
+}
+
+TEST(Parser, FullProgramRunsOnTheHost) {
+  // Sum 1..100 written as text assembly, executed on the CVA6 ISS.
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  core::HulkVSoc soc(cfg);
+  const auto program = parse_program(R"(
+      li   a0, 0
+      li   t0, 1
+      li   t1, 101
+    loop:
+      add  a0, a0, t0
+      addi t0, t0, 1
+      blt  t0, t1, loop
+      li   a7, 93
+      ecall
+  )",
+                                     core::layout::kHostCodeBase, true);
+  EXPECT_EQ(kernels::run_host_program(soc, program, {}).exit_code, 5050u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_program("nop\nbogus x1, x2\n", 0, true);
+    FAIL() << "expected a SimError";
+  } catch (const SimError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW(parse_program("addi x1, x2\n", 0, true), SimError);  // arity
+  EXPECT_THROW(parse_program("addi q1, x2, 3\n", 0, true), SimError);
+  EXPECT_THROW(parse_program("lw x1, nope(x2)\n", 0, true), SimError);
+  EXPECT_THROW(parse_program("beq x1, x2, nowhere\n", 0, true), SimError);
+}
+
+TEST(Parser, HexAndNegativeImmediates) {
+  const auto words =
+      parse_program("xori a0, a1, -1\nlui t0, 0xFEDCB\n", 0, true);
+  const Instr x = decode(words[0]);
+  EXPECT_EQ(x.imm, -1);
+  const Instr lui = decode(words[1]);
+  EXPECT_EQ(static_cast<u32>(lui.imm), 0xFEDCB000u);
+}
+
+TEST(Parser, CharacterLiterals) {
+  const auto words = parse_program("li t0, 'A'\n", 0, true);
+  const Instr li = decode(words[0]);
+  EXPECT_EQ(li.op, Op::kAddi);
+  EXPECT_EQ(li.imm, 'A');
+}
+
+TEST(Parser, PcRelativeBranchLiterals) {
+  const auto words = parse_program("beq x1, x2, pc+16\njal x1, pc-4\n", 0,
+                                   true);
+  EXPECT_EQ(decode(words[0]).imm, 16);
+  EXPECT_EQ(decode(words[1]).imm, -4);
+}
+
+}  // namespace
+}  // namespace hulkv::isa

@@ -1,0 +1,101 @@
+// Power/energy model tests against the published Table II numbers.
+#include <gtest/gtest.h>
+
+#include "power/energy.hpp"
+#include "power/power_model.hpp"
+
+namespace hulkv::power {
+namespace {
+
+TEST(PowerModel, TableIIMaxPowerReproduced) {
+  PowerModel model;
+  // Max power per block at fmax must match Table II within rounding.
+  EXPECT_NEAR(model.top.max_power_mw(), 100.53, 0.5);
+  EXPECT_NEAR(model.cva6.max_power_mw(), 47.54, 0.2);
+  EXPECT_NEAR(model.pmca.max_power_mw(), 88.18, 0.2);
+  EXPECT_NEAR(model.mem_ctrl.max_power_mw(), 1.16, 0.05);
+  EXPECT_NEAR(model.total_max_power_mw(), 237.41, 0.5);
+  EXPECT_NEAR(model.total_leakage_mw(), 14.94, 0.05);
+}
+
+TEST(PowerModel, PaperHeadlineClaimsHold) {
+  PowerModel model;
+  // "within a power envelope of just 250 mW".
+  EXPECT_LT(model.total_max_power_mw(), 250.0);
+  // "die area smaller than 9 mm^2".
+  EXPECT_LT(model.die_area_mm2(), 9.0);
+  // HyperRAM controller "consumes less than 2 mW at maximum frequency"
+  // (dynamic part; total including leakage stays ~1.2 mW).
+  EXPECT_LT(model.mem_ctrl.max_power_mw(), 2.0);
+  // ...which is about two orders of magnitude less than the LPDDR4
+  // subsystem it replaces.
+  EXPECT_GT(model.lpddr4_active_mw / model.mem_ctrl.max_power_mw(), 100.0);
+}
+
+TEST(PowerModel, ActivityScalesDynamicOnly) {
+  PowerModel model;
+  const double idle = model.pmca.power_mw(400.0, 0.0);
+  EXPECT_DOUBLE_EQ(idle, model.pmca.leakage_mw);
+  const double half = model.pmca.power_mw(400.0, 0.5);
+  const double full = model.pmca.power_mw(400.0, 1.0);
+  EXPECT_NEAR(full - idle, 2 * (half - idle), 1e-9);
+}
+
+TEST(Energy, ZeroDurationIsZero) {
+  const EnergyReport report = compute_energy({}, PowerModel{}, {});
+  EXPECT_EQ(report.total_mj, 0.0);
+}
+
+TEST(Energy, LpddrCostsMoreThanHyperForSameRun) {
+  PowerModel model;
+  core::FrequencyPlan freq;
+  RunActivity activity;
+  activity.duration = 1'000'000;
+  activity.cluster_activity = 1.0;
+  activity.host_activity = 0.1;
+  activity.mem_busy_cycles = 100'000;
+
+  activity.memory = core::MainMemoryKind::kHyperRam;
+  const auto hyper = compute_energy(activity, model, freq);
+  activity.memory = core::MainMemoryKind::kDdr4;
+  const auto lpddr = compute_energy(activity, model, freq);
+
+  EXPECT_GT(lpddr.total_mj, hyper.total_mj);
+  // The compute-bound regime of Fig. 9: the LPDDR4 subsystem roughly
+  // doubles the platform energy.
+  EXPECT_GT(lpddr.total_mj / hyper.total_mj, 1.4);
+  EXPECT_LT(lpddr.total_mj / hyper.total_mj, 3.0);
+}
+
+TEST(Energy, GopsArithmetic) {
+  // 10 ops/cycle at 400 MHz = 4 GOps.
+  EXPECT_NEAR(gops(10'000, 1'000, 400.0), 4.0, 1e-9);
+  // 1e9 ops in 1 mJ = 1000 GOps/W... sanity: ops / (1e-3 J) / 1e9.
+  EXPECT_NEAR(gops_per_watt(1'000'000'000ull, 1.0), 1000.0, 1e-6);
+  EXPECT_EQ(gops(100, 0, 400.0), 0.0);
+  EXPECT_EQ(gops_per_watt(100, 0.0), 0.0);
+}
+
+TEST(Energy, PaperEfficiencyBallpark) {
+  // Cluster at 13.8 GOps and 88.18 mW -> ~156 GOps/W (the paper's 157).
+  PowerModel model;
+  const double seconds = 1.0;
+  const double ops = 13.8e9 * seconds;
+  const double energy_mj = model.pmca.max_power_mw() * seconds;
+  EXPECT_NEAR(gops_per_watt(static_cast<u64>(ops), energy_mj), 156.5, 2.0);
+}
+
+TEST(Render, TablesContainAllBlocks) {
+  PowerModel model;
+  const std::string table = render_power_table(model);
+  EXPECT_NE(table.find("CVA6"), std::string::npos);
+  EXPECT_NE(table.find("PMCA"), std::string::npos);
+  EXPECT_NE(table.find("Mem Ctrl."), std::string::npos);
+  EXPECT_NE(table.find("Total"), std::string::npos);
+  const std::string plan = render_floorplan(model);
+  EXPECT_NE(plan.find("PMCA"), std::string::npos);
+  EXPECT_NE(plan.find("CVA6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hulkv::power

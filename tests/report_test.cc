@@ -1,0 +1,64 @@
+// SocReport: unified counter snapshots and deltas.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/kernel.hpp"
+
+namespace hulkv::core {
+namespace {
+
+using isa::Assembler;
+using namespace isa::reg;
+
+SocConfig fast_config() {
+  SocConfig cfg;
+  cfg.main_memory = MainMemoryKind::kDdr4;
+  return cfg;
+}
+
+TEST(SocReport, CapturesAllBlocks) {
+  HulkVSoc soc(fast_config());
+  const SocReport report = SocReport::capture(soc);
+  const auto groups = report.groups();
+  // At minimum the always-present stat groups show up.
+  for (const char* name : {"host_l1i", "host_l1d", "tcdm", "cluster_dma",
+                           "udma", "soc_bus", "llc", "ddr4"}) {
+    EXPECT_NE(std::find(groups.begin(), groups.end(), name), groups.end())
+        << name;
+  }
+}
+
+TEST(SocReport, DeltaIsolatesOnePhase) {
+  HulkVSoc soc(fast_config());
+  Assembler a(layout::kHostCodeBase, true);
+  a.li(t0, layout::kSharedBase);
+  a.lw(t1, 0, t0);
+  a.lw(t2, 64, t0);
+  a.li(a7, 93);
+  a.li(a0, 0);
+  a.ecall();
+  const auto program = a.assemble();
+
+  kernels::run_host_program(soc, program, {});
+  const SocReport before = SocReport::capture(soc);
+  kernels::run_host_program(soc, program, {});
+  const SocReport after = SocReport::capture(soc);
+  const SocReport delta = after.delta_since(before);
+
+  // Second run: the two data loads hit the warm L1 (2 hits, 0 misses).
+  EXPECT_EQ(delta.get("host_l1d", "reads"), 2u);
+  EXPECT_EQ(delta.get("host_l1d", "misses"), 0u);
+  EXPECT_EQ(delta.get("host_l1d", "hits"), 2u);
+  // Unknown counters read as zero.
+  EXPECT_EQ(delta.get("nope", "nothing"), 0u);
+}
+
+TEST(SocReport, RenderSkipsZeroCounters) {
+  HulkVSoc soc(fast_config());
+  const std::string text = SocReport::capture(soc).to_string();
+  EXPECT_EQ(text.find(" = 0\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hulkv::core

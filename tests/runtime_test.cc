@@ -1,0 +1,223 @@
+// Offload-runtime tests: hulk_malloc/arenas, kernel registration, lazy
+// code load (the Fig. 6 overhead mechanism), mailbox handshake, OpenMP
+// facade, and host-syscall bridging.
+#include <gtest/gtest.h>
+
+#include "core/soc.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/cluster_kernels.hpp"
+#include "kernels/kernel.hpp"
+#include "runtime/offload.hpp"
+#include "runtime/omp.hpp"
+
+namespace hulkv::runtime {
+namespace {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+core::SocConfig fast_config() {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  return cfg;
+}
+
+/// Minimal cluster kernel: every core writes hartid+arg[0] to
+/// tcdm[0x400+4*hart], then exits.
+std::vector<u32> stamp_kernel() {
+  Assembler a(0, false);
+  a.lw(s1, 0, a0);  // args[0]
+  a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+  a.add(t1, t0, s1);
+  a.slli(t2, t0, 2);
+  a.li(t3, mem::map::kTcdmBase + 0x400);
+  a.add(t2, t2, t3);
+  a.sw(t1, 0, t2);
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  return a.assemble();
+}
+
+TEST(Arena, AlignmentAndExhaustion) {
+  Arena arena(0x1000, 256);
+  EXPECT_EQ(arena.alloc(10, 8), 0x1000u);
+  EXPECT_EQ(arena.alloc(1, 64), 0x1040u);
+  EXPECT_EQ(arena.used(), 0x41u);
+  EXPECT_EQ(arena.available(), 256u - 0x41u);
+  EXPECT_THROW(arena.alloc(1000), SimError);
+  arena.reset();
+  EXPECT_EQ(arena.alloc(10, 8), 0x1000u);
+}
+
+TEST(Arena, RejectsBadArguments) {
+  Arena arena(0, 128);
+  EXPECT_THROW(arena.alloc(0), SimError);
+  EXPECT_THROW(arena.alloc(8, 3), SimError);  // non-pow2 alignment
+}
+
+TEST(SharedRegion, HulkMallocIsContiguousAndAligned) {
+  SharedRegion shared(core::layout::kSharedBase, core::layout::kSharedSize);
+  const Addr a = shared.hulk_malloc(100);
+  const Addr b = shared.hulk_malloc(100);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  // The region is 32-bit addressable for the PMCA.
+  EXPECT_LE(b + 100, 0x1'0000'0000ull);
+}
+
+TEST(Offload, RunsKernelAndReturnsTiming) {
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  const auto handle = runtime.register_kernel("stamp", stamp_kernel());
+  const u32 arg = 1000;
+  const auto result = runtime.offload(handle, std::array<u32, 1>{arg});
+  EXPECT_TRUE(result.total > 0);
+  EXPECT_GT(result.code_load, 0u);  // first offload pays the lazy load
+  EXPECT_GT(result.kernel, 0u);
+  EXPECT_EQ(result.total,
+            result.code_load + result.kernel + result.handshake);
+  for (u32 c = 0; c < 8; ++c) {
+    u32 v = 0;
+    soc.read_mem(mem::map::kTcdmBase + 0x400 + 4 * c, &v, 4);
+    EXPECT_EQ(v, 1000 + c);
+  }
+}
+
+TEST(Offload, LazyLoadPaidOnceThenAmortised) {
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  const auto handle = runtime.register_kernel("stamp", stamp_kernel());
+  const auto first = runtime.offload(handle, std::array<u32, 1>{1});
+  const auto second = runtime.offload(handle, std::array<u32, 1>{2});
+  EXPECT_GT(first.code_load, 0u);
+  EXPECT_EQ(second.code_load, 0u);
+  EXPECT_LT(second.total, first.total);
+  // Eviction brings the cost back (models re-offload after cold start).
+  runtime.evict_all();
+  const auto third = runtime.offload(handle, std::array<u32, 1>{3});
+  EXPECT_GT(third.code_load, 0u);
+}
+
+TEST(Offload, PreloadRemovesLazyCost) {
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  const auto handle = runtime.register_kernel("stamp", stamp_kernel());
+  runtime.preload(handle);
+  const auto result = runtime.offload(handle, std::array<u32, 1>{1});
+  EXPECT_EQ(result.code_load, 0u);
+}
+
+TEST(Offload, LazyLoadScalesWithCodeSize) {
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  Assembler big(0, false);
+  for (int i = 0; i < 2000; ++i) big.nop();
+  big.li(a7, cluster::envcall::kExit);
+  big.ecall();
+  const auto small_h = runtime.register_kernel("small", stamp_kernel());
+  const auto big_h = runtime.register_kernel("big", big.assemble());
+  const auto rs = runtime.offload(small_h, std::array<u32, 1>{0});
+  const auto rb = runtime.offload(big_h, {});
+  EXPECT_GT(rb.code_load, 10 * rs.code_load);
+}
+
+TEST(Offload, HostClockAdvancesAcrossOffload) {
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  const auto handle = runtime.register_kernel("stamp", stamp_kernel());
+  const Cycles before = soc.host().now();
+  const auto result = runtime.offload(handle, std::array<u32, 1>{1});
+  EXPECT_EQ(soc.host().now(), before + result.total);
+}
+
+TEST(Offload, ArgumentBlockOverflowRejected) {
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  const auto handle = runtime.register_kernel("stamp", stamp_kernel());
+  std::vector<u32> too_many(100, 0);
+  EXPECT_THROW(runtime.offload(handle, too_many), SimError);
+}
+
+TEST(Offload, BadHandleRejected) {
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  EXPECT_THROW(runtime.offload(KernelHandle{}, {}), SimError);
+}
+
+TEST(Omp, TargetRegionLaunches) {
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  omp::TargetRegion region(&runtime, "stamp", stamp_kernel());
+  const auto result = region({u32{500}});
+  EXPECT_GT(result.kernel, 0u);
+  u32 v = 0;
+  soc.read_mem(mem::map::kTcdmBase + 0x400 + 4 * 3, &v, 4);
+  EXPECT_EQ(v, 503u);
+  const Addr buf = region.target_alloc(256);
+  EXPECT_GE(buf, core::layout::kSharedBase);
+}
+
+TEST(Syscalls, GuestProgramOffloadsViaEcall) {
+  // Full stack: a host *program* (running on the CVA6 ISS) performs the
+  // offload through the syscall bridge, like a Linux user process
+  // calling into the PMCA driver.
+  core::HulkVSoc soc(fast_config());
+  OffloadRuntime runtime(&soc);
+  runtime.install_host_syscalls();
+  const auto handle = runtime.register_kernel("stamp", stamp_kernel());
+
+  Assembler a(core::layout::kHostCodeBase, true);
+  // hulk_malloc(64) -> a0 (just exercises the malloc syscall).
+  a.li(a0, 64);
+  a.li(a7, OffloadRuntime::kSyscallOffload + 1);
+  a.ecall();
+  a.mv(s0, a0);
+  // Store the arg array (one word: 7000) on the stack.
+  a.li(t0, 7000);
+  a.sw(t0, -16, sp);
+  a.addi(a1, sp, -16);
+  a.li(a0, handle.index);
+  a.li(a2, 1);
+  a.li(a7, OffloadRuntime::kSyscallOffload);
+  a.ecall();
+  a.mv(a0, s0);  // exit code = malloc'd address (sanity)
+  a.li(a7, 93);
+  a.ecall();
+
+  const auto run = kernels::run_host_program(soc, a.assemble(), {});
+  EXPECT_GE(run.exit_code, core::layout::kSharedBase);
+  u32 v = 0;
+  soc.read_mem(mem::map::kTcdmBase + 0x400, &v, 4);
+  EXPECT_EQ(v, 7000u);
+}
+
+TEST(Mailbox, FifoOrderAndIrq) {
+  bool raised = false;
+  core::Mailbox mailbox([&] { raised = true; });
+  mailbox.post_to_cluster(1);
+  mailbox.post_to_cluster(2);
+  EXPECT_EQ(mailbox.pop_cluster(), 1u);
+  EXPECT_EQ(mailbox.pop_cluster(), 2u);
+  EXPECT_FALSE(raised);
+  mailbox.post_to_host(9);
+  EXPECT_TRUE(raised);
+  EXPECT_EQ(mailbox.mmio_read(core::Mailbox::kStatus, 4), 2u);
+  EXPECT_EQ(mailbox.mmio_read(core::Mailbox::kC2hRead, 4), 9u);
+  EXPECT_THROW(mailbox.pop_host(), SimError);
+}
+
+TEST(Iopmp, RegionSemantics) {
+  core::Iopmp iopmp;
+  iopmp.add_region({0x1000, 0x100, true, false});  // read-only window
+  EXPECT_TRUE(iopmp.check(0x1000, 4, false));
+  EXPECT_FALSE(iopmp.check(0x1000, 4, true));
+  EXPECT_FALSE(iopmp.check(0x10FC, 8, false));  // crosses the window end
+  EXPECT_FALSE(iopmp.check(0x2000, 4, false));
+  iopmp.set_enforcing(false);
+  EXPECT_TRUE(iopmp.check(0x2000, 4, true));
+}
+
+}  // namespace
+}  // namespace hulkv::runtime

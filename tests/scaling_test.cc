@@ -1,0 +1,260 @@
+// Tests for the parallel-scaling features: OpenMP-style team sizes, the
+// ReLU activation kernel, the tiler's 2D uDMA gathering, and the
+// instruction-trace hook.
+#include <gtest/gtest.h>
+
+#include "apps/dory_tiler.hpp"
+#include "apps/networks.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include <bit>
+
+#include "isa/assembler.hpp"
+#include "core/soc.hpp"
+#include "kernels/cluster_kernels.hpp"
+#include "kernels/golden.hpp"
+#include "runtime/offload.hpp"
+#include "runtime/omp.hpp"
+
+namespace hulkv {
+namespace {
+
+core::SocConfig fast_config() {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  return cfg;
+}
+
+constexpr Addr kTcdm = mem::map::kTcdmBase;
+
+/// Offload the int8 matmul on a team of `team` cores; returns cycles.
+Cycles matmul_cycles(u32 team) {
+  const u32 m = 32, n = 32, k = 32;
+  core::HulkVSoc soc(fast_config());
+  runtime::OffloadRuntime rt(&soc);
+  Xoshiro256 rng(5);
+  std::vector<i8> a(m * k), bt(n * k);
+  for (auto& v : a) v = static_cast<i8>(rng.next_range(-128, 127));
+  for (auto& v : bt) v = static_cast<i8>(rng.next_range(-128, 127));
+  const Addr pa = rt.hulk_malloc(a.size());
+  const Addr pbt = rt.hulk_malloc(bt.size());
+  const Addr pc = rt.hulk_malloc(u64{m} * n * 4);
+  soc.write_mem(pa, a.data(), a.size());
+  soc.write_mem(pbt, bt.data(), bt.size());
+  const u32 a_l1 = static_cast<u32>(kTcdm) + 0x100;
+  const std::array<u32, 6> args = {
+      static_cast<u32>(pa),  static_cast<u32>(pbt), static_cast<u32>(pc),
+      a_l1,                  a_l1 + m * k,          a_l1 + m * k + n * k};
+  const auto handle = rt.register_kernel(
+      "mm", kernels::cluster_matmul_i8(m, n, k).words);
+  rt.preload(handle);
+  const auto result = rt.offload(handle, args, team);
+
+  // Correctness must be team-size independent.
+  std::vector<i32> got(m * n), want(m * n);
+  soc.read_mem(pc, got.data(), got.size() * 4);
+  kernels::golden::matmul_i8(a, bt, want, m, n, k);
+  EXPECT_EQ(got, want) << "team=" << team;
+  return result.kernel;
+}
+
+TEST(TeamScaling, MoreCoresAreFaster) {
+  const Cycles t1 = matmul_cycles(1);
+  const Cycles t2 = matmul_cycles(2);
+  const Cycles t4 = matmul_cycles(4);
+  const Cycles t8 = matmul_cycles(8);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+  EXPECT_GT(t4, t8);
+  // Compute scales near-linearly (DMA is the serial fraction).
+  EXPECT_GT(static_cast<double>(t1) / t8, 3.0);
+}
+
+TEST(TeamScaling, OversizedTeamRejected) {
+  core::HulkVSoc soc(fast_config());
+  soc.load_program(mem::map::kL2Base, {isa::encode({.op = isa::Op::kEcall})});
+  EXPECT_THROW(
+      soc.cluster().run_kernel(0, mem::map::kL2Base, 0, /*team_size=*/9),
+      SimError);
+}
+
+TEST(TeamScaling, OmpFacadeNumThreads) {
+  core::HulkVSoc soc(fast_config());
+  runtime::OffloadRuntime rt(&soc);
+  // Kernel: every team member stamps tcdm[0x400+4*hart] with kCoreCount.
+  isa::Assembler a(0, false);
+  using namespace isa::reg;
+  a.li(a7, cluster::envcall::kCoreCount);
+  a.ecall();
+  a.mv(t1, a0);
+  a.ri(isa::Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+  a.slli(t2, t0, 2);
+  a.li(t3, kTcdm + 0x400);
+  a.add(t2, t2, t3);
+  a.sw(t1, 0, t2);
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+
+  runtime::omp::TargetRegion region(&rt, "stamp", a.assemble());
+  // Clear the stamp area.
+  const u32 zeros[8] = {};
+  soc.write_mem(kTcdm + 0x400, zeros, sizeof(zeros));
+  region.set_num_threads(3);
+  region({});
+  for (u32 c = 0; c < 8; ++c) {
+    u32 v = 0;
+    soc.read_mem(kTcdm + 0x400 + 4 * c, &v, 4);
+    EXPECT_EQ(v, c < 3 ? 3u : 0u) << c;  // only the team ran; count == 3
+  }
+}
+
+TEST(ReluKernel, MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(17);
+  const u32 n = 1024;
+  std::vector<i8> x(n);
+  for (auto& v : x) v = static_cast<i8>(rng.next_range(-128, 127));
+  const Addr px = core::layout::kSharedBase;
+  const Addr py = px + n;
+  soc.write_mem(px, x.data(), n);
+
+  const u32 x_l1 = static_cast<u32>(kTcdm) + 0x100;
+  const u32 y_l1 = x_l1 + n;
+  const std::array<u32, 4> args = {static_cast<u32>(px),
+                                   static_cast<u32>(py), x_l1, y_l1};
+  soc.load_program(mem::map::kL2Base,
+                   kernels::cluster_relu_i8(n).words);
+  soc.write_mem(kTcdm, args.data(), args.size() * 4);
+  soc.cluster().run_kernel(0, mem::map::kL2Base, static_cast<u32>(kTcdm));
+
+  std::vector<i8> got(n), want(n);
+  soc.read_mem(py, got.data(), n);
+  kernels::golden::relu_i8(x, want);
+  EXPECT_EQ(got, want);
+}
+
+TEST(FullPrecisionKernels, MatmulI32MatchesReference) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(31);
+  const u32 m = 8, n = 6, k = 10;
+  std::vector<i32> a(m * k), bt(n * k);
+  for (auto& v : a) v = static_cast<i32>(rng.next_range(-1000, 1000));
+  for (auto& v : bt) v = static_cast<i32>(rng.next_range(-1000, 1000));
+  const Addr pa = core::layout::kSharedBase;
+  const Addr pbt = pa + a.size() * 4;
+  const Addr pc = pbt + bt.size() * 4 + 64;
+  soc.write_mem(pa, a.data(), a.size() * 4);
+  soc.write_mem(pbt, bt.data(), bt.size() * 4);
+  const u32 l1 = static_cast<u32>(kTcdm) + 0x100;
+  const std::array<u32, 6> args = {
+      static_cast<u32>(pa),    static_cast<u32>(pbt),
+      static_cast<u32>(pc),    l1,
+      l1 + m * k * 4,          l1 + (m + n) * k * 4};
+  soc.load_program(mem::map::kL2Base,
+                   kernels::cluster_matmul_i32(m, n, k).words);
+  soc.write_mem(kTcdm, args.data(), args.size() * 4);
+  soc.cluster().run_kernel(0, mem::map::kL2Base, static_cast<u32>(kTcdm));
+
+  std::vector<i32> got(m * n);
+  soc.read_mem(pc, got.data(), got.size() * 4);
+  for (u32 i = 0; i < m; ++i) {
+    for (u32 j = 0; j < n; ++j) {
+      i32 want = 0;
+      for (u32 kk = 0; kk < k; ++kk) want += a[i * k + kk] * bt[j * k + kk];
+      ASSERT_EQ(got[i * n + j], want) << i << "," << j;
+    }
+  }
+}
+
+TEST(FullPrecisionKernels, AxpyF32MatchesGolden) {
+  core::HulkVSoc soc(fast_config());
+  Xoshiro256 rng(32);
+  const u32 n = 256;
+  std::vector<float> x(n), y(n);
+  for (auto& v : x) v = static_cast<float>(rng.next_range(-64, 64)) / 8.0f;
+  for (auto& v : y) v = static_cast<float>(rng.next_range(-64, 64)) / 8.0f;
+  const float alpha = -1.5f;
+  const Addr px = core::layout::kSharedBase;
+  const Addr py = px + n * 4;
+  soc.write_mem(px, x.data(), n * 4);
+  soc.write_mem(py, y.data(), n * 4);
+  const u32 l1 = static_cast<u32>(kTcdm) + 0x100;
+  const std::array<u32, 5> args = {
+      static_cast<u32>(px), static_cast<u32>(py),
+      std::bit_cast<u32>(alpha), l1, l1 + n * 4};
+  soc.load_program(mem::map::kL2Base, kernels::cluster_axpy_f32(n).words);
+  soc.write_mem(kTcdm, args.data(), args.size() * 4);
+  soc.cluster().run_kernel(0, mem::map::kL2Base, static_cast<u32>(kTcdm));
+
+  std::vector<float> got(n);
+  soc.read_mem(py, got.data(), n * 4);
+  auto want = y;
+  kernels::golden::axpy_f32(alpha, x, want);
+  EXPECT_EQ(got, want);
+}
+
+TEST(FullPrecisionKernels, ReducedPrecisionIsFasterSameProblem) {
+  // The SIMD + MAC&Load claim of section VI-A, as a regression test:
+  // int8 must beat int32 by at least 2.5x on the same matmul.
+  const u32 m = 24, n = 24, k = 32;
+  auto run = [&](bool reduced) {
+    core::HulkVSoc soc(fast_config());
+    const u32 elem = reduced ? 1 : 4;
+    const Addr pa = core::layout::kSharedBase;
+    const Addr pbt = pa + u64{m} * k * elem;
+    const Addr pc = pbt + u64{n} * k * elem + 64;
+    const u32 l1 = static_cast<u32>(kTcdm) + 0x100;
+    const std::array<u32, 6> args = {
+        static_cast<u32>(pa),  static_cast<u32>(pbt), static_cast<u32>(pc),
+        l1,                    l1 + m * k * elem,
+        l1 + (m + n) * k * elem};
+    soc.load_program(mem::map::kL2Base,
+                     (reduced ? kernels::cluster_matmul_i8(m, n, k)
+                              : kernels::cluster_matmul_i32(m, n, k))
+                         .words);
+    soc.write_mem(kTcdm, args.data(), args.size() * 4);
+    return soc.cluster()
+        .run_kernel(0, mem::map::kL2Base, static_cast<u32>(kTcdm))
+        .cycles;
+  };
+  const Cycles full = run(false);
+  const Cycles reduced = run(true);
+  EXPECT_GT(static_cast<double>(full) / reduced, 2.5);
+}
+
+TEST(DoryTiler2d, SpilledActivationsUse2dGather) {
+  // With a constrained L2 staging budget the early high-resolution
+  // layers spill, and the tiler must gather their activations with 2D
+  // uDMA jobs (weights keep streaming with 1D jobs).
+  core::HulkVSoc soc;  // HyperRAM
+  apps::DoryConfig cfg;
+  cfg.l2_budget = 128 * 1024;
+  apps::DoryTiler tiler(&soc, cfg);
+  const auto sched = tiler.run(apps::dronet_200());
+  EXPECT_GT(soc.udma().stats().get("jobs_2d"), 0u);
+  EXPECT_GT(soc.udma().stats().get("jobs_1d"), 0u);  // weights still 1D
+  // Spilling moves strictly more external bytes than the weights alone.
+  EXPECT_GT(sched.ext_bytes, apps::dronet_200().total_weight_bytes());
+}
+
+TEST(Trace, EmitsDisassemblyAtTraceLevel) {
+  // Capture stderr while running a tiny traced program.
+  core::HulkVSoc soc(fast_config());
+  soc.host().set_trace(true);
+  set_log_level(LogLevel::kTrace);
+  isa::Assembler a(core::layout::kHostCodeBase, true);
+  using namespace isa::reg;
+  a.addi(t0, zero, 42);
+  a.li(a7, 93);
+  a.li(a0, 0);
+  a.ecall();
+  testing::internal::CaptureStderr();
+  kernels::run_host_program(soc, a.assemble(), {});
+  const std::string err = testing::internal::GetCapturedStderr();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_NE(err.find("addi x5, x0, 42"), std::string::npos) << err;
+  EXPECT_NE(err.find("ecall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hulkv

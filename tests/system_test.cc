@@ -1,0 +1,189 @@
+// Second-layer system tests: cluster-DMA 2D transfers (direct and from a
+// kernel via the envcall), the full mailbox -> PLIC -> WFI interrupt
+// path, PMCA demand accesses over the AXI port, and SoC bulk-copy edges.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/soc.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/kernel.hpp"
+
+namespace hulkv {
+namespace {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+core::SocConfig fast_config() {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  return cfg;
+}
+
+constexpr Addr kTcdm = mem::map::kTcdmBase;
+constexpr Addr kKernelL2 = mem::map::kL2Base;
+
+TEST(ClusterDma2d, GathersStridedRowsIntoTcdm) {
+  core::HulkVSoc soc(fast_config());
+  // 4 rows of 32 bytes, stride 128, in L2.
+  for (u32 r = 0; r < 4; ++r) {
+    std::vector<u8> row(32, static_cast<u8>(0x10 + r));
+    soc.write_mem(mem::map::kL2Base + 0x1000 + r * 128, row.data(), 32);
+  }
+  auto& dma = soc.cluster().dma();
+  const u32 job = dma.start_2d(0, static_cast<u32>(kTcdm) + 0x200,
+                               mem::map::kL2Base + 0x1000, 32, 4, 128);
+  EXPECT_GT(dma.finish_time(job), 0u);
+  for (u32 r = 0; r < 4; ++r) {
+    u8 first = 0, last = 0;
+    soc.read_mem(kTcdm + 0x200 + r * 32, &first, 1);
+    soc.read_mem(kTcdm + 0x200 + r * 32 + 31, &last, 1);
+    EXPECT_EQ(first, 0x10 + r);
+    EXPECT_EQ(last, 0x10 + r);
+  }
+}
+
+TEST(ClusterDma2d, ScattersTcdmRowsOut) {
+  core::HulkVSoc soc(fast_config());
+  std::vector<u8> block(64);
+  std::iota(block.begin(), block.end(), 0);
+  soc.write_mem(kTcdm + 0x300, block.data(), 64);
+  auto& dma = soc.cluster().dma();
+  dma.start_2d(0, mem::map::kL2Base + 0x2000, static_cast<u32>(kTcdm) + 0x300,
+               16, 4, 256);  // scatter 4 packed rows with stride 256
+  for (u32 r = 0; r < 4; ++r) {
+    u8 byte = 0;
+    soc.read_mem(mem::map::kL2Base + 0x2000 + r * 256 + 5, &byte, 1);
+    EXPECT_EQ(byte, r * 16 + 5);
+  }
+}
+
+TEST(ClusterDma2d, KernelDrives2dThroughEnvcall) {
+  core::HulkVSoc soc(fast_config());
+  // Pattern in shared memory: 3 rows of 8 bytes, stride 64.
+  for (u32 r = 0; r < 3; ++r) {
+    std::vector<u8> row(8, static_cast<u8>(r + 1));
+    soc.write_mem(core::layout::kSharedBase + r * 64, row.data(), 8);
+  }
+  Assembler a(0, false);
+  a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+  a.bnez(t0, "skip");
+  a.li(a0, kTcdm + 0x400);                         // dst (packed)
+  a.li(a1, static_cast<i64>(core::layout::kSharedBase));  // src
+  a.li(a2, 8);                                     // row bytes
+  a.li(a3, 3);                                     // rows
+  a.li(a4, 64);                                    // ext stride
+  a.li(a7, cluster::envcall::kDma2d);
+  a.ecall();
+  a.li(a7, cluster::envcall::kDmaWait);
+  a.ecall();
+  a.label("skip");
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  soc.load_program(kKernelL2, a.assemble());
+  soc.cluster().run_kernel(0, kKernelL2, static_cast<u32>(kTcdm));
+
+  for (u32 r = 0; r < 3; ++r) {
+    u8 byte = 0;
+    soc.read_mem(kTcdm + 0x400 + r * 8 + 3, &byte, 1);
+    EXPECT_EQ(byte, r + 1);
+  }
+  EXPECT_EQ(soc.cluster().dma().stats().get("jobs_2d"), 1u);
+}
+
+TEST(InterruptPath, MailboxRaisesPlicAndWakesWfi) {
+  // The full sleep path: the host enables the mailbox source, executes
+  // WFI, a message arrives (device side), the PLIC asserts, and the WFI
+  // handler wakes the core which then claims and reads the message.
+  core::HulkVSoc soc(fast_config());
+  auto& plic = soc.plic();
+  plic.mmio_write(4 * core::kMailboxIrqSource, 1, 4);  // priority
+  plic.mmio_write(host::Plic::kEnableOffset, 1u << core::kMailboxIrqSource,
+                  4);
+
+  // Deliver the message "in the future": the WFI handler models the wait.
+  bool posted = false;
+  soc.host().set_wfi_handler([&](Cycles now) {
+    soc.mailbox().post_to_host(0xCAFE);
+    posted = true;
+    return now + 500;
+  });
+
+  Assembler a(core::layout::kHostCodeBase, true);
+  a.wfi();
+  // Claim from the PLIC, then read the mailbox word.
+  a.li(t0, core::apbmap::kPlicBase);
+  a.li(t1, static_cast<i64>(host::Plic::kClaimOffset));
+  a.add(t0, t0, t1);
+  a.lw(t2, 0, t0);  // claim -> source id
+  a.li(t3, core::apbmap::kMailboxBase);
+  a.lw(a0, static_cast<i32>(core::Mailbox::kC2hRead), t3);
+  a.sw(t2, 0, t0);  // complete
+  a.li(a7, 93);
+  a.ecall();
+
+  const auto run = kernels::run_host_program(soc, a.assemble(), {});
+  EXPECT_TRUE(posted);
+  EXPECT_EQ(run.exit_code, 0xCAFEu);
+  EXPECT_GE(run.cycles, 500u);
+  EXPECT_FALSE(plic.interrupt_pending());
+}
+
+TEST(PmcaDemandAccess, ClusterCoreReadsL2OverAxi) {
+  core::HulkVSoc soc(fast_config());
+  const u32 value = 0xABCD1234;
+  soc.write_mem(mem::map::kL2Base + 0x4000, &value, 4);
+  Assembler a(0, false);
+  a.ri(Op::kCsrrs, t0, 0, isa::csr::kMhartid);
+  a.bnez(t0, "skip");
+  a.li(t1, mem::map::kL2Base + 0x4000);
+  a.lw(t2, 0, t1);  // demand load over the AXI master port
+  a.li(t3, kTcdm + 0x500);
+  a.sw(t2, 0, t3);
+  a.label("skip");
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  soc.load_program(kKernelL2, a.assemble());
+  soc.cluster().run_kernel(0, kKernelL2, static_cast<u32>(kTcdm));
+
+  u32 got = 0;
+  soc.read_mem(kTcdm + 0x500, &got, 4);
+  EXPECT_EQ(got, value);
+  EXPECT_EQ(soc.cluster().core(0).stats().get("demand_axi_loads"), 1u);
+}
+
+TEST(SocBulkCopy, CrossesChunkBoundaries) {
+  core::HulkVSoc soc(fast_config());
+  std::vector<u8> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  soc.write_mem(core::layout::kSharedBase + 123, data.data(), data.size());
+  std::vector<u8> back(data.size());
+  soc.read_mem(core::layout::kSharedBase + 123, back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST(SocBulkCopy, EmptyProgramRejected) {
+  core::HulkVSoc soc(fast_config());
+  EXPECT_THROW(soc.load_program(mem::map::kL2Base, {}), SimError);
+}
+
+TEST(HostTcdmAccess, HostReadsAndWritesTcdmOverAxi) {
+  core::HulkVSoc soc(fast_config());
+  Assembler a(core::layout::kHostCodeBase, true);
+  a.li(t0, static_cast<i64>(kTcdm) + 0x600);
+  a.li(t1, 0x5EED);
+  a.sw(t1, 0, t0);
+  a.lw(a0, 0, t0);
+  a.li(a7, 93);
+  a.ecall();
+  EXPECT_EQ(kernels::run_host_program(soc, a.assemble(), {}).exit_code,
+            0x5EEDu);
+  u32 direct = 0;
+  std::memcpy(&direct, soc.cluster().tcdm().storage().data() + 0x600, 4);
+  EXPECT_EQ(direct, 0x5EEDu);
+}
+
+}  // namespace
+}  // namespace hulkv
