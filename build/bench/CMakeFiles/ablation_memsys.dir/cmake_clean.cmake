@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memsys.dir/ablation_memsys.cpp.o"
+  "CMakeFiles/ablation_memsys.dir/ablation_memsys.cpp.o.d"
+  "ablation_memsys"
+  "ablation_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

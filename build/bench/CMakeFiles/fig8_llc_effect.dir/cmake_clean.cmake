@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_llc_effect.dir/fig8_llc_effect.cpp.o"
+  "CMakeFiles/fig8_llc_effect.dir/fig8_llc_effect.cpp.o.d"
+  "fig8_llc_effect"
+  "fig8_llc_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_llc_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

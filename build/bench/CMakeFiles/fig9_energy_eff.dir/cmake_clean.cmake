@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_energy_eff.dir/fig9_energy_eff.cpp.o"
+  "CMakeFiles/fig9_energy_eff.dir/fig9_energy_eff.cpp.o.d"
+  "fig9_energy_eff"
+  "fig9_energy_eff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_energy_eff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

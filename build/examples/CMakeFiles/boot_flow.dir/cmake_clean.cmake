@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_flow.dir/boot_flow.cpp.o"
+  "CMakeFiles/boot_flow.dir/boot_flow.cpp.o.d"
+  "boot_flow"
+  "boot_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

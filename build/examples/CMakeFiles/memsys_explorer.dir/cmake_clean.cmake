@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsys_explorer.dir/memsys_explorer.cpp.o"
+  "CMakeFiles/memsys_explorer.dir/memsys_explorer.cpp.o.d"
+  "memsys_explorer"
+  "memsys_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsys_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_matmul.dir/offload_matmul.cpp.o"
+  "CMakeFiles/offload_matmul.dir/offload_matmul.cpp.o.d"
+  "offload_matmul"
+  "offload_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dnn.cpp" "src/CMakeFiles/hulkv.dir/apps/dnn.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/apps/dnn.cpp.o.d"
+  "/root/repo/src/apps/dory_tiler.cpp" "src/CMakeFiles/hulkv.dir/apps/dory_tiler.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/apps/dory_tiler.cpp.o.d"
+  "/root/repo/src/apps/networks.cpp" "src/CMakeFiles/hulkv.dir/apps/networks.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/apps/networks.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/hulkv.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/cluster_dma.cpp" "src/CMakeFiles/hulkv.dir/cluster/cluster_dma.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/cluster/cluster_dma.cpp.o.d"
+  "/root/repo/src/cluster/event_unit.cpp" "src/CMakeFiles/hulkv.dir/cluster/event_unit.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/cluster/event_unit.cpp.o.d"
+  "/root/repo/src/cluster/icache.cpp" "src/CMakeFiles/hulkv.dir/cluster/icache.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/cluster/icache.cpp.o.d"
+  "/root/repo/src/cluster/pmca_core.cpp" "src/CMakeFiles/hulkv.dir/cluster/pmca_core.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/cluster/pmca_core.cpp.o.d"
+  "/root/repo/src/cluster/tcdm.cpp" "src/CMakeFiles/hulkv.dir/cluster/tcdm.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/cluster/tcdm.cpp.o.d"
+  "/root/repo/src/common/half.cpp" "src/CMakeFiles/hulkv.dir/common/half.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/common/half.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/hulkv.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/hulkv.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/CMakeFiles/hulkv.dir/core/comparison.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/core/comparison.cpp.o.d"
+  "/root/repo/src/core/iopmp.cpp" "src/CMakeFiles/hulkv.dir/core/iopmp.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/core/iopmp.cpp.o.d"
+  "/root/repo/src/core/mailbox.cpp" "src/CMakeFiles/hulkv.dir/core/mailbox.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/core/mailbox.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/hulkv.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/soc.cpp" "src/CMakeFiles/hulkv.dir/core/soc.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/core/soc.cpp.o.d"
+  "/root/repo/src/host/clint.cpp" "src/CMakeFiles/hulkv.dir/host/clint.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/host/clint.cpp.o.d"
+  "/root/repo/src/host/cva6.cpp" "src/CMakeFiles/hulkv.dir/host/cva6.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/host/cva6.cpp.o.d"
+  "/root/repo/src/host/periph_udma.cpp" "src/CMakeFiles/hulkv.dir/host/periph_udma.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/host/periph_udma.cpp.o.d"
+  "/root/repo/src/host/plic.cpp" "src/CMakeFiles/hulkv.dir/host/plic.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/host/plic.cpp.o.d"
+  "/root/repo/src/host/tlb.cpp" "src/CMakeFiles/hulkv.dir/host/tlb.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/host/tlb.cpp.o.d"
+  "/root/repo/src/host/uart.cpp" "src/CMakeFiles/hulkv.dir/host/uart.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/host/uart.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/hulkv.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/decoder.cpp" "src/CMakeFiles/hulkv.dir/isa/decoder.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/isa/decoder.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/hulkv.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/CMakeFiles/hulkv.dir/isa/encoding.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/isa/encoding.cpp.o.d"
+  "/root/repo/src/isa/parser.cpp" "src/CMakeFiles/hulkv.dir/isa/parser.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/isa/parser.cpp.o.d"
+  "/root/repo/src/kernels/cluster_kernels.cpp" "src/CMakeFiles/hulkv.dir/kernels/cluster_kernels.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/kernels/cluster_kernels.cpp.o.d"
+  "/root/repo/src/kernels/golden.cpp" "src/CMakeFiles/hulkv.dir/kernels/golden.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/kernels/golden.cpp.o.d"
+  "/root/repo/src/kernels/host_kernels.cpp" "src/CMakeFiles/hulkv.dir/kernels/host_kernels.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/kernels/host_kernels.cpp.o.d"
+  "/root/repo/src/kernels/iot_benchmarks.cpp" "src/CMakeFiles/hulkv.dir/kernels/iot_benchmarks.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/kernels/iot_benchmarks.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/CMakeFiles/hulkv.dir/kernels/kernel.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/kernels/kernel.cpp.o.d"
+  "/root/repo/src/mem/backing_store.cpp" "src/CMakeFiles/hulkv.dir/mem/backing_store.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/mem/backing_store.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/hulkv.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/ddr.cpp" "src/CMakeFiles/hulkv.dir/mem/ddr.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/mem/ddr.cpp.o.d"
+  "/root/repo/src/mem/hyperram.cpp" "src/CMakeFiles/hulkv.dir/mem/hyperram.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/mem/hyperram.cpp.o.d"
+  "/root/repo/src/mem/interconnect.cpp" "src/CMakeFiles/hulkv.dir/mem/interconnect.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/mem/interconnect.cpp.o.d"
+  "/root/repo/src/mem/llc.cpp" "src/CMakeFiles/hulkv.dir/mem/llc.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/mem/llc.cpp.o.d"
+  "/root/repo/src/mem/rpcdram.cpp" "src/CMakeFiles/hulkv.dir/mem/rpcdram.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/mem/rpcdram.cpp.o.d"
+  "/root/repo/src/mem/udma.cpp" "src/CMakeFiles/hulkv.dir/mem/udma.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/mem/udma.cpp.o.d"
+  "/root/repo/src/power/energy.cpp" "src/CMakeFiles/hulkv.dir/power/energy.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/power/energy.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/hulkv.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/runtime/hulk_malloc.cpp" "src/CMakeFiles/hulkv.dir/runtime/hulk_malloc.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/runtime/hulk_malloc.cpp.o.d"
+  "/root/repo/src/runtime/offload.cpp" "src/CMakeFiles/hulkv.dir/runtime/offload.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/runtime/offload.cpp.o.d"
+  "/root/repo/src/runtime/omp.cpp" "src/CMakeFiles/hulkv.dir/runtime/omp.cpp.o" "gcc" "src/CMakeFiles/hulkv.dir/runtime/omp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
