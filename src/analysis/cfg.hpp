@@ -1,0 +1,118 @@
+// Control-flow graph over a decoded program image, plus the
+// register-operand model the dataflow passes run on.
+//
+// The CFG is built once per analyzed image: instructions are decoded
+// through isa::decode (the same decoder the simulators pre-decode with,
+// so the analyzer sees exactly what will execute), split into basic
+// blocks at branch targets and control transfers, and connected with
+// successor edges — including the implicit back edges of XpulpV2
+// hardware loops. Structural diagnostics (illegal words, wrong-ISA ops,
+// out-of-image targets, hardware-loop legality, unreachable blocks,
+// fall-through off the image) are emitted during construction.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "analysis/diag.hpp"
+#include "isa/instr.hpp"
+
+namespace hulkv::analysis {
+
+/// Which core the image is meant for: decides the legal ISA subset, the
+/// environment-call model and the entry-point register convention.
+enum class IsaProfile { kHostRv64, kClusterRv32 };
+
+/// Stamps diagnostics with the policy's severity as they are emitted.
+class Sink {
+ public:
+  Sink(Report* report, const Policy* policy)
+      : report_(report), policy_(policy) {}
+
+  void add(Diag diag, Addr pc, std::string message) {
+    report_->diagnostics.push_back(
+        {diag, policy_->severity(diag), pc, std::move(message)});
+  }
+
+ private:
+  Report* report_;
+  const Policy* policy_;
+};
+
+/// Decoded image at its analysis base address. Cluster kernels are
+/// analyzed at their assembly base (0: position independent), host
+/// programs at their load address.
+struct Program {
+  Addr base = 0;
+  std::vector<isa::Instr> instrs;
+
+  Addr addr_of(size_t index) const { return base + 4 * index; }
+  Addr end() const { return base + 4 * instrs.size(); }
+  bool contains(Addr addr) const { return addr >= base && addr < end(); }
+  size_t index_of(Addr addr) const {
+    return static_cast<size_t>((addr - base) / 4);
+  }
+};
+
+/// One armed XpulpV2 hardware loop with a statically-known body.
+struct HwLoopInfo {
+  size_t setup_index = 0;  // instruction that arms the loop
+  u8 index = 0;            // hardware loop register set 0/1
+  Addr start = 0;          // first body instruction
+  Addr end = 0;            // one past the body; the back edge fires when
+                           // control falls onto this address
+  bool valid = false;      // body is inside the image and non-empty
+};
+
+struct Block {
+  size_t first = 0;  // instruction index range [first, last]
+  size_t last = 0;
+  std::vector<size_t> succs;       // successor block ids
+  size_t fall_succ = SIZE_MAX;     // succ entry that is the fall-through
+  bool is_call = false;            // ends in jal/jalr with a link register
+  bool off_end = false;            // fall-through leaves the image
+  bool reachable = false;
+};
+
+struct Cfg {
+  Program program;
+  std::vector<Block> blocks;
+  std::vector<size_t> block_of;  // instruction index -> block id
+  std::vector<i64> ecall_a7;     // per instruction: statically-known a7
+                                 // at an ecall, -1 when unknown
+  std::vector<HwLoopInfo> loops;
+  bool has_indirect = false;  // unresolved jalr: reachability is partial
+};
+
+/// Decode `words` at `base` and build the CFG, emitting structural and
+/// hardware-loop diagnostics into `sink`.
+Cfg build_cfg(std::span<const u32> words, Addr base, IsaProfile profile,
+              Sink& sink);
+
+// ---- register-operand model ----
+
+/// Register slots: integer x0..x31 occupy 0..31, FP f0..f31 occupy
+/// 32..63 (the PMCA and CVA6 both have split register files).
+inline constexpr u8 kFpBase = 32;
+
+struct RegOps {
+  std::array<u8, 5> uses{};
+  std::array<u8, 2> defs{};
+  u8 nuses = 0;
+  u8 ndefs = 0;
+
+  void use(u8 slot) { uses[nuses++] = slot; }
+  void def(u8 slot) { defs[ndefs++] = slot; }
+};
+
+/// Uses and defs of one instruction. `ecall_a7` (from Cfg::ecall_a7)
+/// refines which argument registers an ecall reads; -1 models an
+/// unknown service conservatively (reads a7 only, clobbers a0).
+RegOps reg_ops(const isa::Instr& in, IsaProfile profile, i64 ecall_a7);
+
+/// True when the op is executable by the given core ISS (the PMCA traps
+/// on RV64/D/wfi, the CVA6 on every Xpulp extension).
+bool op_in_profile(isa::Op op, IsaProfile profile);
+
+}  // namespace hulkv::analysis

@@ -1,0 +1,132 @@
+#include "analysis/diag.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace hulkv::analysis {
+
+std::string_view diag_name(Diag diag) {
+  switch (diag) {
+    case Diag::kIllegalInstruction:
+      return "illegal-instruction";
+    case Diag::kWrongIsa:
+      return "wrong-isa";
+    case Diag::kBranchOutOfImage:
+      return "branch-out-of-image";
+    case Diag::kMisalignedTarget:
+      return "misaligned-target";
+    case Diag::kFallThroughEnd:
+      return "fall-through-end";
+    case Diag::kUnreachableBlock:
+      return "unreachable-block";
+    case Diag::kHwLoopEmptyBody:
+      return "hwloop-empty-body";
+    case Diag::kHwLoopBodyOutOfImage:
+      return "hwloop-body-out-of-image";
+    case Diag::kHwLoopBadNesting:
+      return "hwloop-bad-nesting";
+    case Diag::kHwLoopBranchIntoBody:
+      return "hwloop-branch-into-body";
+    case Diag::kHwLoopBranchOutOfBody:
+      return "hwloop-branch-out-of-body";
+    case Diag::kHwLoopCountUndefined:
+      return "hwloop-count-undefined";
+    case Diag::kHwLoopBadCount:
+      return "hwloop-bad-count";
+    case Diag::kHwLoopUnverifiable:
+      return "hwloop-unverifiable";
+    case Diag::kUseBeforeDef:
+      return "use-before-def";
+    case Diag::kDeadWrite:
+      return "dead-write";
+    case Diag::kUnknownEnvcall:
+      return "unknown-envcall";
+    case Diag::kMisalignedAccess:
+      return "misaligned-access";
+    case Diag::kUnmappedAddress:
+      return "unmapped-address";
+    case Diag::kIopmpDenied:
+      return "iopmp-denied";
+    case Diag::kDiagCount:
+      break;
+  }
+  return "?";
+}
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << "[" << diag_name(code) << "] pc=0x"
+     << std::hex << pc << std::dec << ": " << message;
+  return os.str();
+}
+
+Policy Policy::standard() {
+  Policy policy;
+  for (size_t i = 0; i < kNumDiags; ++i) {
+    policy.severities_[i] = Severity::kError;
+  }
+  policy.set(Diag::kUnreachableBlock, Severity::kWarning)
+      .set(Diag::kHwLoopUnverifiable, Severity::kNote)
+      .set(Diag::kUseBeforeDef, Severity::kWarning)
+      .set(Diag::kDeadWrite, Severity::kNote);
+  return policy;
+}
+
+Policy Policy::strict() {
+  Policy policy = standard();
+  policy.set(Diag::kUseBeforeDef, Severity::kError)
+      .set(Diag::kUnreachableBlock, Severity::kError)
+      .set(Diag::kDeadWrite, Severity::kWarning);
+  return policy;
+}
+
+size_t Report::count(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool Report::has(Diag diag) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == diag) return true;
+  }
+  return false;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) {
+    os << d.to_string() << "\n";
+  }
+  os << instructions << " instructions, " << blocks << " blocks, "
+     << hw_loops << " hardware loops: " << errors() << " error(s), "
+     << warnings() << " warning(s)";
+  return os.str();
+}
+
+void log_report(const Report& report, const std::string& name) {
+  for (const Diagnostic& d : report.diagnostics) {
+    const LogLevel level = d.severity == Severity::kError ? LogLevel::kError
+                           : d.severity == Severity::kWarning
+                               ? LogLevel::kWarn
+                               : LogLevel::kDebug;
+    log(level, "analysis", "'", name, "': ", d.to_string());
+  }
+}
+
+}  // namespace hulkv::analysis

@@ -1,0 +1,121 @@
+// Diagnostics emitted by the guest-program static analyzer: diagnostic
+// classes, severities, the per-class severity policy, and the report a
+// full analysis returns. The analyzer runs over assembled images before
+// they execute (DESIGN.md "Static analysis"), so every diagnostic here
+// describes a property of the *program*, not of a particular run.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hulkv::analysis {
+
+enum class Severity : u8 { kNote = 0, kWarning, kError };
+
+/// Diagnostic classes, grouped by the pass that produces them.
+enum class Diag : u8 {
+  // ---- decode / structural (CFG construction) ----
+  kIllegalInstruction,  // word does not decode
+  kWrongIsa,            // op not executable by the target core
+  kBranchOutOfImage,    // control transfer target outside the image
+  kMisalignedTarget,    // control transfer target not 4-byte aligned
+  kFallThroughEnd,      // reachable path falls off the end of the image
+  kUnreachableBlock,    // basic block unreachable from the entry point
+
+  // ---- XpulpV2 hardware-loop legality ----
+  kHwLoopEmptyBody,        // lp.setup/lp.endi with an empty body
+  kHwLoopBodyOutOfImage,   // loop start/end outside the image
+  kHwLoopBadNesting,       // overlapping bodies / same index nested
+  kHwLoopBranchIntoBody,   // branch from outside into a loop body
+  kHwLoopBranchOutOfBody,  // branch (or indirect jump) leaving a body
+  kHwLoopCountUndefined,   // count register not defined on all paths
+  kHwLoopBadCount,         // statically-known count < 1
+  kHwLoopUnverifiable,     // split-form loop too dynamic to check
+
+  // ---- register dataflow ----
+  kUseBeforeDef,  // register read with no def on some path from entry
+  kDeadWrite,     // register overwritten before any read (same block)
+
+  // ---- environment calls ----
+  kUnknownEnvcall,  // ecall with a statically-known unsupported a7
+
+  // ---- statically-known memory accesses ----
+  kMisalignedAccess,  // known address not aligned to the access size
+  kUnmappedAddress,   // known address outside every SoC memory region
+  kIopmpDenied,       // cluster access the IOPMP grants will deny
+
+  kDiagCount,
+};
+
+inline constexpr size_t kNumDiags = static_cast<size_t>(Diag::kDiagCount);
+
+/// Stable kebab-case name, e.g. "hwloop-branch-into-body".
+std::string_view diag_name(Diag diag);
+std::string_view severity_name(Severity severity);
+
+struct Diagnostic {
+  Diag code = Diag::kDiagCount;
+  Severity severity = Severity::kNote;
+  Addr pc = 0;  // address of the offending instruction (image-relative
+                // to the analysis base; 0 for program-level findings)
+  std::string message;
+
+  /// "error[iopmp-denied] pc=0x1c: <message>".
+  std::string to_string() const;
+};
+
+/// Maps each diagnostic class to a severity. The integration points
+/// reject a program when it has any diagnostic at Severity::kError.
+class Policy {
+ public:
+  /// Default policy used by the load paths: structural, hardware-loop
+  /// and memory findings are errors; dataflow findings are warnings
+  /// (registers are architecturally zeroed, so a use-before-def runs,
+  /// just almost certainly not as intended).
+  static Policy standard();
+
+  /// Lint policy: like standard() but dataflow findings are errors too.
+  static Policy strict();
+
+  Severity severity(Diag diag) const {
+    return severities_[static_cast<size_t>(diag)];
+  }
+  Policy& set(Diag diag, Severity severity) {
+    severities_[static_cast<size_t>(diag)] = severity;
+    return *this;
+  }
+
+ private:
+  std::array<Severity, kNumDiags> severities_{};
+};
+
+/// Result of analyzing one program image.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  u32 instructions = 0;
+  u32 blocks = 0;
+  u32 hw_loops = 0;
+
+  size_t count(Severity severity) const;
+  size_t errors() const { return count(Severity::kError); }
+  size_t warnings() const { return count(Severity::kWarning); }
+  /// No errors (warnings and notes allowed).
+  bool ok() const { return errors() == 0; }
+  /// No diagnostics at all.
+  bool clean() const { return diagnostics.empty(); }
+  bool has(Diag diag) const;
+
+  /// One line per diagnostic plus a trailing summary.
+  std::string to_string() const;
+};
+
+/// Emit every diagnostic through common/log under the "analysis"
+/// component (notes at kDebug, warnings at kWarn, errors at kError),
+/// prefixed with the program's `name`.
+void log_report(const Report& report, const std::string& name);
+
+}  // namespace hulkv::analysis

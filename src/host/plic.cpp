@@ -6,12 +6,12 @@ namespace hulkv::host {
 
 void Plic::raise(u32 source) {
   HULKV_CHECK(source >= 1 && source <= kNumSources, "bad PLIC source");
-  pending_ |= (1u << source);
+  pending_ |= (u64{1} << source);
 }
 
 void Plic::clear(u32 source) {
   HULKV_CHECK(source >= 1 && source <= kNumSources, "bad PLIC source");
-  pending_ &= ~(1u << source);
+  pending_ &= ~(u64{1} << source);
 }
 
 bool Plic::interrupt_pending() const {
@@ -19,11 +19,11 @@ bool Plic::interrupt_pending() const {
 }
 
 u32 Plic::highest_pending() const {
-  const u32 ready = pending_ & enabled_ & ~claimed_;
+  const u64 ready = pending_ & enabled_ & ~claimed_;
   u32 best = 0;
   u32 best_priority = 0;
   for (u32 src = 1; src <= kNumSources; ++src) {
-    if ((ready & (1u << src)) != 0 && priority_[src] >= best_priority) {
+    if ((ready & (u64{1} << src)) != 0 && priority_[src] >= best_priority) {
       best = src;
       best_priority = priority_[src];
     }
@@ -37,7 +37,7 @@ u64 Plic::mmio_read(Addr offset, u32 size) {
   if (offset == kEnableOffset) return enabled_;
   if (offset == kClaimOffset) {
     const u32 src = highest_pending();
-    if (src != 0) claimed_ |= (1u << src);
+    if (src != 0) claimed_ |= (u64{1} << src);
     return src;
   }
   if (offset < kPendingOffset && offset % 4 == 0) {
@@ -50,15 +50,15 @@ u64 Plic::mmio_read(Addr offset, u32 size) {
 void Plic::mmio_write(Addr offset, u64 value, u32 size) {
   (void)size;
   if (offset == kEnableOffset) {
-    enabled_ = static_cast<u32>(value);
+    enabled_ = value;
     return;
   }
   if (offset == kClaimOffset) {
     // Complete: un-claim and clear the source.
     const u32 src = static_cast<u32>(value);
     if (src >= 1 && src <= kNumSources) {
-      claimed_ &= ~(1u << src);
-      pending_ &= ~(1u << src);
+      claimed_ &= ~(u64{1} << src);
+      pending_ &= ~(u64{1} << src);
     }
     return;
   }

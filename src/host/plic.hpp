@@ -35,9 +35,11 @@ class Plic final : public mem::MmioDevice {
  private:
   u32 highest_pending() const;
 
-  u32 pending_ = 0;
-  u32 enabled_ = 0;
-  u32 claimed_ = 0;
+  // Source ids are 1-based bit positions; 64-bit masks so that source
+  // kNumSources (bit 32) is representable.
+  u64 pending_ = 0;
+  u64 enabled_ = 0;
+  u64 claimed_ = 0;
   std::array<u32, kNumSources + 1> priority_{};
 };
 

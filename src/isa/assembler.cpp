@@ -64,7 +64,10 @@ void Assembler::li(u8 rd, i64 value) {
     // absorb a negative low-12 correction.
     const i32 v = static_cast<i32>(value);
     const i32 lo = static_cast<i32>(sign_extend(v & 0xFFF, 12));
-    const i32 hi = v - lo;  // multiple of 0x1000
+    // Wrap-safe v - lo (INT32_MAX - -1 overflows i32; lui+addiw wrap
+    // the same way, so unsigned arithmetic produces the right bits).
+    const i32 hi = static_cast<i32>(static_cast<u32>(v) -
+                                    static_cast<u32>(lo));  // 0x1000-aligned
     ri(Op::kLui, rd, 0, hi);
     if (lo != 0) {
       ri(rv64_ ? Op::kAddiw : Op::kAddi, rd, rd, lo);
@@ -77,7 +80,11 @@ void Assembler::li(u8 rd, i64 value) {
   HULKV_CHECK(rv64_, "64-bit constant on RV32");
   // Recursive expansion: materialise the upper bits, shift, add low bits.
   const i64 lo = sign_extend(static_cast<u64>(value) & 0xFFF, 12);
-  const i64 hi = (value - lo) >> 12;
+  // Wrap-safe value - lo: INT64_MAX - -1 overflows, but the slli+addi
+  // chain wraps identically, so compute the difference in u64.
+  const i64 hi = static_cast<i64>(static_cast<u64>(value) -
+                                  static_cast<u64>(lo)) >>
+                 12;
   li(rd, hi);
   slli(rd, rd, 12);
   if (lo != 0) addi(rd, rd, static_cast<i32>(lo));

@@ -1,5 +1,7 @@
 #include "kernels/kernel.hpp"
 
+#include "analysis/analyzer.hpp"
+#include "common/log.hpp"
 #include "isa/instr.hpp"
 
 namespace hulkv::kernels {
@@ -22,6 +24,26 @@ HostRun run_host_program(core::HulkVSoc& soc,
                          const std::vector<u32>& program,
                          std::span<const u64> args) {
   HULKV_CHECK(args.size() <= 6, "host programs take up to 6 arguments");
+
+  // Load-time lint: reject images the static analyzer can prove broken
+  // (see src/analysis/). Only the registers actually passed count as
+  // defined at entry.
+  analysis::Options options;
+  options.base = core::layout::kHostCodeBase;
+  options.profile = analysis::IsaProfile::kHostRv64;
+  options.pic = false;  // analyzed at the real load address
+  u64 entry = analysis::reg_mask({isa::reg::sp});
+  for (size_t i = 0; i < args.size(); ++i) {
+    entry |= u64{1} << (isa::reg::a0 + i);
+  }
+  options.entry_defined = entry;
+  const analysis::Report report = analysis::analyze(program, options);
+  analysis::log_report(report, "host-program");
+  if (!report.ok()) {
+    throw SimError("host program rejected by static analysis:\n" +
+                   report.to_string());
+  }
+
   soc.load_program(core::layout::kHostCodeBase, program);
 
   auto& host = soc.host();

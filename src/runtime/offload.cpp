@@ -23,9 +23,29 @@ OffloadRuntime::OffloadRuntime(core::HulkVSoc* soc)
   HULKV_CHECK(soc != nullptr, "runtime needs a SoC");
 }
 
+analysis::Report OffloadRuntime::analyze_kernel(
+    const std::vector<u32>& words) const {
+  analysis::Options options;
+  options.base = 0;  // kernels are assembled position-independent
+  options.profile = analysis::IsaProfile::kClusterRv32;
+  options.pic = true;
+  options.iopmp = &soc_->iopmp();
+  options.tcdm_bytes = soc_->cluster().tcdm().storage().size();
+  options.policy = analysis_policy_;
+  return analysis::analyze(words, options);
+}
+
 KernelHandle OffloadRuntime::register_kernel(const std::string& name,
                                              const std::vector<u32>& words) {
   HULKV_CHECK(!words.empty(), "registering an empty kernel");
+  if (analysis_mode_ != AnalysisMode::kOff) {
+    const analysis::Report report = analyze_kernel(words);
+    analysis::log_report(report, name);
+    if (analysis_mode_ == AnalysisMode::kReject && !report.ok()) {
+      throw SimError("kernel '" + name + "' rejected by static analysis:\n" +
+                     report.to_string());
+    }
+  }
   Image image;
   image.name = name;
   image.bytes = static_cast<u32>(words.size() * 4);

@@ -20,10 +20,18 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "core/soc.hpp"
 #include "runtime/hulk_malloc.hpp"
 
 namespace hulkv::runtime {
+
+/// What register_kernel does with the static-analysis report.
+enum class AnalysisMode {
+  kOff,     // skip analysis entirely
+  kWarn,    // log diagnostics, always accept the image
+  kReject,  // log diagnostics, refuse images with errors (default)
+};
 
 /// Handle to a registered PMCA kernel.
 struct KernelHandle {
@@ -36,10 +44,23 @@ class OffloadRuntime {
   explicit OffloadRuntime(core::HulkVSoc* soc);
 
   /// Register a kernel image (encoded PMCA instructions). The image is
+  /// statically analyzed (see src/analysis/) — under AnalysisMode::kReject
+  /// an image with error-severity diagnostics throws SimError — then
   /// placed in external memory; it is copied to L2SPM lazily at first
   /// offload.
   KernelHandle register_kernel(const std::string& name,
                                const std::vector<u32>& words);
+
+  /// Configure the load-time static analyzer.
+  void set_analysis_mode(AnalysisMode mode) { analysis_mode_ = mode; }
+  AnalysisMode analysis_mode() const { return analysis_mode_; }
+  void set_analysis_policy(const analysis::Policy& policy) {
+    analysis_policy_ = policy;
+  }
+
+  /// Analyze a kernel image exactly as register_kernel would, without
+  /// registering it.
+  analysis::Report analyze_kernel(const std::vector<u32>& words) const;
 
   /// Timing breakdown of one offload.
   struct OffloadResult {
@@ -97,6 +118,8 @@ class OffloadRuntime {
   Cycles load_code(Image& image);
 
   core::HulkVSoc* soc_;
+  AnalysisMode analysis_mode_ = AnalysisMode::kReject;
+  analysis::Policy analysis_policy_ = analysis::Policy::standard();
   SharedRegion shared_;
   Arena l2_arena_;
   Arena tcdm_arena_;

@@ -8,6 +8,7 @@
 #include "isa/decoder.hpp"
 #include "isa/disasm.hpp"
 #include "isa/encoding.hpp"
+#include "isa/parser.hpp"
 
 namespace hulkv::isa {
 namespace {
@@ -62,6 +63,49 @@ TEST(DecoderFuzz, DisasmNeverCrashesOnAnyWord) {
     const std::string text = disasm_word(static_cast<u32>(rng.next()));
     ASSERT_FALSE(text.empty());
   }
+}
+
+TEST(DecoderFuzz, DisasmReParseRoundTrips) {
+  // Full-pipeline property: every word the decoder accepts must survive
+  // decode -> disasm -> parse_program -> encode unchanged. This pins the
+  // textual syntax to the binary encoding from both sides (and is the
+  // substrate the static analyzer's diagnostics print with).
+  Xoshiro256 rng(0x5EED);
+  const u32 seeds[] = {
+      encode({.op = Op::kAdd, .rd = 1, .rs1 = 2, .rs2 = 3}),
+      encode({.op = Op::kLw, .rd = 4, .rs1 = 5, .imm = 16}),
+      encode({.op = Op::kSd, .rs1 = 2, .rs2 = 8, .imm = -32}),
+      encode({.op = Op::kBne, .rs1 = 6, .rs2 = 7, .imm = 64}),
+      encode({.op = Op::kJal, .rd = 1, .imm = -2048}),
+      encode({.op = Op::kLui, .rd = 9, .imm = 0x12345000}),
+      encode({.op = Op::kFmaddS, .rd = 1, .rs1 = 2, .rs2 = 3, .rs3 = 4}),
+      encode({.op = Op::kFcvtWS, .rd = 5, .rs1 = 6}),
+      encode({.op = Op::kPvSdotspB, .rd = 6, .rs1 = 7, .rs2 = 8}),
+      encode({.op = Op::kPLwPost, .rd = 10, .rs1 = 11, .imm = 4}),
+      encode({.op = Op::kLpSetup, .rd = 0, .rs1 = 9, .imm = 16}),
+      encode({.op = Op::kCsrrs, .rd = 1, .rs1 = 0, .imm = 0xC00}),
+  };
+  u64 parsed = 0;
+  for (int i = 0; i < 120'000; ++i) {
+    u32 word = seeds[rng.next_below(std::size(seeds))];
+    const int flips = 1 + static_cast<int>(rng.next_below(8));
+    for (int f = 0; f < flips; ++f) {
+      word ^= 1u << (7 + rng.next_below(25));
+    }
+    const Instr decoded = decode(word);
+    if (decoded.op == Op::kIllegal || decoded.op == Op::kFence) continue;
+    const std::string text = disasm(decoded);
+    std::vector<u32> rewords;
+    ASSERT_NO_THROW(rewords = parse_program(text, /*base=*/0, /*rv64=*/true))
+        << "word 0x" << std::hex << word << " disasm '" << text
+        << "' does not re-parse";
+    ASSERT_EQ(rewords.size(), 1u) << text;
+    ASSERT_EQ(rewords[0], word)
+        << "word 0x" << std::hex << word << " -> '" << text
+        << "' -> 0x" << rewords[0];
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 10'000u);
 }
 
 }  // namespace

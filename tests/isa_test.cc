@@ -209,10 +209,13 @@ i64 interpret_li(const std::vector<u32>& words, bool rv64) {
     const Instr in = decode(w);
     switch (in.op) {
       case Op::kAddi:
-        reg = reg + in.imm;
+        // Wrap-safe: the hardware adder wraps, the C++ '+' must not UB.
+        reg = static_cast<i64>(static_cast<u64>(reg) +
+                               static_cast<u64>(static_cast<i64>(in.imm)));
         break;
       case Op::kAddiw:
-        reg = static_cast<i32>(reg + in.imm);
+        reg = static_cast<i32>(static_cast<u32>(reg) +
+                               static_cast<u32>(in.imm));
         break;
       case Op::kLui:
         reg = static_cast<i32>(in.imm);
