@@ -382,7 +382,6 @@ RegOps reg_ops(const Instr& in, IsaProfile profile, i64 ecall_a7) {
             ops.def(a0);
             break;
         }
-        if (ecall_a7 == cluster::envcall::kDma2d) ops.def(a0);
       } else {
         switch (ecall_a7) {
           case 93:  // exit(a0)
@@ -602,18 +601,25 @@ Cfg build_cfg(std::span<const u32> words, Addr base, IsaProfile profile,
     }
   }
 
+  // Hardware loops (only meaningful for the cluster profile; a host
+  // image containing lp.* ops gets wrong-isa diagnostics instead).
+  // Collected before a7 resolution: a loop's back edge lands on its
+  // start address, which makes the start a join point the backscan
+  // must not resolve through — an a7 definition before the loop does
+  // not dominate an ecall in the body when the body redefines a7.
+  if (profile == IsaProfile::kClusterRv32) {
+    cfg.loops = collect_loops(program, sink);
+    for (const HwLoopInfo& loop : cfg.loops) {
+      if (loop.valid) is_target[program.index_of(loop.start)] = true;
+    }
+  }
+
   // Static a7 at each ecall (exit detection + envcall argument model).
   cfg.ecall_a7.assign(n, -1);
   for (size_t i = 0; i < n; ++i) {
     if (program.instrs[i].op == Op::kEcall) {
       cfg.ecall_a7[i] = resolve_ecall_a7(program, is_target, i, profile);
     }
-  }
-
-  // Hardware loops (only meaningful for the cluster profile; a host
-  // image containing lp.* ops gets wrong-isa diagnostics instead).
-  if (profile == IsaProfile::kClusterRv32) {
-    cfg.loops = collect_loops(program, sink);
   }
 
   // Basic-block leaders.
@@ -773,9 +779,19 @@ Cfg build_cfg(std::span<const u32> words, Addr base, IsaProfile profile,
       }
     }
     if (block.off_end) {
-      sink.add(Diag::kFallThroughEnd, program.addr_of(block.last),
-               "execution falls through the end of the image without an "
-               "exit");
+      const Instr& last = program.instrs[block.last];
+      if (last.op == Op::kEcall && cfg.ecall_a7[block.last] < 0) {
+        // The service id could not be resolved (branch target, a7
+        // defined across a join, ...); the ecall may well be an exit,
+        // so don't reject the program outright.
+        sink.add(Diag::kMaybeFallThroughEnd, program.addr_of(block.last),
+                 "trailing ecall with a statically-unknown service id: "
+                 "execution falls off the image unless it exits");
+      } else {
+        sink.add(Diag::kFallThroughEnd, program.addr_of(block.last),
+                 "execution falls through the end of the image without an "
+                 "exit");
+      }
     }
   }
 

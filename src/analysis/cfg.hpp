@@ -97,13 +97,21 @@ Cfg build_cfg(std::span<const u32> words, Addr base, IsaProfile profile,
 inline constexpr u8 kFpBase = 32;
 
 struct RegOps {
-  std::array<u8, 5> uses{};
+  // Sized for the widest consumers: a dma2d ecall reads six slots
+  // (a7 plus arguments a0..a4), fmadd-family ops define one of two.
+  std::array<u8, 8> uses{};
   std::array<u8, 2> defs{};
   u8 nuses = 0;
   u8 ndefs = 0;
 
-  void use(u8 slot) { uses[nuses++] = slot; }
-  void def(u8 slot) { defs[ndefs++] = slot; }
+  void use(u8 slot) {
+    HULKV_CHECK(nuses < uses.size(), "RegOps::uses overflow");
+    uses[nuses++] = slot;
+  }
+  void def(u8 slot) {
+    HULKV_CHECK(ndefs < defs.size(), "RegOps::defs overflow");
+    defs[ndefs++] = slot;
+  }
 };
 
 /// Uses and defs of one instruction. `ecall_a7` (from Cfg::ecall_a7)

@@ -18,6 +18,8 @@ std::string_view diag_name(Diag diag) {
       return "misaligned-target";
     case Diag::kFallThroughEnd:
       return "fall-through-end";
+    case Diag::kMaybeFallThroughEnd:
+      return "maybe-fall-through-end";
     case Diag::kUnreachableBlock:
       return "unreachable-block";
     case Diag::kHwLoopEmptyBody:
@@ -79,6 +81,7 @@ Policy Policy::standard() {
     policy.severities_[i] = Severity::kError;
   }
   policy.set(Diag::kUnreachableBlock, Severity::kWarning)
+      .set(Diag::kMaybeFallThroughEnd, Severity::kWarning)
       .set(Diag::kHwLoopUnverifiable, Severity::kNote)
       .set(Diag::kUseBeforeDef, Severity::kWarning)
       .set(Diag::kDeadWrite, Severity::kNote);

@@ -24,6 +24,8 @@ enum class Diag : u8 {
   kBranchOutOfImage,    // control transfer target outside the image
   kMisalignedTarget,    // control transfer target not 4-byte aligned
   kFallThroughEnd,      // reachable path falls off the end of the image
+  kMaybeFallThroughEnd,  // trailing ecall with unknown a7: falls off the
+                         // image only if the service does not exit
   kUnreachableBlock,    // basic block unreachable from the entry point
 
   // ---- XpulpV2 hardware-loop legality ----

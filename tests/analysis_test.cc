@@ -157,6 +157,22 @@ TEST(Analyzer, FallThroughOffImageIsRejected) {
   EXPECT_TRUE(report.has(Diag::kFallThroughEnd)) << report.to_string();
 }
 
+TEST(Analyzer, TrailingEcallWithUnknownA7IsNotAHardFallThrough) {
+  // The exit ecall is a branch target, so the backscan cannot resolve
+  // its a7 — but both paths set a7 = kExit, so the program is valid.
+  // It degrades to a maybe-fall-through-end warning, not a rejection.
+  Assembler a(0, false);
+  a.li(a7, cluster::envcall::kExit);
+  a.beqz(a0, "exit");
+  a.li(a7, cluster::envcall::kExit);
+  a.label("exit");
+  a.ecall();
+  const Report report = analyze_cluster(a);
+  EXPECT_TRUE(report.has(Diag::kMaybeFallThroughEnd)) << report.to_string();
+  EXPECT_FALSE(report.has(Diag::kFallThroughEnd)) << report.to_string();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
 TEST(Analyzer, UnreachableBlockIsReported) {
   Assembler a(0, false);
   a.j("exit");
@@ -171,6 +187,35 @@ TEST(Analyzer, UnreachableBlockIsReported) {
   strict.policy = Policy::strict();
   const Report rejected = analyze(a.assemble(), strict);
   EXPECT_FALSE(rejected.ok());
+}
+
+TEST(Analyzer, Dma2dEcallArgumentsAreModelled) {
+  // dma2d reads the widest envcall argument set: a0..a4 plus a7 (six
+  // register uses). With every argument defined the program is clean.
+  Assembler a(0, false);
+  a.li(a1, mem::map::kL2Base);  // src (a0 = dst is defined at entry)
+  a.li(a2, 16);                 // row bytes
+  a.li(a3, 4);                  // rows
+  a.li(a4, 64);                 // dst stride
+  a.li(a7, cluster::envcall::kDma2d);
+  a.ecall();
+  a.li(a7, cluster::envcall::kDmaWait);
+  a.ecall();
+  cluster_exit(a);
+  const Report report = analyze_cluster(a);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Analyzer, Dma2dEcallWithUndefinedArgumentIsUseBeforeDef) {
+  Assembler a(0, false);
+  a.li(a1, mem::map::kL2Base);
+  a.li(a3, 4);
+  a.li(a4, 64);  // a2 (row bytes) never defined
+  a.li(a7, cluster::envcall::kDma2d);
+  a.ecall();
+  cluster_exit(a);
+  const Report report = analyze_cluster(a);
+  EXPECT_TRUE(report.has(Diag::kUseBeforeDef)) << report.to_string();
 }
 
 TEST(Analyzer, UnknownEnvcallIsRejected) {
@@ -256,6 +301,25 @@ TEST(Analyzer, ProperlyNestedTwoLevelLoopsAreClean) {
   const Report report = analyze_cluster(a);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_EQ(report.hw_loops, 2u);
+}
+
+TEST(Analyzer, EcallInHwLoopBodyIgnoresPreLoopA7) {
+  // a7 holds kExit before the loop, but the body redefines it after the
+  // ecall, so on iterations >= 2 the ecall is a barrier, not an exit.
+  // The loop's back edge makes the body start a join point: the
+  // pre-loop constant must not classify the ecall as a terminator
+  // (which would sever the body and leave the epilogue unreachable).
+  Assembler a(0, false);
+  a.li(t0, 4);
+  a.li(a7, cluster::envcall::kExit);
+  a.lp_setup(0, t0, "end");
+  a.ecall();
+  a.li(a7, cluster::envcall::kBarrier);
+  a.label("end");
+  cluster_exit(a);
+  const Report report = analyze_cluster(a);
+  EXPECT_FALSE(report.has(Diag::kUnreachableBlock)) << report.to_string();
+  EXPECT_TRUE(report.clean()) << report.to_string();
 }
 
 TEST(Analyzer, HwLoopCountUndefinedIsRejected) {
@@ -437,6 +501,23 @@ TEST(AnalyzerIntegration, WarnModeAcceptsBrokenImage) {
   Assembler a(0, false);
   a.li(t0, 1);
   const auto handle = rt.register_kernel("broken", a.assemble());
+  EXPECT_TRUE(handle.valid());
+}
+
+TEST(AnalyzerIntegration, RegisterKernelAcceptsDma2dKernel) {
+  core::HulkVSoc soc;
+  runtime::OffloadRuntime rt(&soc);
+  Assembler a(0, false);
+  a.li(a1, mem::map::kL2Base);
+  a.li(a2, 16);
+  a.li(a3, 4);
+  a.li(a4, 64);
+  a.li(a7, cluster::envcall::kDma2d);
+  a.ecall();
+  a.li(a7, cluster::envcall::kDmaWait);
+  a.ecall();
+  cluster_exit(a);
+  const auto handle = rt.register_kernel("dma2d", a.assemble());
   EXPECT_TRUE(handle.valid());
 }
 
