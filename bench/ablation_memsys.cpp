@@ -17,12 +17,14 @@
 #include "kernels/cluster_kernels.hpp"
 #include "kernels/iot_benchmarks.hpp"
 #include "common/rng.hpp"
+#include "report/report.hpp"
 #include "runtime/offload.hpp"
 #include "power/power_model.hpp"
 
 namespace {
 
 using namespace hulkv;
+namespace report = hulkv::report;
 
 Cycles run_stride_on(core::SocConfig cfg, u32 stride, u32 reads = 1024,
                      u32 rounds = 10) {
@@ -36,79 +38,86 @@ Cycles run_stride_on(core::SocConfig cfg, u32 stride, u32 reads = 1024,
       .cycles;
 }
 
-void memory_family_ablation() {
-  std::printf("A. IoT-memory family (cycles, stride benchmark):\n");
-  std::printf("%-10s | %12s %12s %12s\n", "", "64 kB fp", "256 kB fp",
-              "1 MB fp");
+void memory_family_ablation(report::MetricsReport& rep) {
+  report::Table& table = rep.add_table(
+      "A. IoT-memory family (cycles, stride benchmark)",
+      {"memory", "llc", "fp_64kb", "fp_256kb", "fp_1mb"});
   for (const bool llc : {true, false}) {
-    for (const auto [kind, name] :
+    for (const auto& [kind, name] :
          {std::pair{core::MainMemoryKind::kHyperRam, "HyperRAM"},
           std::pair{core::MainMemoryKind::kRpcDram, "RPC-DRAM"},
           std::pair{core::MainMemoryKind::kDdr4, "DDR4"}}) {
       core::SocConfig cfg;
       cfg.main_memory = kind;
       cfg.enable_llc = llc;
-      std::printf("%-8s%2s | %12llu %12llu %12llu\n", name,
-                  llc ? "+$" : "  ",
-                  static_cast<unsigned long long>(run_stride_on(cfg, 64)),
-                  static_cast<unsigned long long>(run_stride_on(cfg, 256)),
-                  static_cast<unsigned long long>(run_stride_on(cfg, 1024)));
+      table.add_row({report::Value::text(name),
+                     report::Value::text(llc ? "yes" : "no"),
+                     report::Value::uinteger(run_stride_on(cfg, 64)),
+                     report::Value::uinteger(run_stride_on(cfg, 256)),
+                     report::Value::uinteger(run_stride_on(cfg, 1024))});
     }
   }
-  std::printf("   (RPC DRAM: x16 DDR + row buffers — between HyperRAM and "
-              "the idealised DDR4,\n    confirming the paper's 'IoT memory "
-              "family' framing)\n\n");
+  rep.add_note("A: RPC DRAM (x16 DDR + row buffers) lands between "
+               "HyperRAM and the idealised DDR4, confirming the paper's "
+               "'IoT memory family' framing.");
 }
 
-void llc_geometry_ablation() {
-  std::printf("B. LLC geometry (cycles, 96 kB-footprint stride "
-              "benchmark on HyperRAM):\n");
-  std::printf("   %-28s %12s\n", "configuration", "cycles");
+void llc_geometry_ablation(report::MetricsReport& rep) {
+  report::Table& table = rep.add_table(
+      "B. LLC geometry (cycles, 96 kB-footprint stride benchmark on "
+      "HyperRAM)",
+      {"configuration", "cycles"});
   for (const u32 lines : {64u, 128u, 256u, 512u}) {
     core::SocConfig cfg;
     cfg.llc.num_lines = lines;
-    std::printf("   size %4u kB (lines=%4u)    %12llu\n",
-                cfg.llc.size_bytes() / 1024, lines,
-                static_cast<unsigned long long>(run_stride_on(cfg, 96)));
+    table.add_row(
+        {report::Value::text("size " +
+                             std::to_string(cfg.llc.size_bytes() / 1024) +
+                             " kB (lines=" + std::to_string(lines) + ")"),
+         report::Value::uinteger(run_stride_on(cfg, 96))});
   }
   for (const u32 ways : {1u, 2u, 8u}) {
     core::SocConfig cfg;
     cfg.llc.num_ways = ways;
     cfg.llc.num_lines = 2048 / ways;  // hold 128 kB constant
-    std::printf("   ways %2u   (128 kB const)    %12llu\n", ways,
-                static_cast<unsigned long long>(run_stride_on(cfg, 96)));
+    table.add_row(
+        {report::Value::text("ways " + std::to_string(ways) +
+                             " (128 kB const)"),
+         report::Value::uinteger(run_stride_on(cfg, 96))});
   }
-  std::printf("\n");
 }
 
-void hyperbus_knobs_ablation() {
-  std::printf("C. HyperBUS controller knobs (cycles, 1 MB-footprint "
-              "stream, no LLC):\n");
-  std::printf("   %-30s %12s\n", "configuration", "cycles");
+void hyperbus_knobs_ablation(report::MetricsReport& rep) {
+  report::Table& table = rep.add_table(
+      "C. HyperBUS controller knobs (cycles, 1 MB-footprint stream, no "
+      "LLC)",
+      {"configuration", "cycles"});
   for (const u32 burst : {64u, 128u, 256u, 512u, 1024u}) {
     core::SocConfig cfg;
     cfg.enable_llc = false;
     cfg.hyperram.max_burst_bytes = burst;
-    std::printf("   max burst %5u B             %12llu\n", burst,
-                static_cast<unsigned long long>(run_stride_on(cfg, 1024)));
+    table.add_row(
+        {report::Value::text("max burst " + std::to_string(burst) + " B"),
+         report::Value::uinteger(run_stride_on(cfg, 1024))});
   }
   for (const Cycles refresh : {500u, 2000u, 4000u, 16000u}) {
     core::SocConfig cfg;
     cfg.enable_llc = false;
     cfg.hyperram.refresh_period = refresh;
-    std::printf("   refresh period %6llu cyc     %12llu\n",
-                static_cast<unsigned long long>(refresh),
-                static_cast<unsigned long long>(run_stride_on(cfg, 1024)));
+    table.add_row(
+        {report::Value::text("refresh period " + std::to_string(refresh) +
+                             " cyc"),
+         report::Value::uinteger(run_stride_on(cfg, 1024))});
   }
-  std::printf("\n");
 }
 
-void mmu_ablation() {
+void mmu_ablation(report::MetricsReport& rep) {
   // A 1 MB streaming footprint touches 256 data pages — far beyond the
   // TLB — so page-table-walk cost is visible; a 64 kB CRC (16 pages)
   // fits any TLB and shows the zero-overhead steady state.
-  std::printf("D. SV39 MMU translation overhead:\n");
-  std::printf("   1 MB stream (256 pages):\n");
+  report::Table& table = rep.add_table(
+      "D. SV39 MMU translation overhead (1 MB stream, 256 pages)",
+      {"configuration", "cycles", "tlb_hit_ratio"});
   for (const u32 tlb_entries : {0u, 4u, 16u, 64u}) {
     core::SocConfig cfg;
     cfg.host.enable_mmu = tlb_entries > 0;
@@ -120,25 +129,26 @@ void mmu_ablation() {
     const auto run = kernels::run_host_program(
         soc, kernels::host_stride_reads(1024, 1024, 10).words, args);
     if (tlb_entries == 0) {
-      std::printf("     bare-metal (no MMU)        %12llu cycles\n",
-                  static_cast<unsigned long long>(run.cycles));
+      table.add_row({report::Value::text("bare-metal (no MMU)"),
+                     report::Value::uinteger(run.cycles),
+                     report::Value::text("-")});
     } else {
-      std::printf("     MMU on, %3u-entry TLB      %12llu cycles  "
-                  "(TLB hit ratio %.3f)\n",
-                  tlb_entries,
-                  static_cast<unsigned long long>(run.cycles),
-                  soc.host().dtlb()->hit_ratio());
+      table.add_row(
+          {report::Value::text("MMU on, " + std::to_string(tlb_entries) +
+                               "-entry TLB"),
+           report::Value::uinteger(run.cycles),
+           report::Value::number(soc.host().dtlb()->hit_ratio(), 3)});
     }
   }
-  std::printf("\n");
 }
 
-void precision_ablation() {
+void precision_ablation(report::MetricsReport& rep) {
   // The mechanism behind Fig. 6 (section VI-A): reduced precision
   // unlocks the SIMD datapath. Same 48x48x64 matmul, int32 scalar
   // (p.mac) vs int8 SIMD (pv.sdotsp.b.ld + MAC&Load).
-  std::printf("F. Reduced-precision ablation (48x48x64 matmul on the "
-              "PMCA):\n");
+  report::Table& table = rep.add_table(
+      "F. Reduced-precision ablation (48x48x64 matmul on the PMCA)",
+      {"datapath", "kernel_cycles", "mac_per_cycle"});
   const u32 m = 48, n = 48, k = 64;
   for (const bool reduced : {false, true}) {
     core::HulkVSoc soc;
@@ -162,22 +172,22 @@ void precision_ablation() {
     const auto handle = rt.register_kernel("mm", program.words);
     rt.preload(handle);
     const auto result = rt.offload(handle, args);
-    std::printf("   %-22s %10llu cycles  (%.2f MAC/cycle across 8 cores)\n",
-                reduced ? "int8 SIMD + MAC&Load" : "int32 scalar p.mac",
-                static_cast<unsigned long long>(result.kernel),
-                static_cast<double>(u64{m} * n * k) /
-                    static_cast<double>(result.kernel));
+    table.add_row(
+        {report::Value::text(reduced ? "int8 SIMD + MAC&Load"
+                                     : "int32 scalar p.mac"),
+         report::Value::uinteger(result.kernel),
+         report::Value::number(static_cast<double>(u64{m} * n * k) /
+                                   static_cast<double>(result.kernel),
+                               2)});
   }
-  std::printf("\n");
 }
 
-void latency_ladder() {
+void latency_ladder(report::MetricsReport& rep) {
   // Pointer chase: load-to-use latency of each level of the hierarchy,
   // per memory configuration.
-  std::printf("G. Load-to-use latency ladder (pointer chase, "
-              "cycles/load):\n");
-  std::printf("   %-10s | %10s %10s %10s\n", "footprint", "DDR4+LLC",
-              "Hyper+LLC", "Hyper");
+  report::Table& table = rep.add_table(
+      "G. Load-to-use latency ladder (pointer chase, cycles/load)",
+      {"footprint_kb", "ddr4_llc", "hyper_llc", "hyper"});
   for (const u64 footprint :
        {16ull * 1024, 96ull * 1024, 1024ull * 1024}) {
     double cols[3];
@@ -211,25 +221,28 @@ void latency_ladder() {
       const auto run = kernels::run_host_program(soc, prog.words, args);
       cols[col++] = static_cast<double>(run.cycles) / count;
     }
-    std::printf("   %7llu kB | %10.1f %10.1f %10.1f\n",
-                static_cast<unsigned long long>(footprint / 1024), cols[0],
-                cols[1], cols[2]);
+    table.add_row({report::Value::uinteger(footprint / 1024),
+                   report::Value::number(cols[0], 1),
+                   report::Value::number(cols[1], 1),
+                   report::Value::number(cols[2], 1)});
   }
-  std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
-  std::printf("HULK-V design-choice ablations\n");
-  std::printf("%s\n\n", std::string(64, '=').c_str());
-  memory_family_ablation();
-  llc_geometry_ablation();
-  hyperbus_knobs_ablation();
-  mmu_ablation();
-  precision_ablation();
-  latency_ladder();
-  std::printf("E. Voltage/frequency corners (GF22 FDX):\n");
-  std::printf("%s", power::render_corner_table(power::PowerModel{}).c_str());
+int main(int argc, char** argv) {
+  const report::BenchOptions options = report::parse_bench_args(argc, argv);
+
+  report::MetricsReport rep("ablation_memsys");
+  rep.add_note("HULK-V design-choice ablations");
+  memory_family_ablation(rep);
+  llc_geometry_ablation(rep);
+  hyperbus_knobs_ablation(rep);
+  mmu_ablation(rep);
+  precision_ablation(rep);
+  latency_ladder(rep);
+  rep.add_note("E. Voltage/frequency corners (GF22 FDX):\n" +
+               power::render_corner_table(power::PowerModel{}));
+  report::finish_bench(rep, options);
   return 0;
 }

@@ -18,7 +18,10 @@
 #include "kernels/host_kernels.hpp"
 #include "power/energy.hpp"
 #include "power/power_model.hpp"
+#include "report/report.hpp"
 #include "runtime/offload.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -282,34 +285,50 @@ Setup dotp_fp_case() {
 
 }  // namespace
 
-int main() {
-  std::printf("Fig. 6 — PMCA vs CVA6 speedup (left) and energy efficiency "
-              "(right)\n");
-  std::printf("SoC: HyperRAM + LLC. x1 includes the lazy OpenMP code load; "
-              "x1000 amortises it.\n\n");
+int main(int argc, char** argv) {
+  namespace report = hulkv::report;
+  const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  if (!options.trace_path.empty()) trace::sink().enable();
+
+  report::MetricsReport rep("fig6_speedup");
+  rep.add_note("Fig. 6 — PMCA vs CVA6 speedup and energy efficiency. "
+               "SoC: HyperRAM + LLC. x1 includes the lazy OpenMP code "
+               "load; x1000 amortises it.");
 
   const std::vector<Setup> cases = {matmul_int_case(), conv_int_case(),
                                     fir_int_case(),    matmul_fp_case(),
                                     axpy_fp_case(),    dotp_fp_case()};
 
-  std::printf("%-12s | %11s %11s | %9s %9s | %11s %11s | %5s\n", "kernel",
-              "speedup x1", "x1000", "CVA6", "PMCA", "CVA6", "PMCA", "eff");
-  std::printf("%-12s | %11s %11s | %9s %9s | %11s %11s | %5s\n", "", "", "",
-              "GOps", "GOps", "GOps/W", "GOps/W", "ratio");
-  std::printf("%s\n", std::string(96, '-').c_str());
+  report::Table& table = rep.add_table(
+      "speedup and efficiency",
+      {"kernel", "speedup_x1", "speedup_x1000", "cva6_gops", "pmca_gops",
+       "cva6_gops_w", "pmca_gops_w", "eff_ratio"});
 
   double max_speedup = 0, max_eff = 0;
   for (const Setup& setup : cases) {
     const Row row = run_case(setup);
-    std::printf("%-12s | %11.1f %11.1f | %9.2f %9.2f | %11.1f %11.1f | %5.1f\n",
-                row.label.c_str(), row.speedup_x1, row.speedup_x1000,
-                row.host_gops, row.device_gops, row.host_eff,
-                row.device_eff, row.device_eff / row.host_eff);
+    table.add_row({report::Value::text(row.label),
+                   report::Value::number(row.speedup_x1, 1),
+                   report::Value::number(row.speedup_x1000, 1),
+                   report::Value::number(row.host_gops, 2),
+                   report::Value::number(row.device_gops, 2),
+                   report::Value::number(row.host_eff, 1),
+                   report::Value::number(row.device_eff, 1),
+                   report::Value::number(row.device_eff / row.host_eff, 1)});
     max_speedup = std::max(max_speedup, row.speedup_x1000);
     max_eff = std::max(max_eff, row.device_eff);
   }
-  std::printf("\nHeadlines: max speedup %.0fx (paper: up to 112x); "
-              "max PMCA efficiency %.0f GOps/W (paper: up to 157)\n",
-              max_speedup, max_eff);
+  rep.add_metric("max_speedup_x1000", report::Value::number(max_speedup, 1),
+                 "x");
+  rep.add_metric("max_pmca_gops_w", report::Value::number(max_eff, 1),
+                 "GOps/W");
+  rep.add_note("Headlines: max speedup " + rep.metric_text(
+                   "max_speedup_x1000") + "x (paper: up to 112x); max PMCA "
+               "efficiency " + rep.metric_text("max_pmca_gops_w") +
+               " GOps/W (paper: up to 157)");
+  report::finish_bench(rep, options);
+  if (!options.trace_path.empty()) {
+    trace::write_chrome_trace_file(options.trace_path, trace::sink());
+  }
   return 0;
 }

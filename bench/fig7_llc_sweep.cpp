@@ -11,11 +11,13 @@
 //
 // Secondary sweep: footprint (stride) scan across the L1 -> LLC -> DRAM
 // capacity boundaries.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "core/soc.hpp"
 #include "kernels/iot_benchmarks.hpp"
+#include "report/report.hpp"
 
 namespace {
 
@@ -77,13 +79,20 @@ Point run_stride(core::MainMemoryKind kind, bool llc, u32 stride) {
 
 }  // namespace
 
-int main() {
-  std::printf("Fig. 7 — Sweep on Last Level Cache (synthetic benchmark)\n\n");
-  std::printf("Primary sweep: cycles/read vs L1 miss ratio "
-              "(thrash window 64 kB)\n");
-  std::printf("%8s | %12s %12s %12s %12s | %s\n", "L1 miss", "DDR4+LLC",
-              "Hyper+LLC", "DDR4", "Hyper", "Hyper/DDR4 (no LLC)");
-  std::printf("%s\n", std::string(92, '-').c_str());
+int main(int argc, char** argv) {
+  namespace report = hulkv::report;
+  const report::BenchOptions options = report::parse_bench_args(argc, argv);
+
+  report::MetricsReport rep("fig7_llc_sweep");
+  rep.add_note("Fig. 7 — Sweep on Last Level Cache (synthetic benchmark). "
+               "Primary sweep: cycles/read vs L1 miss ratio "
+               "(thrash window 64 kB).");
+
+  report::Table& mixed = rep.add_table(
+      "cycles per read vs L1 miss ratio",
+      {"l1_miss_pct", "ddr4_llc", "hyper_llc", "ddr4", "hyper",
+       "hyper_over_ddr4_no_llc"});
+  double max_no_llc_ratio = 0;
   for (const u32 miss_slots : {0u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
     const Point p1 = run_mixed(core::MainMemoryKind::kDdr4, true, miss_slots);
     const Point p2 =
@@ -92,16 +101,19 @@ int main() {
         run_mixed(core::MainMemoryKind::kDdr4, false, miss_slots);
     const Point p4 =
         run_mixed(core::MainMemoryKind::kHyperRam, false, miss_slots);
-    std::printf("%7.1f%% | %12.2f %12.2f %12.2f %12.2f | %10.2fx\n",
-                100.0 * p2.miss_ratio, p1.cycles_per_read,
-                p2.cycles_per_read, p3.cycles_per_read, p4.cycles_per_read,
-                p4.cycles_per_read / p3.cycles_per_read);
+    const double ratio = p4.cycles_per_read / p3.cycles_per_read;
+    max_no_llc_ratio = std::max(max_no_llc_ratio, ratio);
+    mixed.add_row({report::Value::number(100.0 * p2.miss_ratio, 1),
+                   report::Value::number(p1.cycles_per_read, 2),
+                   report::Value::number(p2.cycles_per_read, 2),
+                   report::Value::number(p3.cycles_per_read, 2),
+                   report::Value::number(p4.cycles_per_read, 2),
+                   report::Value::number(ratio, 2)});
   }
 
-  std::printf("\nSecondary sweep: footprint scan (1024 reads x stride)\n");
-  std::printf("%7s %9s | %12s %12s %12s %12s\n", "stride", "footprint",
-              "DDR4+LLC", "Hyper+LLC", "DDR4", "Hyper");
-  std::printf("%s\n", std::string(72, '-').c_str());
+  report::Table& strided = rep.add_table(
+      "footprint scan (1024 reads x stride)",
+      {"stride", "footprint_kb", "ddr4_llc", "hyper_llc", "ddr4", "hyper"});
   for (const u32 stride : {4u, 16u, 64u, 128u, 256u, 512u, 1024u}) {
     const Point p1 = run_stride(core::MainMemoryKind::kDdr4, true, stride);
     const Point p2 =
@@ -109,14 +121,20 @@ int main() {
     const Point p3 = run_stride(core::MainMemoryKind::kDdr4, false, stride);
     const Point p4 =
         run_stride(core::MainMemoryKind::kHyperRam, false, stride);
-    std::printf("%7u %6u kB | %12.2f %12.2f %12.2f %12.2f\n", stride,
-                stride, p1.cycles_per_read, p2.cycles_per_read,
-                p3.cycles_per_read, p4.cycles_per_read);
+    strided.add_row({report::Value::uinteger(stride),
+                     report::Value::uinteger(stride),
+                     report::Value::number(p1.cycles_per_read, 2),
+                     report::Value::number(p2.cycles_per_read, 2),
+                     report::Value::number(p3.cycles_per_read, 2),
+                     report::Value::number(p4.cycles_per_read, 2)});
   }
-  std::printf(
-      "\nShape check (paper): with the LLC, the HyperRAM configuration "
-      "tracks DDR4\nat every miss ratio; without it, the gap grows with "
-      "the miss ratio, and\nbelow ~50%% L1 misses DDR4 brings no benefit "
-      "over HyperRAM.\n");
+
+  rep.add_metric("max_hyper_over_ddr4_no_llc",
+                 report::Value::number(max_no_llc_ratio, 2), "x");
+  rep.add_note("Shape check (paper): with the LLC, the HyperRAM "
+               "configuration tracks DDR4 at every miss ratio; without it, "
+               "the gap grows with the miss ratio, and below ~50% L1 "
+               "misses DDR4 brings no benefit over HyperRAM.");
+  report::finish_bench(rep, options);
   return 0;
 }

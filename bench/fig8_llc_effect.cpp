@@ -12,6 +12,7 @@
 #include "kernels/golden.hpp"
 #include "kernels/host_kernels.hpp"
 #include "kernels/iot_benchmarks.hpp"
+#include "report/report.hpp"
 
 namespace {
 
@@ -118,13 +119,18 @@ std::vector<Workload> workloads() {
 
 }  // namespace
 
-int main() {
-  std::printf("Fig. 8 — Last Level Cache effect on IoT benchmarks\n");
-  std::printf("Execution time normalised to DDR4+LLC (lower is better)\n\n");
-  std::printf("%-10s | %10s %10s %10s %10s | %s\n", "benchmark", "DDR4+LLC",
-              "Hyper+LLC", "DDR4", "Hyper", "Hyper+LLC gap");
-  std::printf("%s\n", std::string(78, '-').c_str());
+int main(int argc, char** argv) {
+  namespace report = hulkv::report;
+  const report::BenchOptions options = report::parse_bench_args(argc, argv);
 
+  report::MetricsReport rep("fig8_llc_effect");
+  rep.add_note("Fig. 8 — Last Level Cache effect on IoT benchmarks. "
+               "Execution time normalised to DDR4+LLC (lower is better).");
+
+  report::Table& table = rep.add_table(
+      "normalised execution time",
+      {"benchmark", "ddr4_llc", "hyper_llc", "ddr4", "hyper",
+       "hyper_llc_gap_pct"});
   double worst_gap = 0;
   for (const Workload& workload : workloads()) {
     const Cycles ddr_llc =
@@ -137,13 +143,17 @@ int main() {
     const double base = static_cast<double>(ddr_llc);
     const double gap = 100.0 * (hyp_llc / base - 1.0);
     worst_gap = std::max(worst_gap, gap);
-    std::printf("%-10s | %10.3f %10.3f %10.3f %10.3f | %+.2f%%\n",
-                workload.name.c_str(), 1.0, hyp_llc / base, ddr / base,
-                hyp / base, gap);
+    table.add_row({report::Value::text(workload.name),
+                   report::Value::number(1.0, 3),
+                   report::Value::number(hyp_llc / base, 3),
+                   report::Value::number(ddr / base, 3),
+                   report::Value::number(hyp / base, 3),
+                   report::Value::number(gap, 2)});
   }
-  std::printf(
-      "\nShape check (paper): cases 1 and 2 are 'closer than 5%%'. "
-      "Worst measured gap: %.2f%%\n",
-      worst_gap);
+  rep.add_metric("worst_gap_pct", report::Value::number(worst_gap, 2), "%");
+  rep.add_note("Shape check (paper): cases 1 and 2 are 'closer than 5%'. "
+               "Worst measured gap: " + rep.metric_text("worst_gap_pct") +
+               "%");
+  report::finish_bench(rep, options);
   return 0;
 }

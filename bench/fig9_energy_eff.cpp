@@ -22,6 +22,7 @@
 #include "kernels/cluster_kernels.hpp"
 #include "kernels/iot_benchmarks.hpp"
 #include "power/energy.hpp"
+#include "report/report.hpp"
 
 namespace {
 
@@ -146,10 +147,14 @@ Runner dnn_runner(const apps::Network& network) {
 
 }  // namespace
 
-int main() {
-  std::printf("Fig. 9 — HULK-V energy efficiency vs CCR_hyper\n");
-  std::printf("(HyperRAM hierarchy vs LPDDR4-equivalent; DNNs deployed "
-              "with the DORY-style tiler)\n\n");
+int main(int argc, char** argv) {
+  namespace report = hulkv::report;
+  const report::BenchOptions options = report::parse_bench_args(argc, argv);
+
+  report::MetricsReport rep("fig9_energy_eff");
+  rep.add_note("Fig. 9 — HULK-V energy efficiency vs CCR_hyper (HyperRAM "
+               "hierarchy vs LPDDR4-equivalent; DNNs deployed with the "
+               "DORY-style tiler)");
 
   std::vector<std::pair<std::string, Runner>> workloads;
 
@@ -207,20 +212,27 @@ int main() {
   std::sort(rows.begin(), rows.end(),
             [](const Row& a, const Row& b) { return a.ccr > b.ccr; });
 
-  std::printf("%-14s | %9s | %10s %10s | %12s %12s | %8s\n", "workload",
-              "CCR_hyper", "GOps", "GOps", "GOps/W", "GOps/W", "rel.");
-  std::printf("%-14s | %9s | %10s %10s | %12s %12s | %8s\n", "", "",
-              "(Hyper)", "(LPDDR4)", "(Hyper)", "(LPDDR4)", "eff.");
-  std::printf("%s\n", std::string(92, '-').c_str());
+  report::Table& table = rep.add_table(
+      "GOps and relative efficiency vs CCR_hyper",
+      {"workload", "ccr_hyper", "gops_hyper", "gops_lpddr4", "gops_w_hyper",
+       "gops_w_lpddr4", "rel_eff"});
+  double best_rel_eff = 0;
   for (const Row& row : rows) {
-    std::printf("%-14s | %9.2f | %10.2f %10.2f | %12.1f %12.1f | %7.2fx\n",
-                row.name.c_str(), row.ccr, row.gops_hyper, row.gops_lpddr,
-                row.eff_hyper, row.eff_lpddr, row.rel_eff);
+    best_rel_eff = std::max(best_rel_eff, row.rel_eff);
+    table.add_row({report::Value::text(row.name),
+                   report::Value::number(row.ccr, 2),
+                   report::Value::number(row.gops_hyper, 2),
+                   report::Value::number(row.gops_lpddr, 2),
+                   report::Value::number(row.eff_hyper, 1),
+                   report::Value::number(row.eff_lpddr, 1),
+                   report::Value::number(row.rel_eff, 2)});
   }
-  std::printf(
-      "\nShape check (paper): compute-bound workloads (CCR > 1, left of "
-      "the line)\nreach the same GOps on both memories but ~2x the energy "
-      "efficiency on the\nfully digital hierarchy; memory-bound workloads "
-      "gain GOps from LPDDR4\nbandwidth.\n");
+  rep.add_metric("best_rel_eff", report::Value::number(best_rel_eff, 2),
+                 "x");
+  rep.add_note("Shape check (paper): compute-bound workloads (CCR > 1) "
+               "reach the same GOps on both memories but ~2x the energy "
+               "efficiency on the fully digital hierarchy; memory-bound "
+               "workloads gain GOps from LPDDR4 bandwidth.");
+  report::finish_bench(rep, options);
   return 0;
 }

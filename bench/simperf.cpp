@@ -4,6 +4,10 @@
 // instructions) rather than reproducing a paper result.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/soc.hpp"
 #include "isa/assembler.hpp"
 #include "isa/decoder.hpp"
@@ -11,6 +15,7 @@
 #include "kernels/kernel.hpp"
 #include "mem/cache.hpp"
 #include "mem/hyperram.hpp"
+#include "report/report.hpp"
 
 namespace {
 
@@ -73,6 +78,73 @@ void BM_HyperRamBurst(benchmark::State& state) {
 }
 BENCHMARK(BM_HyperRamBurst);
 
+/// Collects every google-benchmark run into the shared MetricsReport;
+/// the text table and the --json file then render from the same cells.
+class ReportCollector : public benchmark::BenchmarkReporter {
+ public:
+  explicit ReportCollector(hulkv::report::MetricsReport* rep,
+                           hulkv::report::Table* table)
+      : rep_(rep), table_(table) {}
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    namespace report = hulkv::report;
+    for (const Run& run : runs) {
+      const double iters = static_cast<double>(run.iterations);
+      const double real_ns =
+          iters > 0 ? run.real_accumulated_time / iters * 1e9 : 0;
+      const double cpu_ns =
+          iters > 0 ? run.cpu_accumulated_time / iters * 1e9 : 0;
+      table_->add_row({report::Value::text(run.benchmark_name()),
+                       report::Value::uinteger(run.iterations),
+                       report::Value::number(real_ns, 1),
+                       report::Value::number(cpu_ns, 1)});
+      for (const auto& [name, counter] : run.counters) {
+        rep_->add_metric(run.benchmark_name() + "." + name,
+                         report::Value::number(counter.value, 1));
+      }
+    }
+  }
+
+ private:
+  hulkv::report::MetricsReport* rep_;
+  hulkv::report::Table* table_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  namespace report = hulkv::report;
+  const report::BenchOptions options = report::parse_bench_args(argc, argv);
+
+  // Strip the shared bench flags before handing argv to google-benchmark
+  // (it rejects flags it does not know).
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" || arg == "--trace") {
+      ++i;
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0) {
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+
+  report::MetricsReport rep("simperf");
+  rep.add_note("Simulator microbenchmarks (google-benchmark): ISS "
+               "throughput, cache-model and HyperRAM-model access rates.");
+  report::Table& table = rep.add_table(
+      "microbenchmarks",
+      {"benchmark", "iterations", "real_ns_per_iter", "cpu_ns_per_iter"});
+  ReportCollector collector(&rep, &table);
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  benchmark::Shutdown();
+  report::finish_bench(rep, options);
+  return 0;
+}

@@ -5,19 +5,29 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "core/soc.hpp"
 #include "kernels/cluster_kernels.hpp"
 #include "kernels/golden.hpp"
 #include "kernels/host_kernels.hpp"
+#include "report/report.hpp"
 #include "runtime/offload.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
 
 using namespace hulkv;
 
-int main() {
+int main(int argc, char** argv) {
+  // `--trace out.json` records the full SoC event trace and writes a
+  // Perfetto/Chrome-loadable file (chrome://tracing or ui.perfetto.dev).
+  const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  if (!options.trace_path.empty()) trace::sink().enable();
+
   const u32 m = 48, n = 48, k = 64;
   core::HulkVSoc soc;  // HyperRAM + LLC
   runtime::OffloadRuntime rt(&soc);
+  set_log_clock([&soc]() { return soc.host().now(); });
   Xoshiro256 rng(2023);
 
   // Shared buffers via hulk_malloc(): visible to both address spaces.
@@ -86,5 +96,14 @@ int main() {
     return 1;
   }
   std::printf("verification: PMCA result == CVA6 result == golden model\n");
+
+  if (!options.trace_path.empty()) {
+    auto& sink = trace::sink();
+    trace::write_chrome_trace_file(options.trace_path, sink);
+    std::printf("trace: %zu events on %zu tracks -> %s "
+                "(open in chrome://tracing or ui.perfetto.dev)\n",
+                sink.events().size(), sink.track_names().size(),
+                options.trace_path.c_str());
+  }
   return 0;
 }

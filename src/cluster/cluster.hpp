@@ -80,6 +80,7 @@ class Cluster {
   std::vector<std::unique_ptr<PmcaCore>> cores_;
   std::vector<bool> at_barrier_;
   u32 team_size_ = 0;
+  trace::TrackHandle trace_track_;  // event-unit lane (dispatch markers)
 };
 
 }  // namespace hulkv::cluster

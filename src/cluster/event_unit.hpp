@@ -14,6 +14,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::cluster {
 
@@ -42,8 +43,10 @@ class EventUnit {
   Cycles wakeup_latency_;
   u32 arrived_count_ = 0;
   Cycles max_arrival_ = 0;
+  Cycles first_arrival_ = 0;  // for the trace: barrier span + skew
   std::vector<bool> arrived_;
   StatGroup stats_;
+  trace::TrackHandle trace_track_;
 };
 
 }  // namespace hulkv::cluster

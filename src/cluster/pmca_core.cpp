@@ -47,9 +47,46 @@ PmcaCore::PmcaCore(const PmcaCoreConfig& config, Tcdm* tcdm, Addr tcdm_base,
       tcdm_base_(tcdm_base),
       icache_(icache),
       bus_(bus),
-      stats_("pmca_core" + std::to_string(config.core_id)) {
+      stats_("pmca_core" + std::to_string(config.core_id)),
+      ctr_loads_(stats_.counter("loads")),
+      ctr_stores_(stats_.counter("stores")),
+      ctr_mac_ops_(stats_.counter("mac_ops")),
+      ctr_simd_ops_(stats_.counter("simd_ops")) {
   HULKV_CHECK(tcdm != nullptr && icache != nullptr && bus != nullptr,
               "PMCA core needs TCDM, I-cache and bus");
+}
+
+namespace {
+/// Commit events are batched (one counter event per kCommitBatchSize
+/// retired instructions); loads stalling at least kStallThreshold cycles
+/// are recorded individually (demand AXI accesses, bad bank conflicts).
+constexpr u32 kCommitBatchSize = 1024;
+constexpr Cycles kStallThreshold = 8;
+}  // namespace
+
+void PmcaCore::trace_commit() {
+  if (++pending_commits_ < kCommitBatchSize) return;
+  auto& sink = trace::sink();
+  sink.counter(sink.resolve(trace_track_, stats_.name()),
+               trace::Ev::kCommitBatch, cycle_, pending_commits_);
+  pending_commits_ = 0;
+}
+
+void PmcaCore::trace_stall(Cycles issue, Cycles stall, Addr addr) {
+  auto& sink = trace::sink();
+  sink.instant(sink.resolve(trace_track_, stats_.name()), trace::Ev::kStall,
+               issue, stall, addr);
+}
+
+void PmcaCore::trace_kernel_done(Cycles dispatched) {
+  if (!trace::enabled()) return;
+  auto& sink = trace::sink();
+  const u32 track = sink.resolve(trace_track_, stats_.name());
+  if (pending_commits_ > 0) {
+    sink.counter(track, trace::Ev::kCommitBatch, cycle_, pending_commits_);
+    pending_commits_ = 0;
+  }
+  sink.complete(track, trace::Ev::kRun, dispatched, cycle_, instret_);
 }
 
 void PmcaCore::reset_for_run(Addr entry) {
@@ -81,7 +118,7 @@ const Instr& PmcaCore::fetch(Addr pc) {
 }
 
 u32 PmcaCore::load(Addr addr, u32 bytes, bool sign, Cycles issue) {
-  stats_.increment("loads");
+  ctr_loads_ += 1;
   u32 value = 0;
   if (in_tcdm(addr)) {
     HULKV_CHECK(addr + bytes <= tcdm_base_ + tcdm_->storage().size(),
@@ -98,12 +135,15 @@ u32 PmcaCore::load(Addr addr, u32 bytes, bool sign, Cycles issue) {
     value = static_cast<u32>(wide);
     stats_.increment("demand_axi_loads");
   }
+  if (trace::enabled() && cycle_ > issue + kStallThreshold) {
+    trace_stall(issue, cycle_ - issue, addr);
+  }
   if (sign) value = static_cast<u32>(sign_extend(value, bytes * 8));
   return value;
 }
 
 void PmcaCore::store(Addr addr, u32 value, u32 bytes, Cycles issue) {
-  stats_.increment("stores");
+  ctr_stores_ += 1;
   if (in_tcdm(addr)) {
     HULKV_CHECK(addr + bytes <= tcdm_base_ + tcdm_->storage().size(),
                 "TCDM store crosses the top of L1");
@@ -130,6 +170,7 @@ void PmcaCore::step() {
   cycle_ += 1;
   exec(in);
   ++instret_;
+  if (trace::enabled()) trace_commit();
   if (state_ == State::kRunning || state_ == State::kBlocked) {
     apply_hwloops();
     pc_ = next_pc_;
@@ -429,12 +470,12 @@ void PmcaCore::exec(const Instr& in) {
     case Op::kPMac:
       wr(x_[in.rd] + rs1 * rs2);
       cycle_ += config_.mul_latency;
-      stats_.increment("mac_ops");
+      ctr_mac_ops_ += 1;
       break;
     case Op::kPMsu:
       wr(x_[in.rd] - rs1 * rs2);
       cycle_ += config_.mul_latency;
-      stats_.increment("mac_ops");
+      ctr_mac_ops_ += 1;
       break;
     case Op::kPAbs: {
       const i32 v = static_cast<i32>(rs1);
@@ -484,7 +525,7 @@ void PmcaCore::exec(const Instr& in) {
         out |= (static_cast<u32>(r) & 0xFFu) << (8 * lane);
       }
       wr(out);
-      stats_.increment("simd_ops");
+      ctr_simd_ops_ += 1;
       break;
     }
     case Op::kPvAddH:
@@ -507,7 +548,7 @@ void PmcaCore::exec(const Instr& in) {
         out |= (static_cast<u32>(r) & 0xFFFFu) << (16 * lane);
       }
       wr(out);
-      stats_.increment("simd_ops");
+      ctr_simd_ops_ += 1;
       break;
     }
     case Op::kPvDotspB:
@@ -519,8 +560,8 @@ void PmcaCore::exec(const Instr& in) {
       }
       wr(static_cast<u32>(acc));
       cycle_ += config_.mul_latency;
-      stats_.increment("simd_ops");
-      stats_.add("mac_ops", 4);
+      ctr_simd_ops_ += 1;
+      ctr_mac_ops_ += 4;
       break;
     }
     case Op::kPvSdotspBMem: {
@@ -534,8 +575,8 @@ void PmcaCore::exec(const Instr& in) {
       }
       wr(acc);
       set_reg(in.rs1, rs1 + 4);
-      stats_.increment("simd_ops");
-      stats_.add("mac_ops", 4);
+      ctr_simd_ops_ += 1;
+      ctr_mac_ops_ += 4;
       break;
     }
     case Op::kPvSdotspHMem: {
@@ -547,8 +588,8 @@ void PmcaCore::exec(const Instr& in) {
       }
       wr(acc);
       set_reg(in.rs1, rs1 + 4);
-      stats_.increment("simd_ops");
-      stats_.add("mac_ops", 2);
+      ctr_simd_ops_ += 1;
+      ctr_mac_ops_ += 2;
       break;
     }
     case Op::kPvDotspH:
@@ -560,8 +601,8 @@ void PmcaCore::exec(const Instr& in) {
       }
       wr(static_cast<u32>(acc));
       cycle_ += config_.mul_latency;
-      stats_.increment("simd_ops");
-      stats_.add("mac_ops", 2);
+      ctr_simd_ops_ += 1;
+      ctr_mac_ops_ += 2;
       break;
     }
 
@@ -596,13 +637,13 @@ void PmcaCore::exec(const Instr& in) {
       set_freg(in.rd, raw32(std::fma(f32(f_[in.rs1]), f32(f_[in.rs2]),
                                      f32(f_[in.rs3]))));
       cycle_ += config_.fpu_latency;
-      stats_.increment("mac_ops");
+      ctr_mac_ops_ += 1;
       break;
     case Op::kFmsubS:
       set_freg(in.rd, raw32(std::fma(f32(f_[in.rs1]), f32(f_[in.rs2]),
                                      -f32(f_[in.rs3]))));
       cycle_ += config_.fpu_latency;
-      stats_.increment("mac_ops");
+      ctr_mac_ops_ += 1;
       break;
     case Op::kFsgnjS:
       set_freg(in.rd,
@@ -662,19 +703,19 @@ void PmcaCore::exec(const Instr& in) {
       set_freg(in.rd, fp16_lanes(f_[in.rs1], f_[in.rs2],
                                  [](float a, float b) { return a + b; }));
       cycle_ += config_.fpu_latency;
-      stats_.increment("simd_ops");
+      ctr_simd_ops_ += 1;
       break;
     case Op::kVfsubH:
       set_freg(in.rd, fp16_lanes(f_[in.rs1], f_[in.rs2],
                                  [](float a, float b) { return a - b; }));
       cycle_ += config_.fpu_latency;
-      stats_.increment("simd_ops");
+      ctr_simd_ops_ += 1;
       break;
     case Op::kVfmulH:
       set_freg(in.rd, fp16_lanes(f_[in.rs1], f_[in.rs2],
                                  [](float a, float b) { return a * b; }));
       cycle_ += config_.fpu_latency;
-      stats_.increment("simd_ops");
+      ctr_simd_ops_ += 1;
       break;
     case Op::kVfmacH: {
       u32 out = 0;
@@ -690,8 +731,8 @@ void PmcaCore::exec(const Instr& in) {
       }
       set_freg(in.rd, out);
       cycle_ += config_.fpu_latency;
-      stats_.increment("simd_ops");
-      stats_.add("mac_ops", 2);
+      ctr_simd_ops_ += 1;
+      ctr_mac_ops_ += 2;
       break;
     }
     case Op::kVfdotpexSH: {
@@ -707,8 +748,8 @@ void PmcaCore::exec(const Instr& in) {
       }
       set_freg(in.rd, raw32(acc));
       cycle_ += config_.fpu_latency;
-      stats_.increment("simd_ops");
-      stats_.add("mac_ops", 2);
+      ctr_simd_ops_ += 1;
+      ctr_mac_ops_ += 2;
       break;
     }
     case Op::kVfcvtHS: {

@@ -95,6 +95,11 @@ class PmcaCore {
   /// Emit one log line per retired instruction (LogLevel::kTrace).
   void set_trace(bool enabled) { trace_ = enabled; }
 
+  /// Close out this core's trace for one kernel run: emits the per-core
+  /// `run` interval [dispatched, now] and flushes the commit batch so
+  /// windowed commit totals are exact. Called by the cluster scheduler.
+  void trace_kernel_done(Cycles dispatched);
+
   StatGroup& stats() { return stats_; }
   u64 instret() const { return instret_; }
 
@@ -113,12 +118,22 @@ class PmcaCore {
     u32 count = 0;
   };
 
+  void trace_commit();
+  void trace_stall(Cycles issue, Cycles stall, Addr addr);
+
   PmcaCoreConfig config_;
   Tcdm* tcdm_;
   Addr tcdm_base_;
   ClusterIcache* icache_;
   mem::SocBus* bus_;
   StatGroup stats_;
+  // Interned counter slots for the per-instruction hot path.
+  u64& ctr_loads_;
+  u64& ctr_stores_;
+  u64& ctr_mac_ops_;
+  u64& ctr_simd_ops_;
+  trace::TrackHandle trace_track_;
+  u32 pending_commits_ = 0;
 
   u32 x_[32] = {};
   u32 f_[32] = {};

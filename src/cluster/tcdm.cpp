@@ -4,17 +4,34 @@
 
 namespace hulkv::cluster {
 
+namespace {
+/// TCDM accesses are batched in the trace (one counter event per batch);
+/// conflicts are rare enough to record individually.
+constexpr u32 kAccessBatchSize = 256;
+}  // namespace
+
 Tcdm::Tcdm(const TcdmConfig& config)
     : config_(config),
       storage_(config.total_bytes(), 0),
       bank_free_(config.num_banks, 0),
-      stats_("tcdm") {
+      stats_("tcdm"),
+      ctr_accesses_(stats_.counter("accesses")),
+      ctr_conflicts_(stats_.counter("conflicts")) {
   HULKV_CHECK(config.num_banks >= 1, "TCDM needs banks");
+}
+
+void Tcdm::trace_access(Cycles now) {
+  if (++pending_accesses_ < kAccessBatchSize) return;
+  auto& sink = trace::sink();
+  sink.counter(sink.resolve(trace_track_, stats_.name()),
+               trace::Ev::kAccessBatch, now, pending_accesses_);
+  pending_accesses_ = 0;
 }
 
 Cycles Tcdm::access(Cycles now, Addr offset, u32 bytes) {
   HULKV_CHECK(offset + bytes <= storage_.size(), "TCDM access out of range");
-  stats_.increment("accesses");
+  ctr_accesses_ += 1;
+  if (trace::enabled()) trace_access(now);
 
   // A scalar access touches one bank; a wide (DMA) access touches
   // ceil(bytes/word) consecutive banks, one word per bank per cycle.
@@ -25,7 +42,14 @@ Cycles Tcdm::access(Cycles now, Addr offset, u32 bytes) {
   for (Addr a = first; a < offset + bytes; a += config_.word_bytes) {
     const u32 bank = bank_of(a);
     const Cycles start = std::max(now, bank_free_[bank]);
-    if (start > now) stats_.increment("conflicts");
+    if (start > now) {
+      ctr_conflicts_ += 1;
+      if (trace::enabled()) {
+        auto& sink = trace::sink();
+        sink.instant(sink.resolve(trace_track_, stats_.name()),
+                     trace::Ev::kConflict, now, bank, start - now);
+      }
+    }
     bank_free_[bank] = start + 1;
     done = std::max(done, start + 1);
   }

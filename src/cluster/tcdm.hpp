@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/timing.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::cluster {
 
@@ -45,10 +46,17 @@ class Tcdm {
   }
 
  private:
+  void trace_access(Cycles now);
+
   TcdmConfig config_;
   std::vector<u8> storage_;
   std::vector<Cycles> bank_free_;  // next cycle each bank can serve
   StatGroup stats_;
+  // Interned counter slots (hot path: every core load/store lands here).
+  u64& ctr_accesses_;
+  u64& ctr_conflicts_;
+  trace::TrackHandle trace_track_;
+  u32 pending_accesses_ = 0;
 };
 
 }  // namespace hulkv::cluster

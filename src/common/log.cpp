@@ -1,11 +1,15 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace hulkv {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+bool g_env_checked = false;
+LogClock g_clock;  // NOLINT(cert-err58-cpp)
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,17 +28,57 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Lazily apply HULKV_LOG from the environment, once. An explicit
+/// set_log_level() afterwards still wins (it re-marks the env as seen).
+void apply_env_once() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  const char* env = std::getenv("HULKV_LOG");
+  if (env != nullptr && env[0] != '\0') {
+    g_level = parse_log_level(env, g_level);
+  }
+}
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() {
+  apply_env_once();
+  return g_level;
+}
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_env_checked = true;  // explicit choice overrides HULKV_LOG
+  g_level = level;
+}
+
+LogLevel parse_log_level(const std::string& name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(
+        c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+void set_log_clock(LogClock clock) { g_clock = std::move(clock); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& component,
               const std::string& message) {
-  std::fprintf(stderr, "[%-5s] %-10s %s\n", level_name(level),
-               component.c_str(), message.c_str());
+  if (g_clock) {
+    std::fprintf(stderr, "[%-5s] @%-10llu %-10s %s\n", level_name(level),
+                 g_clock(), component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%-5s] %-10s %s\n", level_name(level),
+                 component.c_str(), message.c_str());
+  }
 }
 }  // namespace detail
 

@@ -35,7 +35,18 @@ class StatGroup {
 
   void set(const std::string& key, u64 value) { counters_[key] = value; }
 
-  void reset() { counters_.clear(); }
+  /// Interned counter handle: a stable reference to the slot for `key`,
+  /// created at zero on first use. Hot paths resolve the name once (at
+  /// block construction) and bump the reference afterwards, skipping the
+  /// per-event map lookup the string API pays. References stay valid for
+  /// the lifetime of the StatGroup (std::map nodes never move, and
+  /// reset() zeroes values instead of erasing them).
+  u64& counter(const std::string& key) { return counters_[key]; }
+
+  /// Zero every counter. Interned handles stay valid.
+  void reset() {
+    for (auto& entry : counters_) entry.second = 0;
+  }
 
   /// Stable (sorted-by-name) view of all counters, for reports.
   const std::map<std::string, u64>& counters() const { return counters_; }

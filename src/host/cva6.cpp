@@ -17,6 +17,13 @@ using isa::Op;
 
 namespace {
 
+/// Tracing thresholds: commits are batched (one counter event per
+/// kCommitBatchSize retired instructions); loads stalling longer than
+/// kStallThreshold cycles (cache misses reaching external memory) are
+/// recorded individually.
+constexpr u32 kCommitBatchSize = 1024;
+constexpr Cycles kStallThreshold = 16;
+
 float as_f32(u64 raw) { return std::bit_cast<float>(static_cast<u32>(raw)); }
 u64 boxed(float v) {
   return 0xFFFFFFFF00000000ull | std::bit_cast<u32>(v);
@@ -45,7 +52,9 @@ Cva6Core::Cva6Core(const Cva6Config& config, mem::SocBus* bus)
       bus_(bus),
       icache_(config.icache, bus->dram_timing()),
       dcache_(config.dcache, bus->dram_timing()),
-      stats_("cva6") {
+      stats_("cva6"),
+      ctr_loads_(stats_.counter("loads")),
+      ctr_stores_(stats_.counter("stores")) {
   HULKV_CHECK(bus != nullptr, "core needs a bus");
   HULKV_CHECK(bus->dram_timing() != nullptr,
               "attach external memory to the bus before building the core");
@@ -88,7 +97,8 @@ const Instr& Cva6Core::fetch(Addr pc) {
 
 u64 Cva6Core::load(Addr addr, u32 bytes, bool sign) {
   u64 value = 0;
-  stats_.increment("loads");
+  ctr_loads_ += 1;
+  const Cycles issue = cycle_;
   if (dram_cached(addr)) {
     if (dtlb_) cycle_ = dtlb_->translate(cycle_, addr);
     bus_->read_functional(addr, &value, bytes);
@@ -96,12 +106,17 @@ u64 Cva6Core::load(Addr addr, u32 bytes, bool sign) {
   } else {
     cycle_ = bus_->read(cycle_, addr, &value, bytes, mem::Master::kHost);
   }
+  if (trace::enabled() && cycle_ > issue + kStallThreshold) {
+    auto& sink = trace::sink();
+    sink.instant(sink.resolve(trace_track_, stats_.name()),
+                 trace::Ev::kStall, issue, cycle_ - issue, addr);
+  }
   if (sign) value = sign_extend(value, bytes * 8);
   return value;
 }
 
 void Cva6Core::store(Addr addr, u64 value, u32 bytes) {
-  stats_.increment("stores");
+  ctr_stores_ += 1;
   if (dram_cached(addr)) {
     if (dtlb_) cycle_ = dtlb_->translate(cycle_, addr);
     bus_->write_functional(addr, &value, bytes);
@@ -130,6 +145,14 @@ u64 Cva6Core::csr_read(u16 csr) const {
   }
 }
 
+void Cva6Core::trace_commit() {
+  if (++pending_commits_ < kCommitBatchSize) return;
+  auto& sink = trace::sink();
+  sink.counter(sink.resolve(trace_track_, stats_.name()),
+               trace::Ev::kCommitBatch, cycle_, pending_commits_);
+  pending_commits_ = 0;
+}
+
 Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
   const Cycles start_cycle = cycle_;
   const u64 start_instret = instret_;
@@ -145,11 +168,24 @@ Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
     cycle_ += 1;  // single-issue, in-order
     exec(instr);
     ++instret_;
+    if (trace::enabled()) trace_commit();
     pc_ = next_pc_;
   }
 
   stats_.set("cycles", cycle_);
   stats_.set("instret", instret_);
+  if (trace::enabled()) {
+    // Close the run interval and flush the commit remainder so windowed
+    // commit totals equal instret exactly.
+    auto& sink = trace::sink();
+    const u32 track = sink.resolve(trace_track_, stats_.name());
+    if (pending_commits_ > 0) {
+      sink.counter(track, trace::Ev::kCommitBatch, cycle_, pending_commits_);
+      pending_commits_ = 0;
+    }
+    sink.complete(track, trace::Ev::kRun, start_cycle, cycle_,
+                  instret_ - start_instret);
+  }
   return {cycle_ - start_cycle, instret_ - start_instret, exit_code_,
           exited_};
 }

@@ -144,6 +144,8 @@ class Cva6Core {
 
   u64 csr_read(u16 csr) const;
 
+  void trace_commit();
+
   Cva6Config config_;
   mem::SocBus* bus_;
   mem::CacheModel icache_;
@@ -151,6 +153,11 @@ class Cva6Core {
   std::unique_ptr<Tlb> itlb_;
   std::unique_ptr<Tlb> dtlb_;
   StatGroup stats_;
+  // Interned counter slots for the per-instruction hot path.
+  u64& ctr_loads_;
+  u64& ctr_stores_;
+  trace::TrackHandle trace_track_;
+  u32 pending_commits_ = 0;
 
   u64 x_[32] = {};
   u64 f_[32] = {};

@@ -94,10 +94,30 @@ CacheModel::CacheModel(const CacheConfig& config, MemTiming* next)
       next_(next),
       tags_(config.size_bytes / config.line_bytes / config.ways, config.ways,
             config.line_bytes),
-      stats_(config.name) {
+      stats_(config.name),
+      ctr_reads_(stats_.counter("reads")),
+      ctr_writes_(stats_.counter("writes")),
+      ctr_hits_(stats_.counter("hits")),
+      ctr_misses_(stats_.counter("misses")),
+      ctr_writebacks_(stats_.counter("writebacks")),
+      ctr_wt_words_(stats_.counter("writethrough_words")) {
   HULKV_CHECK(next != nullptr, "cache needs a next-level timing model");
   HULKV_CHECK(config.size_bytes % (config.line_bytes * config.ways) == 0,
               "cache size must be a multiple of line_bytes * ways");
+}
+
+/// L1 hits are batched: one counter event per kHitBatchSize hits keeps
+/// the trace small while the windowed activity curve stays usable.
+namespace {
+constexpr u32 kHitBatchSize = 256;
+}  // namespace
+
+void CacheModel::trace_hit(Cycles now) {
+  if (++pending_hits_ < kHitBatchSize) return;
+  auto& sink = trace::sink();
+  sink.counter(sink.resolve(trace_track_, stats_.name()),
+               trace::Ev::kHitBatch, now, pending_hits_);
+  pending_hits_ = 0;
 }
 
 Cycles CacheModel::access(Cycles now, Addr addr, u32 bytes, bool is_write) {
@@ -114,18 +134,19 @@ Cycles CacheModel::access(Cycles now, Addr addr, u32 bytes, bool is_write) {
 }
 
 Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
-  stats_.increment(is_write ? "writes" : "reads");
+  (is_write ? ctr_writes_ : ctr_reads_) += 1;
   const bool hit = tags_.lookup(line_addr);
 
   if (hit) {
-    stats_.increment("hits");
+    ctr_hits_ += 1;
+    if (trace::enabled()) trace_hit(now);
     if (is_write) {
       if (config_.write_through) {
         // Forward the word to the next level; the store buffer absorbs the
         // latency so the core sees only the hit latency, but the next
         // level's occupancy advances (bandwidth is consumed).
         next_->access(now, line_addr, 8, /*is_write=*/true);
-        stats_.increment("writethrough_words");
+        ctr_wt_words_ += 1;
       } else {
         tags_.mark_dirty(line_addr);
       }
@@ -133,11 +154,16 @@ Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
     return now + config_.hit_latency;
   }
 
-  stats_.increment("misses");
+  ctr_misses_ += 1;
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    sink.instant(sink.resolve(trace_track_, stats_.name()),
+                 trace::Ev::kMiss, now, line_addr, is_write ? 1 : 0);
+  }
   if (is_write && !config_.write_allocate) {
     // Write miss, no allocate: forward the write downstream.
     const Cycles done = next_->access(now, line_addr, 8, /*is_write=*/true);
-    stats_.increment("writethrough_words");
+    ctr_wt_words_ += 1;
     // The store buffer hides the downstream latency from the core.
     (void)done;
     return now + config_.hit_latency;
@@ -147,7 +173,12 @@ Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
   const SetAssocTags::Victim victim = tags_.fill(line_addr);
   Cycles t = now + config_.hit_latency;  // tag lookup before the miss
   if (victim.valid && victim.dirty) {
-    stats_.increment("writebacks");
+    ctr_writebacks_ += 1;
+    if (trace::enabled()) {
+      auto& sink = trace::sink();
+      sink.instant(sink.resolve(trace_track_, stats_.name()),
+                   trace::Ev::kWriteback, t, victim.line_addr);
+    }
     t = next_->access(t, victim.line_addr, config_.line_bytes,
                       /*is_write=*/true);
   }
@@ -156,7 +187,7 @@ Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
   if (is_write) {
     if (config_.write_through) {
       next_->access(t, line_addr, 8, /*is_write=*/true);
-      stats_.increment("writethrough_words");
+      ctr_wt_words_ += 1;
     } else {
       tags_.mark_dirty(line_addr);
     }

@@ -15,6 +15,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/timing.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::mem {
 
@@ -105,11 +106,24 @@ class CacheModel final : public MemTiming {
 
  private:
   Cycles access_line(Cycles now, Addr addr, bool is_write);
+  void trace_hit(Cycles now);
 
   CacheConfig config_;
   MemTiming* next_;
   SetAssocTags tags_;
   StatGroup stats_;
+  // Interned counter slots: resolved once here, bumped per access
+  // (satellite fix for the per-event std::map lookup in StatGroup::add).
+  u64& ctr_reads_;
+  u64& ctr_writes_;
+  u64& ctr_hits_;
+  u64& ctr_misses_;
+  u64& ctr_writebacks_;
+  u64& ctr_wt_words_;
+  // Tracing: lazily registered swimlane plus the L1-hit batch counter
+  // (hits are too frequent for per-event records; see DESIGN.md §9).
+  trace::TrackHandle trace_track_;
+  u32 pending_hits_ = 0;
 };
 
 }  // namespace hulkv::mem

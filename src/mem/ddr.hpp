@@ -13,6 +13,7 @@
 
 #include "common/stats.hpp"
 #include "mem/timing.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::mem {
 
@@ -25,22 +26,36 @@ struct DdrConfig {
 class Ddr4Model final : public MemTiming {
  public:
   explicit Ddr4Model(const DdrConfig& config)
-      : config_(config), stats_("ddr4") {
+      : config_(config),
+        stats_("ddr4"),
+        ctr_reads_(stats_.counter("reads")),
+        ctr_writes_(stats_.counter("writes")),
+        ctr_bytes_read_(stats_.counter("bytes_read")),
+        ctr_bytes_written_(stats_.counter("bytes_written")),
+        ctr_busy_cycles_(stats_.counter("busy_cycles")) {
     HULKV_CHECK(config.bytes_per_cycle >= 1, "DDR data path too narrow");
   }
 
   Cycles access(Cycles now, Addr, u32 bytes, bool is_write) override {
     HULKV_CHECK(bytes > 0, "zero-length DDR access");
-    stats_.increment(is_write ? "writes" : "reads");
-    stats_.add(is_write ? "bytes_written" : "bytes_read", bytes);
+    (is_write ? ctr_writes_ : ctr_reads_) += 1;
+    (is_write ? ctr_bytes_written_ : ctr_bytes_read_) += bytes;
     const Cycles start = std::max(now, busy_until_);
-    const Cycles done =
-        start + config_.latency +
+    const Cycles beats =
         (bytes + config_.bytes_per_cycle - 1) / config_.bytes_per_cycle;
+    const Cycles done = start + config_.latency + beats;
     // The data bus is occupied for the transfer only; latency pipelines.
-    busy_until_ =
-        start + (bytes + config_.bytes_per_cycle - 1) / config_.bytes_per_cycle;
-    stats_.add("busy_cycles", busy_until_ - start);
+    busy_until_ = start + beats;
+    ctr_busy_cycles_ += beats;
+    if (trace::enabled()) {
+      auto& sink = trace::sink();
+      trace::XactArg xarg;
+      xarg.write = is_write;
+      xarg.bursts = static_cast<u32>(beats);  // DDR data beats
+      sink.complete(sink.resolve(trace_track_, stats_.name()),
+                    trace::Ev::kMemXact, start, busy_until_, bytes,
+                    trace::pack_xact_arg(xarg));
+    }
     return done;
   }
 
@@ -52,6 +67,12 @@ class Ddr4Model final : public MemTiming {
   DdrConfig config_;
   Cycles busy_until_ = 0;
   StatGroup stats_;
+  u64& ctr_reads_;
+  u64& ctr_writes_;
+  u64& ctr_bytes_read_;
+  u64& ctr_bytes_written_;
+  u64& ctr_busy_cycles_;
+  trace::TrackHandle trace_track_;
 };
 
 }  // namespace hulkv::mem

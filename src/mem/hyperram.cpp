@@ -9,7 +9,14 @@ namespace hulkv::mem {
 HyperRamModel::HyperRamModel(const HyperRamConfig& config)
     : config_(config),
       next_refresh_(config.refresh_period),
-      stats_("hyperram") {
+      stats_("hyperram"),
+      ctr_reads_(stats_.counter("reads")),
+      ctr_writes_(stats_.counter("writes")),
+      ctr_bytes_read_(stats_.counter("bytes_read")),
+      ctr_bytes_written_(stats_.counter("bytes_written")),
+      ctr_busy_cycles_(stats_.counter("busy_cycles")),
+      ctr_bursts_(stats_.counter("bursts")),
+      ctr_refresh_collisions_(stats_.counter("refresh_collisions")) {
   HULKV_CHECK(config.num_buses == 1 || config.num_buses == 2,
               "HyperRAM controller exposes 1 or 2 HyperBUS interfaces");
   HULKV_CHECK(config.chips_per_bus >= 1, "need at least one chip select");
@@ -20,8 +27,10 @@ HyperRamModel::HyperRamModel(const HyperRamConfig& config)
 Cycles HyperRamModel::access(Cycles now, Addr addr, u32 bytes,
                              bool is_write) {
   HULKV_CHECK(bytes > 0, "zero-length HyperRAM access");
-  stats_.increment(is_write ? "writes" : "reads");
-  stats_.add(is_write ? "bytes_written" : "bytes_read", bytes);
+  (is_write ? ctr_writes_ : ctr_reads_) += 1;
+  (is_write ? ctr_bytes_written_ : ctr_bytes_read_) += bytes;
+  const u64 bursts_before = ctr_bursts_;
+  const u64 refresh_before = ctr_refresh_collisions_;
 
   // With 2 interleaved buses, a chip-select window covers a pair of chips.
   const u64 cs_window = config_.chip_bytes * config_.num_buses;
@@ -41,12 +50,23 @@ Cycles HyperRamModel::access(Cycles now, Addr addr, u32 bytes,
     remaining -= chunk;
   }
   busy_until_ = t;
-  stats_.add("busy_cycles", t - start);
+  ctr_busy_cycles_ += t - start;
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    trace::XactArg xarg;
+    xarg.write = is_write;
+    xarg.bursts = static_cast<u32>(ctr_bursts_ - bursts_before);
+    xarg.refresh_collisions =
+        static_cast<u32>(ctr_refresh_collisions_ - refresh_before);
+    sink.complete(sink.resolve(trace_track_, stats_.name()),
+                  trace::Ev::kMemXact, start, t, bytes,
+                  trace::pack_xact_arg(xarg));
+  }
   return t;
 }
 
 Cycles HyperRamModel::burst(Cycles start, u32 bytes, bool is_write) {
-  stats_.increment("bursts");
+  ctr_bursts_ += 1;
   u32 bus_clocks = config_.t_cmd_bus_clk + config_.t_access_bus_clk;
 
   // Refresh collision: if this burst begins past the next refresh slot,
@@ -54,7 +74,14 @@ Cycles HyperRamModel::burst(Cycles start, u32 bytes, bool is_write) {
   // "2x latency" case signalled by RWDS during CA).
   if (start >= next_refresh_) {
     bus_clocks += config_.refresh_extra_bus_clk;
-    stats_.increment("refresh_collisions");
+    ctr_refresh_collisions_ += 1;
+    if (trace::enabled()) {
+      auto& sink = trace::sink();
+      sink.instant(
+          sink.resolve(trace_track_, stats_.name()),
+          trace::Ev::kRefreshCollision, start,
+          static_cast<Cycles>(config_.refresh_extra_bus_clk) * config_.clk_div);
+    }
     while (next_refresh_ <= start) next_refresh_ += config_.refresh_period;
   }
 

@@ -28,6 +28,7 @@
 
 #include "common/stats.hpp"
 #include "mem/timing.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::mem {
 
@@ -74,6 +75,15 @@ class HyperRamModel final : public MemTiming {
   Cycles busy_until_ = 0;
   Cycles next_refresh_;
   StatGroup stats_;
+  // Interned counter slots (one transaction may mean many bursts).
+  u64& ctr_reads_;
+  u64& ctr_writes_;
+  u64& ctr_bytes_read_;
+  u64& ctr_bytes_written_;
+  u64& ctr_busy_cycles_;
+  u64& ctr_bursts_;
+  u64& ctr_refresh_collisions_;
+  trace::TrackHandle trace_track_;
 };
 
 }  // namespace hulkv::mem

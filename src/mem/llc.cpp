@@ -6,7 +6,13 @@ Llc::Llc(const LlcConfig& config, MemTiming* ext_mem)
     : config_(config),
       ext_mem_(ext_mem),
       tags_(config.num_lines, config.num_ways, config.line_bytes()),
-      stats_("llc") {
+      stats_("llc"),
+      ctr_bypass_(stats_.counter("bypass")),
+      ctr_reads_(stats_.counter("reads")),
+      ctr_writes_(stats_.counter("writes")),
+      ctr_hits_(stats_.counter("hits")),
+      ctr_misses_(stats_.counter("misses")),
+      ctr_evictions_(stats_.counter("evictions")) {
   HULKV_CHECK(ext_mem != nullptr, "LLC needs an external memory model");
 }
 
@@ -15,7 +21,12 @@ Cycles Llc::access(Cycles now, Addr addr, u32 bytes, bool is_write) {
   // AXI filter: outside the cacheable region, propagate directly.
   if (addr < config_.cacheable_base ||
       addr >= config_.cacheable_base + config_.cacheable_size) {
-    stats_.increment("bypass");
+    ctr_bypass_ += 1;
+    if (trace::enabled()) {
+      auto& sink = trace::sink();
+      sink.instant(sink.resolve(trace_track_, stats_.name()),
+                   trace::Ev::kBypass, now, addr, is_write ? 1 : 0);
+    }
     return ext_mem_->access(now, addr, bytes, is_write);
   }
 
@@ -30,20 +41,35 @@ Cycles Llc::access(Cycles now, Addr addr, u32 bytes, bool is_write) {
 }
 
 Cycles Llc::access_line(Cycles now, Addr line_addr, bool is_write) {
-  stats_.increment(is_write ? "writes" : "reads");
+  (is_write ? ctr_writes_ : ctr_reads_) += 1;
   Cycles t = now + config_.tag_latency;  // descriptor tag lookup (1 cycle)
 
   if (tags_.lookup(line_addr)) {
-    stats_.increment("hits");
+    ctr_hits_ += 1;
+    if (trace::enabled()) {
+      auto& sink = trace::sink();
+      sink.instant(sink.resolve(trace_track_, stats_.name()),
+                   trace::Ev::kHit, now, line_addr, is_write ? 1 : 0);
+    }
     if (is_write) tags_.mark_dirty(line_addr);
     return t + config_.hit_latency;
   }
 
-  stats_.increment("misses");
+  ctr_misses_ += 1;
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    sink.instant(sink.resolve(trace_track_, stats_.name()),
+                 trace::Ev::kMiss, now, line_addr, is_write ? 1 : 0);
+  }
   const SetAssocTags::Victim victim = tags_.fill(line_addr);
   if (victim.valid && victim.dirty) {
     // Eviction: AXI write transaction on the output port.
-    stats_.increment("evictions");
+    ctr_evictions_ += 1;
+    if (trace::enabled()) {
+      auto& sink = trace::sink();
+      sink.instant(sink.resolve(trace_track_, stats_.name()),
+                   trace::Ev::kEvict, t, victim.line_addr);
+    }
     t = ext_mem_->access(t, victim.line_addr, config_.line_bytes(),
                          /*is_write=*/true);
   }

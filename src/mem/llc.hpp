@@ -63,6 +63,14 @@ class Llc final : public MemTiming {
   MemTiming* ext_mem_;
   SetAssocTags tags_;
   StatGroup stats_;
+  // Interned counter slots (hot path: one bump per AXI transaction).
+  u64& ctr_bypass_;
+  u64& ctr_reads_;
+  u64& ctr_writes_;
+  u64& ctr_hits_;
+  u64& ctr_misses_;
+  u64& ctr_evictions_;
+  trace::TrackHandle trace_track_;
 };
 
 }  // namespace hulkv::mem

@@ -25,6 +25,8 @@ Cycles RpcDramModel::access(Cycles now, Addr addr, u32 bytes,
   u64 offset = addr % config_.total_bytes;
   Cycles t = std::max(now, busy_until_);
   const Cycles start = t;
+  const u64 bursts_before = stats_.get("bursts");
+  const u64 refresh_before = stats_.get("refresh_collisions");
   u32 remaining = bytes;
   while (remaining > 0) {
     const u64 to_row_end = config_.row_bytes - (offset % config_.row_bytes);
@@ -36,6 +38,17 @@ Cycles RpcDramModel::access(Cycles now, Addr addr, u32 bytes,
   }
   busy_until_ = t;
   stats_.add("busy_cycles", t - start);
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    trace::XactArg xarg;
+    xarg.write = is_write;
+    xarg.bursts = static_cast<u32>(stats_.get("bursts") - bursts_before);
+    xarg.refresh_collisions =
+        static_cast<u32>(stats_.get("refresh_collisions") - refresh_before);
+    sink.complete(sink.resolve(trace_track_, stats_.name()),
+                  trace::Ev::kMemXact, start, t, bytes,
+                  trace::pack_xact_arg(xarg));
+  }
   return t;
 }
 

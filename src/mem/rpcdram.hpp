@@ -22,6 +22,7 @@
 
 #include "common/stats.hpp"
 #include "mem/timing.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::mem {
 
@@ -66,6 +67,7 @@ class RpcDramModel final : public MemTiming {
   Cycles next_refresh_;
   std::vector<i64> open_row_;  // -1 = closed
   StatGroup stats_;
+  trace::TrackHandle trace_track_;
 };
 
 }  // namespace hulkv::mem

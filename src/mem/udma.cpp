@@ -51,8 +51,15 @@ Cycles Udma::transfer_1d(Cycles now, Addr dst, Addr src, u64 bytes) {
   stats_.add("bytes", bytes);
 
   const Addr ext_addr = to_l2 ? src : dst;
-  return ext_mem_->access(now + kSetupCycles, ext_addr,
-                          static_cast<u32>(bytes), /*is_write=*/from_l2);
+  const Cycles done = ext_mem_->access(now + kSetupCycles, ext_addr,
+                                       static_cast<u32>(bytes),
+                                       /*is_write=*/from_l2);
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    sink.complete(sink.resolve(trace_track_, stats_.name()),
+                  trace::Ev::kDmaJob, now, done, bytes, to_l2 ? 1 : 0);
+  }
+  return done;
 }
 
 Cycles Udma::transfer_2d(Cycles now, Addr dst, Addr src, u64 row_bytes,
@@ -74,6 +81,12 @@ Cycles Udma::transfer_2d(Cycles now, Addr dst, Addr src, u64 row_bytes,
   }
   stats_.increment("jobs_2d");
   stats_.add("bytes", row_bytes * rows);
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    sink.complete(sink.resolve(trace_track_, stats_.name()),
+                  trace::Ev::kDmaJob, now, t, row_bytes * rows,
+                  to_l2 ? 1 : 0);
+  }
   return t;
 }
 

@@ -13,6 +13,7 @@
 #include "common/stats.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/timing.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::mem {
 
@@ -46,6 +47,7 @@ class Udma {
   Addr l2_base_;
   Addr dram_base_;
   StatGroup stats_;
+  trace::TrackHandle trace_track_;
 };
 
 }  // namespace hulkv::mem

@@ -1,0 +1,114 @@
+#include "power/power_trace.hpp"
+
+#include <string>
+
+#include "trace/windowed.hpp"
+
+namespace hulkv::power {
+
+namespace {
+
+/// Tracks that exist in this sink out of a candidate name list.
+std::vector<u32> existing_tracks(const trace::TraceSink& sink,
+                                 const std::vector<std::string>& names) {
+  std::vector<u32> tracks;
+  for (const std::string& name : names) {
+    const u32 id = sink.find_track(name);
+    if (id != trace::kNoTrack) tracks.push_back(id);
+  }
+  return tracks;
+}
+
+/// Per-window activity factors that preserve the whole-run factor's
+/// time-weighted average: factor_w = whole * T * busy_w / (A * t_w),
+/// so that sum_w factor_w * t_w == whole * T. With no traced activity
+/// (A == 0) the split is uniform, which satisfies the same identity.
+double window_factor(double whole, Cycles duration, Cycles busy_w,
+                     Cycles busy_total, Cycles win_w) {
+  if (busy_total == 0 || win_w == 0) return whole;
+  return whole * static_cast<double>(duration) *
+         static_cast<double>(busy_w) /
+         (static_cast<double>(busy_total) * static_cast<double>(win_w));
+}
+
+}  // namespace
+
+std::vector<PowerSample> power_over_time(const trace::TraceSink& sink,
+                                         const RunActivity& whole_run,
+                                         const PowerModel& model,
+                                         const core::FrequencyPlan& freq,
+                                         Cycles window_cycles) {
+  HULKV_CHECK(window_cycles > 0, "power window must be non-empty");
+  std::vector<PowerSample> samples;
+  const Cycles duration = whole_run.duration;
+  if (duration == 0) return samples;
+
+  const size_t n = static_cast<size_t>(
+      (duration + window_cycles - 1) / window_cycles);
+  const trace::Windowed agg =
+      trace::aggregate(sink, window_cycles, n * window_cycles);
+
+  // Busy-overlap series per block. Missing tracks just yield an empty
+  // track set and the uniform fallback below.
+  std::vector<std::string> pmca_names;
+  for (int i = 0; i < 16; ++i) {
+    pmca_names.push_back("pmca_core" + std::to_string(i));
+  }
+  const std::vector<Cycles> host_busy =
+      agg.busy_across(existing_tracks(sink, {"cva6"}), trace::Ev::kRun);
+  const std::vector<Cycles> cluster_busy =
+      agg.busy_across(existing_tracks(sink, pmca_names), trace::Ev::kRun);
+  const std::vector<Cycles> mem_busy = agg.busy_across(
+      existing_tracks(sink, {"hyperram", "ddr4", "rpcdram"}),
+      trace::Ev::kMemXact);
+
+  Cycles host_total = 0, cluster_total = 0, mem_total = 0;
+  for (size_t w = 0; w < n; ++w) {
+    host_total += host_busy[w];
+    cluster_total += cluster_busy[w];
+    mem_total += mem_busy[w];
+  }
+
+  // Resolve the memory busy *fraction* once on the whole run (same
+  // clamp as compute_energy) and then distribute it; clamping again per
+  // window would break the energy integral.
+  const double mem_fraction =
+      std::min(1.0, static_cast<double>(whole_run.mem_busy_cycles) /
+                        static_cast<double>(duration));
+
+  samples.reserve(n);
+  for (size_t w = 0; w < n; ++w) {
+    const Cycles start = static_cast<Cycles>(w) * window_cycles;
+    const Cycles win_w =
+        (w + 1 == n) ? duration - start : window_cycles;  // partial tail
+
+    ActivityFactors factors;
+    factors.host = window_factor(whole_run.host_activity, duration,
+                                 host_busy[w], host_total, win_w);
+    factors.cluster = window_factor(whole_run.cluster_activity, duration,
+                                    cluster_busy[w], cluster_total, win_w);
+    factors.soc = whole_run.soc_activity;  // no tracked proxy: uniform
+    factors.mem_busy_fraction = window_factor(mem_fraction, duration,
+                                              mem_busy[w], mem_total, win_w);
+    factors.memory = whole_run.memory;
+
+    const EnergyReport er =
+        compute_energy_factors(win_w, factors, model, freq);
+    PowerSample sample;
+    sample.start = start;
+    sample.duration = win_w;
+    if (er.seconds > 0) {
+      sample.host_mw = er.host_mj / er.seconds;
+      sample.cluster_mw = er.cluster_mj / er.seconds;
+      sample.soc_mw = er.soc_mj / er.seconds;
+      sample.mem_ctrl_mw = er.mem_ctrl_mj / er.seconds;
+      sample.mem_device_mw = er.mem_device_mj / er.seconds;
+      sample.total_mw = er.avg_power_mw;
+    }
+    sample.energy_mj = er.total_mj;
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace hulkv::power

@@ -1,0 +1,49 @@
+// Power-over-time from windowed trace activity.
+//
+// The whole-run energy pipeline (energy.hpp) collapses a run into one
+// average activity factor per block. With tracing enabled we can do what
+// the SystemC-AMS/ISS power-modeling literature does: split the run into
+// fixed windows, derive per-window activity from the event stream, and
+// evaluate the same power model per window. The per-window activities
+// are normalised so that the time-integral of the resulting power curve
+// equals the whole-run energy *exactly* (compute_energy is linear in the
+// activity factors), which trace_test asserts to <0.1%.
+#pragma once
+
+#include <vector>
+
+#include "power/energy.hpp"
+#include "trace/trace.hpp"
+
+namespace hulkv::power {
+
+/// One window of the power curve.
+struct PowerSample {
+  Cycles start = 0;
+  Cycles duration = 0;
+  double host_mw = 0;
+  double cluster_mw = 0;
+  double soc_mw = 0;
+  double mem_ctrl_mw = 0;
+  double mem_device_mw = 0;
+  double total_mw = 0;
+  double energy_mj = 0;  // total energy of this window
+};
+
+/// Build the power curve for `[0, whole_run.duration)` in windows of
+/// `window_cycles`, distributing the whole-run activity factors over the
+/// windows proportionally to traced activity:
+///   - host:    overlap of `run` intervals on the "cva6" track,
+///   - cluster: overlap of `run` intervals on the "pmca_core*" tracks,
+///   - memory:  busy overlap of `mem_xact` intervals on the device
+///              tracks ("hyperram"/"ddr4"/"rpcdram"),
+///   - soc:     uniform (no tracked proxy).
+/// Blocks with no traced activity fall back to a uniform split, so the
+/// integral matches compute_energy(whole_run, ...) in every case.
+std::vector<PowerSample> power_over_time(const trace::TraceSink& sink,
+                                         const RunActivity& whole_run,
+                                         const PowerModel& model,
+                                         const core::FrequencyPlan& freq,
+                                         Cycles window_cycles);
+
+}  // namespace hulkv::power

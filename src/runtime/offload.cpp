@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::runtime {
 
@@ -77,6 +78,11 @@ Cycles OffloadRuntime::load_code(Image& image) {
   }
   host.advance_to(t);
   soc_->cluster().on_code_loaded();
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    sink.complete(sink.resolve(trace_track_, "offload"),
+                  trace::Ev::kCodeLoad, start, t, image.bytes);
+  }
   log(LogLevel::kDebug, "offload", "lazy-loaded '", image.name, "' to L2 in ",
       t - start, " cycles");
   return t - start;
@@ -107,10 +113,16 @@ OffloadRuntime::OffloadResult OffloadRuntime::offload(
   if (image.l2_addr == 0) result.code_load = load_code(image);
 
   // 2. Argument marshalling into the TCDM argument block.
-  Cycles t = host.now();
+  const Cycles marshal_start = host.now();
+  Cycles t = marshal_start;
   for (size_t i = 0; i < args.size(); ++i) {
     t = soc_->bus().write(t, kArgBlockBase + 4 * i, &args[i], 4,
                           mem::Master::kHost);
+  }
+  if (trace::enabled() && t > marshal_start) {
+    auto& sink = trace::sink();
+    sink.complete(sink.resolve(trace_track_, "offload"), trace::Ev::kMarshal,
+                  marshal_start, t, args.size() * 4);
   }
 
   // 3. Doorbell: post the kernel id to the cluster mailbox.
@@ -119,6 +131,11 @@ OffloadRuntime::OffloadResult OffloadRuntime::offload(
                         &doorbell, 4, mem::Master::kHost);
   host.advance_to(t);
   (void)soc_->mailbox().pop_cluster();  // cluster runtime consumes it
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    sink.instant(sink.resolve(trace_track_, "offload"), trace::Ev::kMailbox,
+                 t, doorbell);
+  }
 
   // 4. Event-unit dispatch + execution on the 8 cores.
   const auto kres = soc_->cluster().run_kernel(
@@ -137,6 +154,15 @@ OffloadRuntime::OffloadResult OffloadRuntime::offload(
 
   result.total = host.now() - t0;
   result.handshake = result.total - result.code_load - result.kernel;
+  if (trace::enabled()) {
+    auto& sink = trace::sink();
+    const u32 track = sink.resolve(trace_track_, "offload");
+    sink.complete(track, trace::Ev::kKernel, kres.start, kres.finish,
+                  kernel.index);
+    sink.instant(track, trace::Ev::kMailbox, kres.finish + kMailboxLatency,
+                 0xD07E);
+    sink.complete(track, trace::Ev::kOffload, t0, host.now(), kernel.index);
+  }
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include "analysis/analyzer.hpp"
 #include "core/soc.hpp"
 #include "runtime/hulk_malloc.hpp"
+#include "trace/trace.hpp"
 
 namespace hulkv::runtime {
 
@@ -125,6 +126,7 @@ class OffloadRuntime {
   Arena tcdm_arena_;
   std::vector<Image> images_;
   std::vector<std::string> names_;
+  trace::TrackHandle trace_track_;  // "offload" runtime-phase lane
 };
 
 }  // namespace hulkv::runtime

@@ -1,0 +1,33 @@
+// Perfetto / Chrome `trace_event` JSON export of a TraceSink.
+//
+// The output is the JSON-object form ({"traceEvents": [...]}) that both
+// chrome://tracing and https://ui.perfetto.dev load directly. Every
+// interned track renders as one named thread (pid 1), so the SoC shows
+// up as parallel swimlanes: host core, PMCA cores, caches, memories,
+// DMAs and the offload runtime.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hulkv::trace {
+
+/// Export options. `cycles_per_us` converts the cycle timebase into the
+/// microsecond timestamps the viewers expect; the default maps one cycle
+/// to 1 us which keeps integer cycle numbers readable in the UI.
+struct ChromeTraceOptions {
+  double cycles_per_us = 1.0;
+};
+
+/// Write the whole sink as Chrome trace_event JSON.
+void write_chrome_trace(std::ostream& os, const TraceSink& sink,
+                        const ChromeTraceOptions& options = {});
+
+/// Convenience file writer. Throws SimError when the file cannot be
+/// opened.
+void write_chrome_trace_file(const std::string& path, const TraceSink& sink,
+                             const ChromeTraceOptions& options = {});
+
+}  // namespace hulkv::trace

@@ -1,0 +1,89 @@
+#include "trace/windowed.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hulkv::trace {
+
+const Series* Windowed::series(u32 track, Ev type) const {
+  const auto it =
+      series_map.find({track, static_cast<u16>(type)});
+  return it == series_map.end() ? nullptr : &it->second;
+}
+
+u64 Windowed::total_value(u32 track, Ev type) const {
+  const Series* s = series(track, type);
+  if (s == nullptr) return 0;
+  return std::accumulate(s->value.begin(), s->value.end(), u64{0});
+}
+
+u64 Windowed::total_count(u32 track, Ev type) const {
+  const Series* s = series(track, type);
+  if (s == nullptr) return 0;
+  return std::accumulate(s->count.begin(), s->count.end(), u64{0});
+}
+
+Cycles Windowed::total_busy(u32 track, Ev type) const {
+  const Series* s = series(track, type);
+  if (s == nullptr) return 0;
+  return std::accumulate(s->busy.begin(), s->busy.end(), Cycles{0});
+}
+
+std::vector<Cycles> Windowed::busy_across(const std::vector<u32>& tracks,
+                                          Ev type) const {
+  std::vector<Cycles> merged(num_windows, 0);
+  for (const u32 t : tracks) {
+    const Series* s = series(t, type);
+    if (s == nullptr) continue;
+    for (size_t w = 0; w < num_windows; ++w) merged[w] += s->busy[w];
+  }
+  return merged;
+}
+
+Windowed aggregate(const TraceSink& sink, Cycles window_cycles,
+                   Cycles span) {
+  HULKV_CHECK(window_cycles > 0, "window width must be positive");
+  Windowed out;
+  out.window = window_cycles;
+  if (span == 0) span = sink.max_timestamp();
+  const size_t windows =
+      span == 0 ? 1
+                : static_cast<size_t>((span + window_cycles - 1) /
+                                      window_cycles);
+  out.num_windows = std::max<size_t>(windows, 1);
+  out.span = out.num_windows * window_cycles;
+
+  const auto series_for = [&](const Event& e) -> Series& {
+    Series& s = out.series_map[{e.track, static_cast<u16>(e.type)}];
+    if (s.value.empty()) {
+      s.value.assign(out.num_windows, 0);
+      s.count.assign(out.num_windows, 0);
+      s.busy.assign(out.num_windows, 0);
+    }
+    return s;
+  };
+
+  for (const Event& e : sink.events()) {
+    if (e.ts >= out.span) continue;
+    Series& s = series_for(e);
+    const size_t w0 = static_cast<size_t>(e.ts / window_cycles);
+    s.count[w0] += 1;
+    s.value[w0] += e.value;
+    if (event_phase(e.type) != Phase::kComplete || e.dur == 0) continue;
+    // Split the duration across every window it overlaps; the clipped
+    // tail beyond `span` is dropped.
+    const Cycles end = std::min(e.ts + e.dur, out.span);
+    Cycles t = e.ts;
+    size_t w = w0;
+    while (t < end) {
+      const Cycles win_end = static_cast<Cycles>(w + 1) * window_cycles;
+      const Cycles chunk = std::min(end, win_end) - t;
+      s.busy[w] += chunk;
+      t += chunk;
+      ++w;
+    }
+  }
+  return out;
+}
+
+}  // namespace hulkv::trace

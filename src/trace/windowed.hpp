@@ -1,0 +1,58 @@
+// Windowed aggregation of a trace: per-N-cycles activity series.
+//
+// Turns the raw event stream into fixed-width windows of
+//   - summed counter/instant values  (e.g. commits, conflicts, bytes),
+//   - event counts                   (e.g. number of LLC misses),
+//   - busy overlap of complete events (e.g. memory-controller busy
+//     cycles inside each window; durations are split across window
+//     boundaries so totals are exact).
+// This is the activity input for power-over-time (power/power_trace.hpp)
+// and the invariant checked by trace_test: windowed sums must equal the
+// end-of-run StatGroup totals for every traced counter.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hulkv::trace {
+
+/// Aggregated series for one (track, event type) pair.
+struct Series {
+  std::vector<u64> value;  // sum of event values per window
+  std::vector<u64> count;  // number of events starting in each window
+  std::vector<Cycles> busy;  // overlap of complete-event durations
+};
+
+class Windowed {
+ public:
+  Cycles window = 0;        // window width in cycles
+  Cycles span = 0;          // covered range: [0, span)
+  size_t num_windows = 0;
+
+  /// Series for (track, type), or nullptr when nothing was recorded.
+  const Series* series(u32 track, Ev type) const;
+
+  /// Sum of all per-window values / counts / busy for (track, type).
+  u64 total_value(u32 track, Ev type) const;
+  u64 total_count(u32 track, Ev type) const;
+  Cycles total_busy(u32 track, Ev type) const;
+
+  /// Busy overlap per window summed across a set of tracks (used by the
+  /// power model to merge e.g. all external-memory devices).
+  std::vector<Cycles> busy_across(const std::vector<u32>& tracks,
+                                  Ev type) const;
+
+  std::map<std::pair<u32, u16>, Series> series_map;
+};
+
+/// Aggregate a sink into `window_cycles`-wide windows covering
+/// [0, span). A zero `span` covers everything recorded
+/// (sink.max_timestamp() rounded up to a whole window). Events (or the
+/// clipped parts of durations) beyond `span` are ignored.
+Windowed aggregate(const TraceSink& sink, Cycles window_cycles,
+                   Cycles span = 0);
+
+}  // namespace hulkv::trace

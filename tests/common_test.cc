@@ -7,6 +7,7 @@
 
 #include "common/bitutil.hpp"
 #include "common/half.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -148,6 +149,48 @@ TEST(Stats, RenderIsStable) {
   stats.add("b", 2);
   stats.add("a", 1);
   EXPECT_EQ(stats.to_string(), "grp.a = 1\ngrp.b = 2\n");
+}
+
+TEST(Stats, InternedCounterHandleSharesStorage) {
+  StatGroup stats("grp");
+  u64& counter = stats.counter("hits");
+  EXPECT_EQ(stats.get("hits"), 0u);
+  counter += 5;
+  EXPECT_EQ(stats.get("hits"), 5u);
+  stats.increment("hits");  // string API hits the same slot
+  EXPECT_EQ(counter, 6u);
+  // reset() zeroes values in place, so the handle stays valid.
+  stats.reset();
+  EXPECT_EQ(counter, 0u);
+  counter += 2;
+  EXPECT_EQ(stats.get("hits"), 2u);
+}
+
+TEST(Log, ParseLogLevelNamesAndFallback) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kError), LogLevel::kError);
+}
+
+TEST(Log, ClockStampsLines) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  set_log_clock([]() -> unsigned long long { return 12345; });
+
+  testing::internal::CaptureStderr();
+  log(LogLevel::kInfo, "test", "stamped");
+  std::string line = testing::internal::GetCapturedStderr();
+  EXPECT_NE(line.find("@12345"), std::string::npos) << line;
+  EXPECT_NE(line.find("stamped"), std::string::npos);
+
+  set_log_clock({});  // unregister: no cycle stamp
+  testing::internal::CaptureStderr();
+  log(LogLevel::kInfo, "test", "bare");
+  line = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(line.find('@'), std::string::npos) << line;
+  set_log_level(saved);
 }
 
 }  // namespace

@@ -62,3 +62,99 @@ TEST(SocReport, RenderSkipsZeroCounters) {
 
 }  // namespace
 }  // namespace hulkv::core
+
+// ---------------------------------------------------------------------
+// hulkv::report: the bench metrics/tables writer (text + JSON from the
+// same Value cells).
+// ---------------------------------------------------------------------
+
+#include <cmath>
+
+#include "report/report.hpp"
+
+namespace hulkv::report {
+namespace {
+
+TEST(ReportValue, TextAndJsonRenderTheSameDigits) {
+  EXPECT_EQ(Value::integer(-42).to_text(), "-42");
+  EXPECT_EQ(Value::integer(-42).to_json(), "-42");
+  EXPECT_EQ(Value::uinteger(18446744073709551615ull).to_text(),
+            "18446744073709551615");
+  const Value pi = Value::number(3.14159, 3);
+  EXPECT_EQ(pi.to_text(), "3.142");
+  EXPECT_EQ(pi.to_json(), "3.142");
+  const Value zero_places = Value::number(47.0, 0);
+  EXPECT_EQ(zero_places.to_text(), zero_places.to_json());
+}
+
+TEST(ReportValue, TextKindQuotesOnlyInJson) {
+  const Value v = Value::text("hello \"world\"");
+  EXPECT_EQ(v.to_text(), "hello \"world\"");
+  EXPECT_EQ(v.to_json(), "\"hello \\\"world\\\"\"");
+  EXPECT_FALSE(v.is_numeric());
+}
+
+TEST(ReportValue, NonFiniteBecomesNullInJson) {
+  const Value nan = Value::number(std::nan(""), 2);
+  EXPECT_EQ(nan.to_text(), "-");
+  EXPECT_EQ(nan.to_json(), "null");
+}
+
+TEST(ReportTable, RendersAlignedTextAndRejectsWidthMismatch) {
+  Table table("demo", {"name", "cycles"});
+  table.add_row({Value::text("a"), Value::uinteger(12)});
+  table.add_row({Value::text("bb"), Value::uinteger(3456)});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("cycles"), std::string::npos);
+  EXPECT_NE(text.find("3456"), std::string::npos);
+  EXPECT_THROW(table.add_row({Value::text("short")}), SimError);
+}
+
+TEST(ReportMetrics, JsonEmbedsExactTextNumbers) {
+  MetricsReport rep("demo_bench");
+  rep.add_metric("speedup", Value::number(12.3456, 1), "x");
+  rep.add_metric("cycles", Value::uinteger(987654321));
+  rep.add_note("a note");
+  Table& t = rep.add_table("t", {"k", "v"});
+  t.add_row({Value::text("row"), Value::number(0.125, 2)});
+
+  ASSERT_NE(rep.metric("speedup"), nullptr);
+  EXPECT_EQ(rep.metric_text("speedup"), "12.3");
+  EXPECT_EQ(rep.metric_text("missing"), "?");
+
+  const std::string text = rep.to_text();
+  const std::string json = rep.to_json();
+  // The headline digits are identical in both renderings.
+  for (const char* digits : {"12.3", "987654321", "0.12"}) {
+    EXPECT_NE(text.find(digits), std::string::npos) << digits;
+    EXPECT_NE(json.find(digits), std::string::npos) << digits;
+  }
+  EXPECT_NE(json.find("\"name\":\"demo_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\":\"x\""), std::string::npos);
+}
+
+TEST(ReportMetrics, TableReferencesSurviveLaterAddTable) {
+  MetricsReport rep("demo");
+  Table& first = rep.add_table("one", {"a"});
+  for (int i = 0; i < 50; ++i) rep.add_table("more", {"b"});
+  first.add_row({Value::integer(7)});  // must not be dangling
+  EXPECT_EQ(rep.tables().front().rows().size(), 1u);
+}
+
+TEST(ReportArgs, ParsesJsonAndTraceFlagsBothSpellings) {
+  const char* argv1[] = {"bench", "--json", "out.json", "--trace=t.json",
+                         "--benchmark_filter=foo"};
+  const BenchOptions a =
+      parse_bench_args(5, const_cast<char**>(argv1));
+  EXPECT_EQ(a.json_path, "out.json");
+  EXPECT_EQ(a.trace_path, "t.json");
+
+  const char* argv2[] = {"bench", "--json=x.json"};
+  const BenchOptions b = parse_bench_args(2, const_cast<char**>(argv2));
+  EXPECT_EQ(b.json_path, "x.json");
+  EXPECT_TRUE(b.trace_path.empty());
+}
+
+}  // namespace
+}  // namespace hulkv::report
