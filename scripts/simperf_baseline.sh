@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Capture a simulator-performance baseline: run the bench/simperf
+# microbenchmarks and write google-benchmark's JSON to
+# BENCH_simperf.json (repo root by default). The checked-in baseline is
+# what `make simperf-check` (scripts/simperf_check.sh) compares against
+# to catch simulator hot-path regressions.
+#
+# Re-baseline (run this script and commit the JSON) after intentional
+# perf changes or when moving to different reference hardware.
+#
+# Usage: scripts/simperf_baseline.sh [output-file]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/BENCH_simperf.json}"
+
+if [ ! -x "$build_dir/bench/simperf" ]; then
+  echo "error: $build_dir/bench/simperf not found. Build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+# --benchmark_out keeps the JSON separate from simperf's MetricsReport
+# text on stdout. Repetitions smooth scheduler noise; the aggregate
+# (median) rows are what the regression check reads.
+"$build_dir/bench/simperf" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo
+echo "simperf_baseline: wrote $out"

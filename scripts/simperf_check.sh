@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Simulator-performance regression gate: re-run the bench/simperf ISS
+# throughput benchmarks and compare instr/s against the checked-in
+# baseline (BENCH_simperf.json, captured by scripts/simperf_baseline.sh).
+# Fails when a benchmark's throughput drops more than the threshold
+# (default 20%) below the baseline. Wired up as `make simperf-check`.
+#
+# Usage: scripts/simperf_check.sh [baseline.json]
+#   SIMPERF_THRESHOLD_PCT=20   allowed regression in percent
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+baseline="${1:-$repo_root/BENCH_simperf.json}"
+threshold="${SIMPERF_THRESHOLD_PCT:-20}"
+
+if [ ! -f "$baseline" ]; then
+  echo "error: baseline $baseline not found." >&2
+  echo "Capture one with scripts/simperf_baseline.sh and commit it." >&2
+  exit 1
+fi
+if [ ! -x "$build_dir/bench/simperf" ]; then
+  echo "error: $build_dir/bench/simperf not found. Build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+fresh="$(mktemp /tmp/simperf_check.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+
+# Same shape as the baseline run: medians over 3 repetitions, filtered
+# to the ISS throughput loops (the benches this gate guards).
+"$build_dir/bench/simperf" \
+  --benchmark_filter='BM_(Host|Cluster)IssLoop' \
+  --benchmark_out="$fresh" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true > /dev/null
+
+python3 - "$baseline" "$fresh" "$threshold" << 'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def instr_rates(path):
+    """{benchmark name: median instr/s} from a google-benchmark JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for run in data.get("benchmarks", []):
+        if run.get("aggregate_name", "") not in ("", "median"):
+            continue
+        rate = run.get("instr/s")
+        if rate is None:
+            continue
+        name = run["run_name"] if "run_name" in run else run["name"]
+        # Prefer the median aggregate over any raw repetition rows.
+        if run.get("aggregate_name") == "median" or name not in rates:
+            rates[name] = rate
+    return rates
+
+base = instr_rates(baseline_path)
+fresh = instr_rates(fresh_path)
+if not base:
+    sys.exit(f"no instr/s entries in baseline {baseline_path}")
+
+status = 0
+for name, base_rate in sorted(base.items()):
+    if name not in fresh:
+        continue  # bench filtered out of this check run
+    fresh_rate = fresh[name]
+    delta_pct = (fresh_rate / base_rate - 1.0) * 100.0
+    verdict = "ok"
+    if delta_pct < -threshold:
+        verdict = f"REGRESSION (allowed -{threshold:.0f}%)"
+        status = 1
+    print(f"{name}: baseline {base_rate:,.0f} instr/s, "
+          f"now {fresh_rate:,.0f} instr/s ({delta_pct:+.1f}%) {verdict}")
+
+if status:
+    print("simperf_check: FAILED")
+else:
+    print("simperf_check: OK")
+sys.exit(status)
+EOF

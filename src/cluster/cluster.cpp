@@ -31,6 +31,15 @@ void Cluster::on_code_loaded() {
   for (auto& core : cores_) core->invalidate_decode_cache();
 }
 
+void Cluster::on_code_loaded(Addr base, u64 bytes) {
+  // The I-cache flush is timing-visible and therefore unconditional;
+  // only the purely functional decoded-block invalidation is scoped to
+  // the written range (each core skips it unless it translated code
+  // overlapping [base, base+bytes)).
+  icache_.flush();
+  for (auto& core : cores_) core->invalidate_decode_cache(base, bytes);
+}
+
 void Cluster::release_barrier() {
   const Cycles wake = event_unit_->release();
   for (u32 c = 0; c < config_.num_cores; ++c) {
@@ -38,6 +47,10 @@ void Cluster::release_barrier() {
       at_barrier_[c] = false;
       cores_[c]->advance_to(wake);
       cores_[c]->set_state(PmcaCore::State::kRunning);
+      // Re-enter the scheduler's runnable set. The releasing core's
+      // slice ends right after this envcall, so the heap is consulted
+      // again before any further instruction executes.
+      sched_.push_or_update(c, cores_[c]->now());
     }
   }
 }
@@ -116,28 +129,40 @@ Cluster::KernelResult Cluster::run_kernel(Cycles start_time, Addr entry,
     core.advance_to(start_time + config_.dispatch_latency);
   }
 
-  // Always step the core with the smallest local clock so shared-resource
-  // reservations (TCDM banks, DMA, external memory) are made in time order.
-  while (true) {
-    PmcaCore* next = nullptr;
+  // Always advance the core with the smallest local clock so
+  // shared-resource reservations (TCDM banks, DMA, external memory) are
+  // made in time order. The min-heap keeps runnable cores ordered by
+  // (cycle, core_id) — the same key the old linear scan minimised — and
+  // hands the laggard the runner-up's key so it can retire a whole run
+  // of instructions locally while it stays the laggard. The resulting
+  // instruction interleaving (and with it every reservation and cycle
+  // count) is identical to stepping one instruction at a time.
+  sched_.reset(config_.num_cores);
+  for (u32 c = 0; c < team_size; ++c) {
+    sched_.push_or_update(c, cores_[c]->now());
+  }
+  while (!sched_.empty()) {
+    const u32 c = sched_.top_id();
+    Cycles limit_cycle = 0;
+    u32 limit_id = 0;
+    sched_.runner_up(&limit_cycle, &limit_id);
+    PmcaCore& core = *cores_[c];
+    core.run_slice(limit_cycle, limit_id);
+    if (core.state() == PmcaCore::State::kRunning) {
+      sched_.push_or_update(c, core.now());
+    } else {
+      sched_.remove(c);
+    }
+  }
+  // No runnable core left: either done, or a barrier deadlock.
+  {
+    bool all_finished = true;
     for (auto& core : cores_) {
-      if (core->state() == PmcaCore::State::kRunning &&
-          (next == nullptr || core->now() < next->now())) {
-        next = core.get();
-      }
+      all_finished &= core->state() == PmcaCore::State::kFinished;
     }
-    if (next == nullptr) {
-      // No runnable core: either done, or a barrier deadlock.
-      bool all_finished = true;
-      for (auto& core : cores_) {
-        all_finished &= core->state() == PmcaCore::State::kFinished;
-      }
-      HULKV_CHECK(all_finished,
-                  "cluster deadlock: cores blocked with no runnable core "
-                  "(barrier not reached by the whole team?)");
-      break;
-    }
-    next->step();
+    HULKV_CHECK(all_finished,
+                "cluster deadlock: cores blocked with no runnable core "
+                "(barrier not reached by the whole team?)");
   }
 
   KernelResult result;

@@ -17,6 +17,7 @@
 #include "cluster/event_unit.hpp"
 #include "cluster/icache.hpp"
 #include "cluster/pmca_core.hpp"
+#include "cluster/sched.hpp"
 #include "cluster/tcdm.hpp"
 #include "mem/interconnect.hpp"
 
@@ -55,6 +56,10 @@ class Cluster {
   /// Invalidate instruction caches and decoded-instruction caches (call
   /// after loading a new kernel image).
   void on_code_loaded();
+  /// Range-scoped variant: the I-cache flush is unconditional (it is
+  /// timing-visible), but each core's decoded-block invalidation is a
+  /// no-op unless [base, base+bytes) overlaps code it translated.
+  void on_code_loaded(Addr base, u64 bytes);
 
   Tcdm& tcdm() { return tcdm_; }
   ClusterDma& dma() { return dma_; }
@@ -78,6 +83,7 @@ class Cluster {
   std::unique_ptr<EventUnit> event_unit_;
   ClusterDma dma_;
   std::vector<std::unique_ptr<PmcaCore>> cores_;
+  CoreScheduler sched_;  // runnable cores ordered by (cycle, core_id)
   std::vector<bool> at_barrier_;
   u32 team_size_ = 0;
   trace::TrackHandle trace_track_;  // event-unit lane (dispatch markers)

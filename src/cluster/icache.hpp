@@ -27,6 +27,13 @@ class ClusterIcache {
   /// Fetch timing for `core_id` at `pc`. Returns the completion cycle.
   Cycles fetch(u32 core_id, Cycles now, Addr pc);
 
+  /// True when `pc`'s line sits in `core_id`'s private level: the fetch
+  /// would complete without touching the shared level, so it is a
+  /// core-local event (used by the cluster scheduler's run-ahead).
+  bool private_hit(u32 core_id, Addr pc) const {
+    return private_[core_id]->probe(pc);
+  }
+
   /// Invalidate all levels (called when a new kernel image is loaded).
   void flush();
 

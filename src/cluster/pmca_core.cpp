@@ -45,13 +45,22 @@ PmcaCore::PmcaCore(const PmcaCoreConfig& config, Tcdm* tcdm, Addr tcdm_base,
     : config_(config),
       tcdm_(tcdm),
       tcdm_base_(tcdm_base),
+      tcdm_data_(tcdm != nullptr ? tcdm->storage().data() : nullptr),
+      tcdm_size_(tcdm != nullptr ? tcdm->storage().size() : 0),
       icache_(icache),
       bus_(bus),
       stats_("pmca_core" + std::to_string(config.core_id)),
       ctr_loads_(stats_.counter("loads")),
       ctr_stores_(stats_.counter("stores")),
       ctr_mac_ops_(stats_.counter("mac_ops")),
-      ctr_simd_ops_(stats_.counter("simd_ops")) {
+      ctr_simd_ops_(stats_.counter("simd_ops")),
+      ctr_taken_branches_(stats_.counter("taken_branches")),
+      ctr_hwloop_backedges_(stats_.counter("hwloop_backedges")),
+      blocks_([bus](Addr pc) {
+        u32 word = 0;
+        bus->read_functional(pc, &word, 4);
+        return word;
+      }) {
   HULKV_CHECK(tcdm != nullptr && icache != nullptr && bus != nullptr,
               "PMCA core needs TCDM, I-cache and bus");
 }
@@ -99,32 +108,24 @@ void PmcaCore::reset_for_run(Addr entry) {
 }
 
 bool PmcaCore::in_tcdm(Addr addr) const {
-  return addr >= tcdm_base_ && addr < tcdm_base_ + tcdm_->storage().size();
+  return addr >= tcdm_base_ && addr < tcdm_base_ + tcdm_size_;
 }
 
-const Instr& PmcaCore::fetch(Addr pc) {
-  auto it = decode_cache_.find(pc);
-  if (it == decode_cache_.end()) {
-    u32 word = 0;
-    bus_->read_functional(pc, &word, 4);
-    it = decode_cache_.emplace(pc, isa::decode(word)).first;
-  }
+void PmcaCore::fetch_timing(Addr pc) {
   const Addr line = align_down(pc, 32);
   if (line != fetch_line_) {
     fetch_line_ = line;
     cycle_ = icache_->fetch(config_.core_id, cycle_, pc);
   }
-  return it->second;
 }
 
 u32 PmcaCore::load(Addr addr, u32 bytes, bool sign, Cycles issue) {
   ctr_loads_ += 1;
   u32 value = 0;
   if (in_tcdm(addr)) {
-    HULKV_CHECK(addr + bytes <= tcdm_base_ + tcdm_->storage().size(),
+    HULKV_CHECK(addr + bytes <= tcdm_base_ + tcdm_size_,
                 "TCDM load crosses the top of L1");
-    std::memcpy(&value, tcdm_->storage().data() + (addr - tcdm_base_),
-                bytes);
+    std::memcpy(&value, tcdm_data_ + (addr - tcdm_base_), bytes);
     cycle_ = std::max(cycle_, tcdm_->access(issue, addr - tcdm_base_, bytes));
   } else {
     // Demand access over the cluster's AXI master port.
@@ -145,10 +146,9 @@ u32 PmcaCore::load(Addr addr, u32 bytes, bool sign, Cycles issue) {
 void PmcaCore::store(Addr addr, u32 value, u32 bytes, Cycles issue) {
   ctr_stores_ += 1;
   if (in_tcdm(addr)) {
-    HULKV_CHECK(addr + bytes <= tcdm_base_ + tcdm_->storage().size(),
+    HULKV_CHECK(addr + bytes <= tcdm_base_ + tcdm_size_,
                 "TCDM store crosses the top of L1");
-    std::memcpy(tcdm_->storage().data() + (addr - tcdm_base_), &value,
-                bytes);
+    std::memcpy(tcdm_data_ + (addr - tcdm_base_), &value, bytes);
     cycle_ = std::max(cycle_, tcdm_->access(issue, addr - tcdm_base_, bytes));
   } else {
     // Posted write through the AXI port: occupancy advances, no stall.
@@ -158,22 +158,69 @@ void PmcaCore::store(Addr addr, u32 value, u32 bytes, Cycles issue) {
   }
 }
 
-void PmcaCore::step() {
+void PmcaCore::step() { run_slice(kNoLimitCycle, kNoLimitId, 1); }
+
+void PmcaCore::run_slice(Cycles limit_cycle, u32 limit_id, u64 max_instrs) {
   HULKV_CHECK(state_ == State::kRunning, "stepping a non-running core");
-  const Instr& in = fetch(pc_);
-  if (trace_) {
-    log(LogLevel::kTrace, stats_.name(), "cyc=", cycle_, " pc=0x", std::hex,
-        pc_, std::dec, "  ", isa::disasm(in));
-  }
-  next_pc_ = pc_ + 4;
-  issue_cycle_ = cycle_;
-  cycle_ += 1;
-  exec(in);
-  ++instret_;
-  if (trace::enabled()) trace_commit();
-  if (state_ == State::kRunning || state_ == State::kBlocked) {
-    apply_hwloops();
-    pc_ = next_pc_;
+  u64 executed = 0;
+  // With tracing on, every instruction is treated as shared so events
+  // reach the process-global sink in exactly the per-instruction
+  // scheduling order (run-ahead would reorder the sink's event stream;
+  // cycles are identical either way).
+  const bool lockstep = trace_ || trace::enabled();
+  // Outer loop: one decoded block per iteration (a single cache probe,
+  // usually the memoized last block for loop bodies). Inner loop: the
+  // same per-instruction sequence as the old step(), so per-line I-cache
+  // timing, trace events and hardware-loop checks are bit-identical.
+  while (true) {
+    const isa::DecodedBlock& block = blocks_.block_at(pc_);
+    const size_t count = block.instrs.size();
+    const u64 shared_mask = lockstep ? ~u64{0} : block.shared_mask;
+    Addr seq_pc = block.start;
+    for (size_t i = 0; i < count; ++i) {
+      // An instruction that may touch cross-core state — memory, an
+      // envcall/trap, or a fetch missing the core's private I-cache —
+      // may only execute while this core is still the global laggard,
+      // so shared-resource reservations keep the exact (cycle, core_id)
+      // order of per-instruction min-clock scheduling. Pure ALU and
+      // control flow fetching from the private I-cache are core-local
+      // and run ahead of the horizon (their interleaving is
+      // unobservable).
+      const bool shared =
+          ((shared_mask >> i) & 1) != 0 ||
+          (align_down(pc_, 32) != fetch_line_ &&
+           !icache_->private_hit(config_.core_id, pc_));
+      if (shared && (cycle_ > limit_cycle ||
+                     (cycle_ == limit_cycle &&
+                      config_.core_id >= limit_id))) {
+        return;  // yield before executing; the scheduler re-picks the min
+      }
+      const Instr& in = block.instrs[i];
+      fetch_timing(pc_);
+      if (trace_) {
+        log(LogLevel::kTrace, stats_.name(), "cyc=", cycle_, " pc=0x",
+            std::hex, pc_, std::dec, "  ", isa::disasm(in));
+      }
+      next_pc_ = pc_ + 4;
+      issue_cycle_ = cycle_;
+      cycle_ += 1;
+      const bool was_envcall = in.op == Op::kEcall;
+      exec(in);
+      ++instret_;
+      ++executed;
+      if (trace::enabled()) trace_commit();
+      if (state_ == State::kRunning || state_ == State::kBlocked) {
+        apply_hwloops();
+        pc_ = next_pc_;
+      }
+      // Yield when the core stopped running (exit / barrier), an envcall
+      // retired (it may have woken other cores — the ready set changed
+      // under the scheduler), or the instruction budget is spent.
+      if (state_ != State::kRunning || was_envcall) return;
+      if (executed >= max_instrs) return;
+      seq_pc += 4;
+      if (pc_ != seq_pc) break;  // taken branch or hardware-loop back edge
+    }
   }
 }
 
@@ -186,7 +233,7 @@ void PmcaCore::apply_hwloops() {
     if (loop.count > 1) {
       --loop.count;
       next_pc_ = loop.start;  // zero-overhead back edge
-      stats_.increment("hwloop_backedges");
+      ctr_hwloop_backedges_ += 1;
       return;
     }
     loop.count = 0;  // natural exit, fall through; outer loop may fire too
@@ -200,7 +247,7 @@ void PmcaCore::exec(const Instr& in) {
   const auto branch_to = [this](i64 offset) {
     next_pc_ = pc_ + offset;
     cycle_ += config_.taken_branch_penalty;
-    stats_.increment("taken_branches");
+    ctr_taken_branches_ += 1;
   };
 
   switch (in.op) {

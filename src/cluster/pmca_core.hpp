@@ -24,11 +24,11 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 
 #include "cluster/icache.hpp"
 #include "cluster/tcdm.hpp"
 #include "common/stats.hpp"
+#include "isa/block_cache.hpp"
 #include "isa/decoder.hpp"
 #include "mem/interconnect.hpp"
 
@@ -57,6 +57,13 @@ class PmcaCore {
  public:
   enum class State { kRunning, kBlocked, kFinished };
 
+  /// "No limit" clock key for run_slice(): no core clock ever reaches
+  /// it, so the slice only ends on a state change, an envcall or the
+  /// instruction budget. CoreScheduler::runner_up yields the same
+  /// sentinel when the stepped core is the only runnable one.
+  static constexpr Cycles kNoLimitCycle = ~0ull;
+  static constexpr u32 kNoLimitId = ~0u;
+
   /// Handles ecall. May block or finish the core (set_state) and may
   /// advance its clock to model service time.
   using EnvHandler = std::function<void(PmcaCore&)>;
@@ -70,6 +77,18 @@ class PmcaCore {
 
   /// Execute one instruction. Only valid in kRunning.
   void step();
+
+  /// Execute a run of instructions from the decoded-block cache while
+  /// this core remains the cluster's laggard: runs until the core is no
+  /// longer kRunning, an environment call retires (its side effects —
+  /// barrier wake-ups, DMA — must be observed by the scheduler), or the
+  /// local clock key (cycle, core_id) reaches the lexicographic limit
+  /// (`limit_cycle`, `limit_id`) — the scheduler passes the runner-up
+  /// core's key so time-ordering of shared-resource reservations is
+  /// exactly that of per-instruction min-clock scheduling. Executes at
+  /// least one and at most `max_instrs` instructions.
+  void run_slice(Cycles limit_cycle, u32 limit_id,
+                 u64 max_instrs = UINT64_MAX);
 
   // ---- state ----
   State state() const { return state_; }
@@ -90,7 +109,17 @@ class PmcaCore {
   }
 
   void set_env_handler(EnvHandler handler) { env_ = std::move(handler); }
-  void invalidate_decode_cache() { decode_cache_.clear(); }
+
+  /// Drop cached decoded blocks (O(1) generation bump; stale blocks
+  /// re-translate on next dispatch).
+  void invalidate_decode_cache() { blocks_.invalidate(); }
+  /// Range-scoped variant: no-op unless [base, base+bytes) overlaps
+  /// code this core actually translated.
+  void invalidate_decode_cache(Addr base, u64 bytes) {
+    blocks_.invalidate_range(base, bytes);
+  }
+  /// Decoded-block cache (introspection for tests and stats).
+  const isa::BlockCache& decode_blocks() const { return blocks_; }
 
   /// Emit one log line per retired instruction (LogLevel::kTrace).
   void set_trace(bool enabled) { trace_ = enabled; }
@@ -104,9 +133,10 @@ class PmcaCore {
   u64 instret() const { return instret_; }
 
  private:
-  const isa::Instr& fetch(Addr pc);
   void exec(const isa::Instr& instr);
   void apply_hwloops();
+  /// Cluster I-cache timing for a fetch at `pc`: paid once per line.
+  void fetch_timing(Addr pc);
 
   u32 load(Addr addr, u32 bytes, bool sign, Cycles issue);
   void store(Addr addr, u32 value, u32 bytes, Cycles issue);
@@ -124,6 +154,11 @@ class PmcaCore {
   PmcaCoreConfig config_;
   Tcdm* tcdm_;
   Addr tcdm_base_;
+  // Same-page fast path to the TCDM front-end: raw storage pointer and
+  // size cached at construction (the TCDM backing vector never resizes),
+  // so the common load/store skips two indirections per access.
+  u8* tcdm_data_;
+  u64 tcdm_size_;
   ClusterIcache* icache_;
   mem::SocBus* bus_;
   StatGroup stats_;
@@ -132,6 +167,8 @@ class PmcaCore {
   u64& ctr_stores_;
   u64& ctr_mac_ops_;
   u64& ctr_simd_ops_;
+  u64& ctr_taken_branches_;
+  u64& ctr_hwloop_backedges_;
   trace::TrackHandle trace_track_;
   u32 pending_commits_ = 0;
 
@@ -147,7 +184,7 @@ class PmcaCore {
   Addr fetch_line_ = ~0ull;
 
   bool trace_ = false;
-  std::unordered_map<Addr, isa::Instr> decode_cache_;
+  isa::BlockCache blocks_;
   EnvHandler env_;
 };
 

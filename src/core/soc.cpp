@@ -76,8 +76,12 @@ HulkVSoc::HulkVSoc(const SocConfig& config)
 void HulkVSoc::load_program(Addr base, const std::vector<u32>& words) {
   HULKV_CHECK(!words.empty(), "empty program");
   write_mem(base, words.data(), words.size() * 4);
-  if (host_) host_->invalidate_decode_cache();
-  if (cluster_) cluster_->on_code_loaded();
+  // Scope the decode invalidation to the written range: loading a PMCA
+  // kernel image no longer throws away the host core's decoded blocks
+  // (and vice versa) unless the ranges actually overlap.
+  const u64 bytes = words.size() * 4;
+  if (host_) host_->invalidate_decode_cache(base, bytes);
+  if (cluster_) cluster_->on_code_loaded(base, bytes);
 }
 
 void HulkVSoc::write_mem(Addr addr, const void* src, u64 bytes) {

@@ -1,5 +1,6 @@
 #include "host/cva6.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -50,13 +51,23 @@ i64 cvt_f_to_i64(double v) {
 Cva6Core::Cva6Core(const Cva6Config& config, mem::SocBus* bus)
     : config_(config),
       bus_(bus),
+      dram_(bus->dram_store()),
       icache_(config.icache, bus->dram_timing()),
       dcache_(config.dcache, bus->dram_timing()),
       stats_("cva6"),
       ctr_loads_(stats_.counter("loads")),
-      ctr_stores_(stats_.counter("stores")) {
+      ctr_stores_(stats_.counter("stores")),
+      ctr_taken_branches_(stats_.counter("taken_branches")),
+      ctr_branch_mispredicts_(stats_.counter("branch_mispredicts")),
+      blocks_([bus](Addr pc) {
+        u32 word = 0;
+        bus->read_functional(pc, &word, 4);
+        return word;
+      }) {
   HULKV_CHECK(bus != nullptr, "core needs a bus");
   HULKV_CHECK(bus->dram_timing() != nullptr,
+              "attach external memory to the bus before building the core");
+  HULKV_CHECK(dram_ != nullptr,
               "attach external memory to the bus before building the core");
   if (config.enable_mmu) {
     // Page-table walks go through the L1D path, so PTE lines are cached
@@ -78,13 +89,7 @@ bool Cva6Core::dram_cached(Addr addr) const {
   return addr >= mem::map::kDramBase;
 }
 
-const Instr& Cva6Core::fetch(Addr pc) {
-  auto it = decode_cache_.find(pc);
-  if (it == decode_cache_.end()) {
-    u32 word = 0;
-    bus_->read_functional(pc, &word, 4);
-    it = decode_cache_.emplace(pc, isa::decode(word)).first;
-  }
+void Cva6Core::fetch_timing(Addr pc) {
   // I-cache timing: pay once per line entered.
   const Addr line = align_down(pc, config_.icache.line_bytes);
   if (line != fetch_line_) {
@@ -92,7 +97,6 @@ const Instr& Cva6Core::fetch(Addr pc) {
     if (itlb_ && dram_cached(pc)) cycle_ = itlb_->translate(cycle_, pc);
     cycle_ = icache_.access(cycle_, pc, 4, /*is_write=*/false);
   }
-  return it->second;
 }
 
 u64 Cva6Core::load(Addr addr, u32 bytes, bool sign) {
@@ -101,7 +105,11 @@ u64 Cva6Core::load(Addr addr, u32 bytes, bool sign) {
   const Cycles issue = cycle_;
   if (dram_cached(addr)) {
     if (dtlb_) cycle_ = dtlb_->translate(cycle_, addr);
-    bus_->read_functional(addr, &value, bytes);
+    if (addr + bytes <= mem::map::kDramBase + mem::map::kDramSize) {
+      dram_->read(addr, &value, bytes);  // page-pointer fast path
+    } else {
+      bus_->read_functional(addr, &value, bytes);  // out of range: faults
+    }
     cycle_ = dcache_.access(cycle_, addr, bytes, /*is_write=*/false);
   } else {
     cycle_ = bus_->read(cycle_, addr, &value, bytes, mem::Master::kHost);
@@ -119,7 +127,11 @@ void Cva6Core::store(Addr addr, u64 value, u32 bytes) {
   ctr_stores_ += 1;
   if (dram_cached(addr)) {
     if (dtlb_) cycle_ = dtlb_->translate(cycle_, addr);
-    bus_->write_functional(addr, &value, bytes);
+    if (addr + bytes <= mem::map::kDramBase + mem::map::kDramSize) {
+      dram_->write(addr, &value, bytes);  // page-pointer fast path
+    } else {
+      bus_->write_functional(addr, &value, bytes);  // out of range: faults
+    }
     // Write-through store buffer: downstream occupancy advances, the core
     // does not stall (CacheModel hides the downstream latency).
     dcache_.access(cycle_, addr, bytes, /*is_write=*/true);
@@ -158,18 +170,34 @@ Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
   const u64 start_instret = instret_;
   exited_ = false;
 
+  // Block-dispatch loop: one cache probe per straight-line run instead
+  // of one per instruction. Every per-instruction side effect of the old
+  // loop (per-line I-cache timing, trace log, commit batching, the
+  // instruction-budget check) happens in the same order, so timing is
+  // bit-identical to per-instruction dispatch.
   while (!exited_ && instret_ - start_instret < max_instructions) {
-    const Instr& instr = fetch(pc_);
-    if (trace_) {
-      log(LogLevel::kTrace, "cva6", "cyc=", cycle_, " pc=0x", std::hex,
-          pc_, std::dec, "  ", isa::disasm(instr));
+    const isa::DecodedBlock& block = blocks_.block_at(pc_);
+    const u64 budget = max_instructions - (instret_ - start_instret);
+    const size_t count =
+        static_cast<size_t>(std::min<u64>(block.instrs.size(), budget));
+    for (size_t i = 0; i < count; ++i) {
+      const Instr& instr = block.instrs[i];
+      fetch_timing(pc_);
+      if (trace_) {
+        log(LogLevel::kTrace, "cva6", "cyc=", cycle_, " pc=0x", std::hex,
+            pc_, std::dec, "  ", isa::disasm(instr));
+      }
+      next_pc_ = pc_ + 4;
+      cycle_ += 1;  // single-issue, in-order
+      exec(instr);
+      ++instret_;
+      if (trace::enabled()) trace_commit();
+      pc_ = next_pc_;
+      // Only a block's last instruction can redirect control or exit
+      // (blocks end at branches/jumps/ecall/ebreak/wfi), so the next
+      // iteration's pc_ is always the sequential block address.
+      if (exited_) break;
     }
-    next_pc_ = pc_ + 4;
-    cycle_ += 1;  // single-issue, in-order
-    exec(instr);
-    ++instret_;
-    if (trace::enabled()) trace_commit();
-    pc_ = next_pc_;
   }
 
   stats_.set("cycles", cycle_);
@@ -203,16 +231,16 @@ void Cva6Core::exec(const Instr& in) {
   // pipeline flush.
   const auto branch_to = [this](i64 offset) {
     next_pc_ = pc_ + offset;
-    stats_.increment("taken_branches");
+    ctr_taken_branches_ += 1;
     if (offset > 0) {
       cycle_ += config_.taken_branch_penalty;
-      stats_.increment("branch_mispredicts");
+      ctr_branch_mispredicts_ += 1;
     }
   };
   const auto branch_not_taken = [this, &in] {
     if (in.imm < 0) {
       cycle_ += config_.taken_branch_penalty;
-      stats_.increment("branch_mispredicts");
+      ctr_branch_mispredicts_ += 1;
     }
   };
 

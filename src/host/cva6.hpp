@@ -24,9 +24,9 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 
 #include "common/stats.hpp"
+#include "isa/block_cache.hpp"
 #include "isa/decoder.hpp"
 #include "host/tlb.hpp"
 #include "mem/cache.hpp"
@@ -122,8 +122,17 @@ class Cva6Core {
   /// Execute until the exit syscall or `max_instructions`.
   RunResult run(u64 max_instructions = UINT64_MAX);
 
-  /// Drop cached decoded instructions (call after rewriting code).
-  void invalidate_decode_cache() { decode_cache_.clear(); }
+  /// Drop cached decoded blocks (call after rewriting code). O(1):
+  /// bumps the block-cache generation; stale blocks re-translate on
+  /// their next dispatch.
+  void invalidate_decode_cache() { blocks_.invalidate(); }
+  /// Range-scoped variant: only invalidates when [base, base+bytes)
+  /// overlaps code that was actually translated.
+  void invalidate_decode_cache(Addr base, u64 bytes) {
+    blocks_.invalidate_range(base, bytes);
+  }
+  /// Decoded-block cache (introspection for tests and stats).
+  const isa::BlockCache& decode_blocks() const { return blocks_; }
 
   mem::CacheModel& icache() { return icache_; }
   mem::CacheModel& dcache() { return dcache_; }
@@ -134,8 +143,9 @@ class Cva6Core {
   mem::SocBus& bus() { return *bus_; }
 
  private:
-  const isa::Instr& fetch(Addr pc);
   void exec(const isa::Instr& instr);
+  /// I-cache (+ITLB) timing for a fetch at `pc`: paid once per line.
+  void fetch_timing(Addr pc);
 
   // Memory helpers (functional + timing).
   u64 load(Addr addr, u32 bytes, bool sign);
@@ -148,6 +158,11 @@ class Cva6Core {
 
   Cva6Config config_;
   mem::SocBus* bus_;
+  // Functional fast path to external memory: the common load/store in
+  // the DRAM window skips the bus's region scan and hits the backing
+  // store's page-pointer cache directly (timing is unchanged — the
+  // L1/TLB models still run).
+  mem::BackingStore* dram_;
   mem::CacheModel icache_;
   mem::CacheModel dcache_;
   std::unique_ptr<Tlb> itlb_;
@@ -156,6 +171,8 @@ class Cva6Core {
   // Interned counter slots for the per-instruction hot path.
   u64& ctr_loads_;
   u64& ctr_stores_;
+  u64& ctr_taken_branches_;
+  u64& ctr_branch_mispredicts_;
   trace::TrackHandle trace_track_;
   u32 pending_commits_ = 0;
 
@@ -170,7 +187,7 @@ class Cva6Core {
   Addr fetch_line_ = ~0ull;  // current I-cache line (64-byte aligned)
 
   bool trace_ = false;
-  std::unordered_map<Addr, isa::Instr> decode_cache_;
+  isa::BlockCache blocks_;
   SyscallHandler syscall_;
   WfiHandler wfi_;
 };

@@ -7,6 +7,7 @@ namespace hulkv::mem {
 std::vector<u8>& BackingStore::page_for(Addr addr) {
   auto& page = pages_[addr / kPageBytes];
   if (page.empty()) page.resize(kPageBytes, 0);
+  fill_slot(addr / kPageBytes, page.data());
   return page;
 }
 
@@ -15,15 +16,19 @@ const std::vector<u8>* BackingStore::find_page(Addr addr) const {
   return it == pages_.end() ? nullptr : &it->second;
 }
 
-void BackingStore::read(Addr addr, void* dst, u64 len) const {
+void BackingStore::read_slow(Addr addr, void* dst, u64 len) const {
   u8* out = static_cast<u8*>(dst);
   while (len > 0) {
     const u64 in_page = addr % kPageBytes;
     const u64 chunk = std::min(len, kPageBytes - in_page);
+    ++ptr_cache_misses_;
     if (const std::vector<u8>* page = find_page(addr)) {
       std::memcpy(out, page->data() + in_page, chunk);
+      fill_slot(addr / kPageBytes,
+                const_cast<u8*>(page->data()));  // refill translation slot
     } else {
       std::memset(out, 0, chunk);
+      fill_slot(addr / kPageBytes, nullptr);
     }
     addr += chunk;
     out += chunk;
@@ -31,12 +36,13 @@ void BackingStore::read(Addr addr, void* dst, u64 len) const {
   }
 }
 
-void BackingStore::write(Addr addr, const void* src, u64 len) {
+void BackingStore::write_slow(Addr addr, const void* src, u64 len) {
   const u8* in = static_cast<const u8*>(src);
   while (len > 0) {
     const u64 in_page = addr % kPageBytes;
     const u64 chunk = std::min(len, kPageBytes - in_page);
-    std::memcpy(page_for(addr).data() + in_page, in, chunk);
+    ++ptr_cache_misses_;
+    std::memcpy(page_for(addr).data() + in_page, in, chunk);  // fills slot
     addr += chunk;
     in += chunk;
     len -= chunk;

@@ -3,8 +3,18 @@
 // are materialised on first touch. Scratchpads (L2SPM, TCDM) use flat
 // vectors instead; this class is only for the large external-memory
 // region.
+//
+// Hot-path note: every host load/store and every DMA beat lands here, so
+// the page lookup sits on the simulator's critical path. A small
+// direct-mapped page-pointer cache (page number -> data pointer) makes
+// the common case — repeated access to a recently-touched page — a mask,
+// a compare and a memcpy, skipping the `unordered_map` probe entirely.
+// Page data pointers are stable (vector buffers never move after
+// materialisation; rehashing moves the vector objects, not their heap
+// storage), so cached pointers stay valid until `clear()`.
 #pragma once
 
+#include <array>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
@@ -17,12 +27,44 @@ namespace hulkv::mem {
 class BackingStore {
  public:
   static constexpr u64 kPageBytes = 4096;
+  /// Direct-mapped translation slots (power of two). 64 slots cover the
+  /// working set of a multi-accessor run (host code + data pages, DMA
+  /// source/destination streams) with near-perfect hit rates.
+  static constexpr u64 kPtrCacheSlots = 64;
 
   /// Read `len` bytes at `addr` into `dst`. Unwritten memory reads as 0.
-  void read(Addr addr, void* dst, u64 len) const;
+  void read(Addr addr, void* dst, u64 len) const {
+    const u64 in_page = addr % kPageBytes;
+    if (in_page + len <= kPageBytes) {  // common case: one page
+      const u64 page = addr / kPageBytes;
+      const Slot& slot = slots_[page % kPtrCacheSlots];
+      if (slot.page == page) {
+        ++ptr_cache_hits_;
+        if (slot.data != nullptr) {
+          std::memcpy(dst, slot.data + in_page, len);
+        } else {
+          std::memset(dst, 0, len);  // cached "unmaterialised" page
+        }
+        return;
+      }
+    }
+    read_slow(addr, dst, len);
+  }
 
   /// Write `len` bytes from `src` at `addr`.
-  void write(Addr addr, const void* src, u64 len);
+  void write(Addr addr, const void* src, u64 len) {
+    const u64 in_page = addr % kPageBytes;
+    if (in_page + len <= kPageBytes) {
+      const u64 page = addr / kPageBytes;
+      Slot& slot = slots_[page % kPtrCacheSlots];
+      if (slot.page == page && slot.data != nullptr) {
+        ++ptr_cache_hits_;
+        std::memcpy(slot.data + in_page, src, len);
+        return;
+      }
+    }
+    write_slow(addr, src, len);
+  }
 
   // Typed helpers for tests and loaders.
   template <typename T>
@@ -40,14 +82,39 @@ class BackingStore {
   /// Number of 4 KiB pages currently materialised.
   size_t resident_pages() const { return pages_.size(); }
 
-  /// Drop all contents.
-  void clear() { pages_.clear(); }
+  /// Drop all contents (and the now-dangling translation slots).
+  void clear() {
+    pages_.clear();
+    slots_.fill(Slot{});
+  }
+
+  // Page-pointer-cache effectiveness, for tests and microbenchmarks.
+  u64 ptr_cache_hits() const { return ptr_cache_hits_; }
+  u64 ptr_cache_misses() const { return ptr_cache_misses_; }
 
  private:
+  /// One translation: page number -> materialised page data (nullptr
+  /// when the page is known-unmaterialised, which still short-circuits
+  /// zero-fill reads).
+  struct Slot {
+    u64 page = ~0ull;
+    u8* data = nullptr;
+  };
+
+  void read_slow(Addr addr, void* dst, u64 len) const;
+  void write_slow(Addr addr, const void* src, u64 len);
   std::vector<u8>& page_for(Addr addr);
   const std::vector<u8>* find_page(Addr addr) const;
+  void fill_slot(u64 page, u8* data) const {
+    Slot& slot = slots_[page % kPtrCacheSlots];
+    slot.page = page;
+    slot.data = data;
+  }
 
   std::unordered_map<u64, std::vector<u8>> pages_;
+  mutable std::array<Slot, kPtrCacheSlots> slots_{};
+  mutable u64 ptr_cache_hits_ = 0;
+  mutable u64 ptr_cache_misses_ = 0;
 };
 
 }  // namespace hulkv::mem

@@ -97,6 +97,10 @@ class CacheModel final : public MemTiming {
 
   void flush() { tags_.flush(); }
 
+  /// True when `addr`'s line is resident. Pure peek: no LRU update, no
+  /// counters — lets schedulers prove an access would be a local hit.
+  bool probe(Addr addr) const { return tags_.probe(addr); }
+
   const StatGroup& stats() const { return stats_; }
   StatGroup& stats() { return stats_; }
   const CacheConfig& config() const { return config_; }

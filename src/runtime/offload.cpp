@@ -77,7 +77,7 @@ Cycles OffloadRuntime::load_code(Image& image) {
                           mem::Master::kHost);
   }
   host.advance_to(t);
-  soc_->cluster().on_code_loaded();
+  soc_->cluster().on_code_loaded(image.l2_addr, image.bytes);
   if (trace::enabled()) {
     auto& sink = trace::sink();
     sink.complete(sink.resolve(trace_track_, "offload"),

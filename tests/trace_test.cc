@@ -9,8 +9,10 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "core/soc.hpp"
+#include "isa/assembler.hpp"
 #include "kernels/cluster_kernels.hpp"
 #include "kernels/host_kernels.hpp"
 #include "kernels/kernel.hpp"
@@ -243,6 +245,83 @@ TEST(TraceParity, EnabledAndDisabledRunsAreBitIdentical) {
   EXPECT_EQ(off.end_time, on.end_time);
   EXPECT_EQ(off.llc_hits, on.llc_hits);
   EXPECT_EQ(off.hyper_bytes, on.hyper_bytes);
+}
+
+/// Drives both ISS block-dispatch loops hard: a branchy host loop and a
+/// hardware-loop cluster kernel on all 8 cores. Returns every
+/// timing-visible number the dispatch loops produce.
+struct DispatchResult {
+  Cycles host_cycles = 0;
+  u64 host_instret = 0;
+  Cycles kernel_cycles = 0;
+  u64 kernel_instret = 0;
+  std::vector<Cycles> core_now;
+};
+
+DispatchResult run_block_dispatch_workload() {
+  using namespace isa::reg;
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  core::HulkVSoc soc(cfg);
+
+  isa::Assembler h(core::layout::kHostCodeBase, /*rv64=*/true);
+  h.li(t0, 500);
+  h.li(t1, 0);
+  h.label("loop");
+  h.addi(t1, t1, 1);
+  h.addi(t0, t0, -1);
+  h.bnez(t0, "loop");
+  h.li(a7, 93);
+  h.li(a0, 0);
+  h.ecall();
+  const auto host_run =
+      kernels::run_host_program(soc, h.assemble(), {});
+
+  isa::Assembler k(0, /*rv64=*/false);
+  k.li(t0, 0);
+  k.li(t1, 3);
+  k.lp_counti(0, 100);
+  k.lp_starti(0, "body");
+  k.lp_endi(0, "end");
+  k.label("body");
+  k.rr(isa::Op::kPMac, t0, t1, t1);
+  k.addi(t2, t2, 1);
+  k.label("end");
+  k.addi(t3, t3, 1);
+  k.li(a7, cluster::envcall::kExit);
+  k.ecall();
+  soc.load_program(mem::map::kL2Base, k.assemble());
+  const auto kr =
+      soc.cluster().run_kernel(soc.host().now(), mem::map::kL2Base, 0);
+
+  DispatchResult out;
+  out.host_cycles = host_run.cycles;
+  out.host_instret = host_run.instret;
+  out.kernel_cycles = kr.cycles;
+  out.kernel_instret = kr.instret;
+  for (u32 c = 0; c < soc.cluster().num_cores(); ++c) {
+    out.core_now.push_back(soc.cluster().core(c).now());
+  }
+  return out;
+}
+
+TEST(TraceParity, BlockDispatchLoopsAreCycleIdenticalWithTracing) {
+  trace::sink().disable();
+  trace::sink().clear();
+  const DispatchResult off = run_block_dispatch_workload();
+
+  TraceGuard guard;
+  const DispatchResult on = run_block_dispatch_workload();
+  EXPECT_GT(trace::sink().events().size(), 0u);
+
+  EXPECT_EQ(off.host_cycles, on.host_cycles);
+  EXPECT_EQ(off.host_instret, on.host_instret);
+  EXPECT_EQ(off.kernel_cycles, on.kernel_cycles);
+  EXPECT_EQ(off.kernel_instret, on.kernel_instret);
+  ASSERT_EQ(off.core_now.size(), on.core_now.size());
+  for (size_t c = 0; c < off.core_now.size(); ++c) {
+    EXPECT_EQ(off.core_now[c], on.core_now[c]) << "core " << c;
+  }
 }
 
 // ---------------------------------------------------------------------
