@@ -11,10 +11,19 @@
 //
 // Secondary sweep: footprint (stride) scan across the L1 -> LLC -> DRAM
 // capacity boundaries.
+//
+// Every sweep point is an independent SoC, so the grid runs on the
+// batch::SweepEngine worker pool (--jobs N, default hardware
+// concurrency); rows are assembled from the result slots in grid order,
+// so the output is byte-identical for every worker count.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "batch/batch.hpp"
 #include "core/soc.hpp"
 #include "kernels/iot_benchmarks.hpp"
 #include "report/report.hpp"
@@ -22,6 +31,13 @@
 namespace {
 
 using namespace hulkv;
+
+/// The four memory configurations of section VI-B, in column order.
+constexpr std::array<std::pair<core::MainMemoryKind, bool>, 4> kConfigs = {
+    std::pair{core::MainMemoryKind::kDdr4, true},
+    std::pair{core::MainMemoryKind::kHyperRam, true},
+    std::pair{core::MainMemoryKind::kDdr4, false},
+    std::pair{core::MainMemoryKind::kHyperRam, false}};
 
 struct Point {
   double miss_ratio;
@@ -88,45 +104,51 @@ int main(int argc, char** argv) {
                "Primary sweep: cycles/read vs L1 miss ratio "
                "(thrash window 64 kB).");
 
+  const batch::SweepEngine engine(options.jobs);
+
   report::Table& mixed = rep.add_table(
       "cycles per read vs L1 miss ratio",
       {"l1_miss_pct", "ddr4_llc", "hyper_llc", "ddr4", "hyper",
        "hyper_over_ddr4_no_llc"});
+  const std::vector<u32> miss_grid = {0u, 2u,  4u,  6u, 8u,
+                                      10u, 12u, 14u, 16u};
+  // One job per (miss_slots, config) point, row-major in grid order.
+  const std::vector<Point> mixed_points = engine.map<Point>(
+      miss_grid.size() * kConfigs.size(), [&](u64 index) {
+        const auto& [kind, llc] = kConfigs[index % kConfigs.size()];
+        return run_mixed(kind, llc, miss_grid[index / kConfigs.size()]);
+      });
   double max_no_llc_ratio = 0;
-  for (const u32 miss_slots : {0u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
-    const Point p1 = run_mixed(core::MainMemoryKind::kDdr4, true, miss_slots);
-    const Point p2 =
-        run_mixed(core::MainMemoryKind::kHyperRam, true, miss_slots);
-    const Point p3 =
-        run_mixed(core::MainMemoryKind::kDdr4, false, miss_slots);
-    const Point p4 =
-        run_mixed(core::MainMemoryKind::kHyperRam, false, miss_slots);
-    const double ratio = p4.cycles_per_read / p3.cycles_per_read;
+  for (size_t row = 0; row < miss_grid.size(); ++row) {
+    const Point* p = &mixed_points[row * kConfigs.size()];
+    const double ratio = p[3].cycles_per_read / p[2].cycles_per_read;
     max_no_llc_ratio = std::max(max_no_llc_ratio, ratio);
-    mixed.add_row({report::Value::number(100.0 * p2.miss_ratio, 1),
-                   report::Value::number(p1.cycles_per_read, 2),
-                   report::Value::number(p2.cycles_per_read, 2),
-                   report::Value::number(p3.cycles_per_read, 2),
-                   report::Value::number(p4.cycles_per_read, 2),
+    mixed.add_row({report::Value::number(100.0 * p[1].miss_ratio, 1),
+                   report::Value::number(p[0].cycles_per_read, 2),
+                   report::Value::number(p[1].cycles_per_read, 2),
+                   report::Value::number(p[2].cycles_per_read, 2),
+                   report::Value::number(p[3].cycles_per_read, 2),
                    report::Value::number(ratio, 2)});
   }
 
   report::Table& strided = rep.add_table(
       "footprint scan (1024 reads x stride)",
       {"stride", "footprint_kb", "ddr4_llc", "hyper_llc", "ddr4", "hyper"});
-  for (const u32 stride : {4u, 16u, 64u, 128u, 256u, 512u, 1024u}) {
-    const Point p1 = run_stride(core::MainMemoryKind::kDdr4, true, stride);
-    const Point p2 =
-        run_stride(core::MainMemoryKind::kHyperRam, true, stride);
-    const Point p3 = run_stride(core::MainMemoryKind::kDdr4, false, stride);
-    const Point p4 =
-        run_stride(core::MainMemoryKind::kHyperRam, false, stride);
-    strided.add_row({report::Value::uinteger(stride),
-                     report::Value::uinteger(stride),
-                     report::Value::number(p1.cycles_per_read, 2),
-                     report::Value::number(p2.cycles_per_read, 2),
-                     report::Value::number(p3.cycles_per_read, 2),
-                     report::Value::number(p4.cycles_per_read, 2)});
+  const std::vector<u32> stride_grid = {4u,   16u,  64u, 128u,
+                                        256u, 512u, 1024u};
+  const std::vector<Point> stride_points = engine.map<Point>(
+      stride_grid.size() * kConfigs.size(), [&](u64 index) {
+        const auto& [kind, llc] = kConfigs[index % kConfigs.size()];
+        return run_stride(kind, llc, stride_grid[index / kConfigs.size()]);
+      });
+  for (size_t row = 0; row < stride_grid.size(); ++row) {
+    const Point* p = &stride_points[row * kConfigs.size()];
+    strided.add_row({report::Value::uinteger(stride_grid[row]),
+                     report::Value::uinteger(stride_grid[row]),
+                     report::Value::number(p[0].cycles_per_read, 2),
+                     report::Value::number(p[1].cycles_per_read, 2),
+                     report::Value::number(p[2].cycles_per_read, 2),
+                     report::Value::number(p[3].cycles_per_read, 2)});
   }
 
   rep.add_metric("max_hyper_over_ddr4_no_llc",

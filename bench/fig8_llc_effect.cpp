@@ -2,11 +2,14 @@
 // memory configurations, normalised to DDR4+LLC. The paper's claim:
 // with the LLC, HyperRAM and DDR4 are "closer than 5%" — LPDDR/DDR
 // memories would be oversized for these workloads.
+#include <array>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "batch/batch.hpp"
 #include "common/rng.hpp"
 #include "core/soc.hpp"
 #include "kernels/golden.hpp"
@@ -131,23 +134,31 @@ int main(int argc, char** argv) {
       "normalised execution time",
       {"benchmark", "ddr4_llc", "hyper_llc", "ddr4", "hyper",
        "hyper_llc_gap_pct"});
+  // One job per (workload, memory configuration) point on the sweep
+  // pool; rows assemble from the result slots in grid order.
+  constexpr std::array<std::pair<core::MainMemoryKind, bool>, 4> kConfigs = {
+      std::pair{core::MainMemoryKind::kDdr4, true},
+      std::pair{core::MainMemoryKind::kHyperRam, true},
+      std::pair{core::MainMemoryKind::kDdr4, false},
+      std::pair{core::MainMemoryKind::kHyperRam, false}};
+  const std::vector<Workload> list = workloads();
+  const batch::SweepEngine engine(options.jobs);
+  const std::vector<Cycles> cycles = engine.map<Cycles>(
+      list.size() * kConfigs.size(), [&](u64 index) {
+        const auto& [kind, llc] = kConfigs[index % kConfigs.size()];
+        return run_on(list[index / kConfigs.size()], kind, llc);
+      });
   double worst_gap = 0;
-  for (const Workload& workload : workloads()) {
-    const Cycles ddr_llc =
-        run_on(workload, core::MainMemoryKind::kDdr4, true);
-    const Cycles hyp_llc =
-        run_on(workload, core::MainMemoryKind::kHyperRam, true);
-    const Cycles ddr = run_on(workload, core::MainMemoryKind::kDdr4, false);
-    const Cycles hyp =
-        run_on(workload, core::MainMemoryKind::kHyperRam, false);
-    const double base = static_cast<double>(ddr_llc);
-    const double gap = 100.0 * (hyp_llc / base - 1.0);
+  for (size_t row = 0; row < list.size(); ++row) {
+    const Cycles* c = &cycles[row * kConfigs.size()];
+    const double base = static_cast<double>(c[0]);
+    const double gap = 100.0 * (c[1] / base - 1.0);
     worst_gap = std::max(worst_gap, gap);
-    table.add_row({report::Value::text(workload.name),
+    table.add_row({report::Value::text(list[row].name),
                    report::Value::number(1.0, 3),
-                   report::Value::number(hyp_llc / base, 3),
-                   report::Value::number(ddr / base, 3),
-                   report::Value::number(hyp / base, 3),
+                   report::Value::number(c[1] / base, 3),
+                   report::Value::number(c[2] / base, 3),
+                   report::Value::number(c[3] / base, 3),
                    report::Value::number(gap, 2)});
   }
   rep.add_metric("worst_gap_pct", report::Value::number(worst_gap, 2), "%");

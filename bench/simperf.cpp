@@ -4,10 +4,14 @@
 // instructions) rather than reproducing a paper result.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "batch/batch.hpp"
 #include "cluster/cluster.hpp"
 #include "core/soc.hpp"
 #include "isa/assembler.hpp"
@@ -146,6 +150,85 @@ void BM_HyperRamBurst(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HyperRamBurst);
+
+/// A SoC with some run history, so snapshots carry real state (warm
+/// caches, non-zero stats) rather than a freshly-reset machine.
+core::HulkVSoc& warmed_soc() {
+  static core::HulkVSoc soc{core::SocConfig{}};
+  static bool warmed = false;
+  if (!warmed) {
+    warmed = true;
+    const auto prog = kernels::host_stride_reads(128, 512, 2);
+    kernels::run_host_program(
+        soc, prog.words, std::array<u64, 1>{core::layout::kSharedBase});
+  }
+  return soc;
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  core::HulkVSoc& soc = warmed_soc();
+  u64 bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os(std::ios::binary);
+    soc.save(os);
+    bytes += static_cast<u64>(os.tellp());
+    benchmark::DoNotOptimize(os);
+  }
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(bytes) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  const batch::SocSnapshot snap = batch::SocSnapshot::capture(warmed_soc());
+  core::HulkVSoc target{core::SocConfig{}};
+  u64 bytes = 0;
+  for (auto _ : state) {
+    snap.restore_into(target);
+    bytes += snap.size_bytes();
+  }
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(bytes) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotDigest(benchmark::State& state) {
+  core::HulkVSoc& soc = warmed_soc();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soc.state_digest());
+  }
+}
+BENCHMARK(BM_SnapshotDigest)->Unit(benchmark::kMillisecond);
+
+void BM_BatchSweep(benchmark::State& state) {
+  // A small but real sweep (one SoC + host workload per point) at the
+  // worker count given by the range argument. Comparing the /1 row to
+  // the /N row gives the measured batch scaling on this machine.
+  const u32 workers = static_cast<u32>(state.range(0));
+  const batch::SweepEngine engine(workers);
+  constexpr u64 kPoints = 4;
+  for (auto _ : state) {
+    const std::vector<Cycles> cycles = engine.map<Cycles>(
+        kPoints, [](u64 index) {
+          core::SocConfig cfg;
+          cfg.llc.num_lines = 128u << index;
+          core::HulkVSoc soc(cfg);
+          const auto prog = kernels::host_stride_reads(256, 512, 3);
+          return kernels::run_host_program(
+                     soc, prog.words,
+                     std::array<u64, 1>{core::layout::kSharedBase})
+              .cycles;
+        });
+    benchmark::DoNotOptimize(cycles.data());
+  }
+  state.counters["workers"] = static_cast<double>(engine.workers());
+}
+BENCHMARK(BM_BatchSweep)
+    ->Arg(1)
+    // At least 2 workers even on a single-core box, so the scaling row
+    // (and its honest ~1x there) always exists.
+    ->Arg(static_cast<int>(std::max(2u, hulkv::batch::default_jobs())))
+    ->Unit(benchmark::kMillisecond);
 
 /// Collects every google-benchmark run into the shared MetricsReport;
 /// the text table and the --json file then render from the same cells.

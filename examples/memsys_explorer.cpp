@@ -3,10 +3,18 @@
 // synthetic cache-stress benchmark, showing how a downstream user would
 // size the fully digital memory hierarchy for their workload.
 //
-// Usage: memsys_explorer [stride_bytes]   (default 128)
+// Every configuration point is an independent SoC, so the sweeps run on
+// the batch::SweepEngine worker pool; results print from the slots in
+// grid order, so the output is identical for every worker count.
+//
+// Usage: memsys_explorer [stride_bytes] [--jobs N]   (default 128,
+// hardware concurrency)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
+#include "batch/batch.hpp"
 #include "core/soc.hpp"
 #include "kernels/iot_benchmarks.hpp"
 
@@ -23,10 +31,29 @@ Cycles run(const core::SocConfig& cfg, u32 stride) {
       .cycles;
 }
 
+/// Run one config per grid slot on the pool; cycles come back in order.
+std::vector<Cycles> sweep(const batch::SweepEngine& engine,
+                          const std::vector<core::SocConfig>& grid,
+                          u32 stride) {
+  return engine.map<Cycles>(
+      grid.size(), [&](u64 index) { return run(grid[index], stride); });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const u32 stride = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 128;
+  u32 stride = 128;
+  u32 jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<u32>(std::atoi(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<u32>(std::atoi(argv[++i]));
+    } else {
+      stride = static_cast<u32>(std::atoi(argv[i]));
+    }
+  }
+  const batch::SweepEngine engine(jobs);
   std::printf("HULK-V memory-system explorer, stride %u B "
               "(footprint %u kB)\n\n",
               stride, stride);
@@ -34,50 +61,76 @@ int main(int argc, char** argv) {
   // --- LLC size sweep: scale the number of lines (sets) ---
   std::printf("LLC size sweep (ways=8, blocks=8, AXI_dw=8B):\n");
   std::printf("%10s %10s %12s\n", "lines", "LLC size", "cycles");
-  for (const u32 lines : {64u, 128u, 256u, 512u, 1024u}) {
+  const std::vector<u32> line_grid = {64u, 128u, 256u, 512u, 1024u};
+  std::vector<core::SocConfig> size_cfgs;
+  for (const u32 lines : line_grid) {
     core::SocConfig cfg;
     cfg.llc.num_lines = lines;
-    std::printf("%10u %8u kB %12llu\n", lines,
-                cfg.llc.size_bytes() / 1024,
-                static_cast<unsigned long long>(run(cfg, stride)));
+    size_cfgs.push_back(cfg);
+  }
+  const std::vector<Cycles> size_cycles = sweep(engine, size_cfgs, stride);
+  for (size_t i = 0; i < line_grid.size(); ++i) {
+    std::printf("%10u %8u kB %12llu\n", line_grid[i],
+                size_cfgs[i].llc.size_bytes() / 1024,
+                static_cast<unsigned long long>(size_cycles[i]));
   }
 
   // --- LLC associativity sweep ---
   std::printf("\nLLC associativity sweep (128 kB held constant):\n");
   std::printf("%10s %12s\n", "ways", "cycles");
-  for (const u32 ways : {1u, 2u, 4u, 8u, 16u}) {
+  const std::vector<u32> way_grid = {1u, 2u, 4u, 8u, 16u};
+  std::vector<core::SocConfig> way_cfgs;
+  for (const u32 ways : way_grid) {
     core::SocConfig cfg;
     cfg.llc.num_ways = ways;
     cfg.llc.num_lines = 2048 / ways;  // keep 128 kB
-    std::printf("%10u %12llu\n", ways,
-                static_cast<unsigned long long>(run(cfg, stride)));
+    way_cfgs.push_back(cfg);
+  }
+  const std::vector<Cycles> way_cycles = sweep(engine, way_cfgs, stride);
+  for (size_t i = 0; i < way_grid.size(); ++i) {
+    std::printf("%10u %12llu\n", way_grid[i],
+                static_cast<unsigned long long>(way_cycles[i]));
   }
 
   // --- HyperBUS width: 1 vs 2 interleaved buses ---
   std::printf("\nHyperBUS interfaces (paper section III-B):\n");
   std::printf("%10s %12s %18s\n", "buses", "cycles", "peak bandwidth");
-  for (const u32 buses : {1u, 2u}) {
+  const std::vector<u32> bus_grid = {1u, 2u};
+  std::vector<core::SocConfig> bus_cfgs;
+  for (const u32 buses : bus_grid) {
     core::SocConfig cfg;
     cfg.hyperram.num_buses = buses;
     cfg.enable_llc = false;  // expose the raw device
-    std::printf("%10u %12llu %15.1f Gbps\n", buses,
-                static_cast<unsigned long long>(run(cfg, stride)),
-                cfg.hyperram.peak_bytes_per_cycle() * 450e6 * 8 / 1e9);
+    bus_cfgs.push_back(cfg);
+  }
+  const std::vector<Cycles> bus_cycles = sweep(engine, bus_cfgs, stride);
+  for (size_t i = 0; i < bus_grid.size(); ++i) {
+    std::printf("%10u %12llu %15.1f Gbps\n", bus_grid[i],
+                static_cast<unsigned long long>(bus_cycles[i]),
+                bus_cfgs[i].hyperram.peak_bytes_per_cycle() * 450e6 * 8 /
+                    1e9);
   }
 
   // --- No LLC vs LLC, both memories ---
   std::printf("\nFour evaluation configurations (section VI-B):\n");
+  std::vector<core::SocConfig> quad_cfgs;
   for (const bool llc : {true, false}) {
     for (const auto kind :
          {core::MainMemoryKind::kDdr4, core::MainMemoryKind::kHyperRam}) {
       core::SocConfig cfg;
       cfg.main_memory = kind;
       cfg.enable_llc = llc;
-      std::printf("  %-8s %-7s %12llu cycles\n",
-                  kind == core::MainMemoryKind::kDdr4 ? "DDR4" : "Hyper",
-                  llc ? "+LLC" : "(raw)",
-                  static_cast<unsigned long long>(run(cfg, stride)));
+      quad_cfgs.push_back(cfg);
     }
+  }
+  const std::vector<Cycles> quad_cycles = sweep(engine, quad_cfgs, stride);
+  for (size_t i = 0; i < quad_cfgs.size(); ++i) {
+    std::printf("  %-8s %-7s %12llu cycles\n",
+                quad_cfgs[i].main_memory == core::MainMemoryKind::kDdr4
+                    ? "DDR4"
+                    : "Hyper",
+                quad_cfgs[i].enable_llc ? "+LLC" : "(raw)",
+                static_cast<unsigned long long>(quad_cycles[i]));
   }
   return 0;
 }

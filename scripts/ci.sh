@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Full CI gate, runnable locally: configure + build the plain and the
+# ASan/UBSan trees, run the tier-1 test suite in both, lint, and check
+# simulator performance against the checked-in baseline.
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast           skip the sanitized tree and the simperf check
+#   JOBS=N           build/test parallelism (default: nproc)
+#
+# Build trees (kept out of the source tree, see .gitignore):
+#   build/        plain RelWithDebInfo — benches + simperf numbers
+#   build-asan/   address+undefined sanitizers — memory-safety gate
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "usage: scripts/ci.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+step() { echo; echo "== ci: $* =="; }
+
+configure_and_build() {
+  local dir="$1" sanitize="$2"
+  cmake -S "$repo_root" -B "$dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DHULKV_SANITIZE="$sanitize" > /dev/null
+  cmake --build "$dir" -j "$jobs"
+}
+
+step "build (plain)"
+configure_and_build "$repo_root/build" ""
+
+step "test (plain, tier1)"
+ctest --test-dir "$repo_root/build" -L tier1 -j "$jobs" \
+  --output-on-failure --no-tests=error
+
+if [ "$fast" -eq 0 ]; then
+  step "build (ASan/UBSan)"
+  configure_and_build "$repo_root/build-asan" "address;undefined"
+
+  step "test (ASan/UBSan, tier1)"
+  ctest --test-dir "$repo_root/build-asan" -L tier1 -j "$jobs" \
+    --output-on-failure --no-tests=error
+fi
+
+step "lint"
+"$repo_root/scripts/lint.sh"
+
+if [ "$fast" -eq 0 ]; then
+  step "simperf regression check"
+  BUILD_DIR="$repo_root/build" "$repo_root/scripts/simperf_check.sh"
+fi
+
+echo
+echo "ci: OK"

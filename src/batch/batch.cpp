@@ -1,0 +1,127 @@
+#include "batch/batch.hpp"
+
+#include <atomic>
+#include <exception>
+#include <istream>
+#include <mutex>
+#include <sstream>
+#include <streambuf>
+#include <thread>
+
+#include "common/log.hpp"
+#include "trace/trace.hpp"
+
+namespace hulkv::batch {
+
+namespace {
+
+/// Read-only istream over a byte span (no copy — the snapshot blob is
+/// shared by every concurrent restore).
+class SpanBuf : public std::streambuf {
+ public:
+  SpanBuf(const u8* data, u64 size) {
+    // std::streambuf wants char*; the get area is never written through.
+    char* base = const_cast<char*>(reinterpret_cast<const char*>(data));
+    setg(base, base, base + size);
+  }
+};
+
+}  // namespace
+
+u32 default_jobs() {
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void run_jobs(u64 count, u32 workers, const std::function<void(u64)>& job) {
+  if (count == 0) return;
+  if (workers == 0) workers = default_jobs();
+  if (workers > count) workers = static_cast<u32>(count);
+
+  if (workers <= 1) {
+    // Serial path: inline, index order — byte-identical to the
+    // pre-batch single-threaded benches by construction.
+    for (u64 i = 0; i < count; ++i) job(i);
+    return;
+  }
+
+  HULKV_CHECK(!trace::enabled(),
+              "batch: the trace sink is not thread-safe; "
+              "run with --jobs 1 when tracing");
+  // Force the lazy HULKV_LOG read now, while single-threaded; workers
+  // then only read the settled level.
+  (void)log_level();
+
+  std::atomic<u64> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (u32 w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (u64 i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        try {
+          job(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+SocSnapshot SocSnapshot::capture(
+    core::HulkVSoc& soc, const core::HulkVSoc::SectionWriterFn& extra) {
+  std::ostringstream os(std::ios::binary);
+  soc.save(os, extra);
+  const std::string blob = os.str();
+  SocSnapshot snap;
+  snap.bytes_.assign(blob.begin(), blob.end());
+  return snap;
+}
+
+SocSnapshot SocSnapshot::from_bytes(std::vector<u8> bytes) {
+  SocSnapshot snap;
+  snap.bytes_ = std::move(bytes);
+  return snap;
+}
+
+void SocSnapshot::restore_into(
+    core::HulkVSoc& soc, const core::HulkVSoc::SectionReaderFn& extra) const {
+  HULKV_CHECK(!bytes_.empty(), "restore from an empty SocSnapshot");
+  SpanBuf buf(bytes_.data(), bytes_.size());
+  std::istream is(&buf);
+  soc.restore(is, extra);
+}
+
+report::MetricsReport merge_reports(
+    const std::string& name,
+    const std::vector<report::MetricsReport>& parts) {
+  report::MetricsReport merged(name);
+  for (const report::MetricsReport& part : parts) {
+    for (const auto& metric : part.metrics()) {
+      merged.add_metric(metric.key, metric.value, metric.unit);
+    }
+    for (const report::Table& table : part.tables()) {
+      merged.add_table(table);
+    }
+    for (const std::string& note : part.notes()) merged.add_note(note);
+  }
+  return merged;
+}
+
+report::MetricsReport SweepEngine::map_reports(
+    const std::string& name, u64 count,
+    const std::function<report::MetricsReport(u64)>& fn) const {
+  // Slots first (MetricsReport has no default ctor — seed with an empty
+  // name; every slot is overwritten by its job).
+  std::vector<report::MetricsReport> parts(count,
+                                           report::MetricsReport(""));
+  run_jobs(count, workers_, [&](u64 index) { parts[index] = fn(index); });
+  return merge_reports(name, parts);
+}
+
+}  // namespace hulkv::batch

@@ -186,4 +186,29 @@ Cluster::KernelResult Cluster::run_kernel(Cycles start_time, Addr entry,
   return result;
 }
 
+void Cluster::serialize(snapshot::Archive& ar) {
+  ar.pod(team_size_);
+  ar.bool_vec(at_barrier_);
+  u32 team = event_unit_->num_cores();
+  ar.pod(team);
+  if (ar.loading()) event_unit_ = std::make_unique<EventUnit>(team);
+  event_unit_->serialize(ar);
+  tcdm_.serialize(ar);
+  icache_.serialize(ar);
+  dma_.serialize(ar);
+  for (auto& core : cores_) core->serialize(ar);
+  if (ar.loading()) sched_.reset(config_.num_cores);
+}
+
+void Cluster::reset() {
+  team_size_ = 0;
+  std::fill(at_barrier_.begin(), at_barrier_.end(), false);
+  event_unit_ = std::make_unique<EventUnit>(config_.num_cores);
+  tcdm_.reset();
+  icache_.reset();
+  dma_.reset();
+  for (auto& core : cores_) core->reset();
+  sched_.reset(config_.num_cores);
+}
+
 }  // namespace hulkv::cluster

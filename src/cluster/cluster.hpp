@@ -72,6 +72,15 @@ class Cluster {
   /// TCDM base address in the SoC map.
   Addr tcdm_base() const { return mem::map::kTcdmBase; }
 
+  /// Snapshot traversal. Only legal between kernels (run_kernel is
+  /// synchronous, so there is no mid-kernel snapshot point): the
+  /// scheduler heap is empty then and is simply re-sized on load. The
+  /// event unit is recreated with the saved team size before loading.
+  void serialize(snapshot::Archive& ar);
+
+  /// Freshly-constructed state across all cluster blocks.
+  void reset();
+
  private:
   void handle_envcall(PmcaCore& core);
   void release_barrier();

@@ -106,4 +106,16 @@ void ClusterDma::retire_before(Cycles now) {
   while (retired_ < jobs_.size() && jobs_[retired_] <= now) ++retired_;
 }
 
+void ClusterDma::serialize(snapshot::Archive& ar) {
+  ar.pod_vec(jobs_);
+  ar.pod(retired_);
+  stats_.serialize(ar);
+}
+
+void ClusterDma::reset() {
+  jobs_.clear();
+  retired_ = 0;
+  stats_.reset();
+}
+
 }  // namespace hulkv::cluster

@@ -1,5 +1,7 @@
 #include "cluster/event_unit.hpp"
 
+#include "snapshot/archive.hpp"
+
 #include <algorithm>
 
 namespace hulkv::cluster {
@@ -40,6 +42,15 @@ Cycles EventUnit::release() {
   first_arrival_ = 0;
   std::fill(arrived_.begin(), arrived_.end(), false);
   return wake;
+}
+
+void EventUnit::serialize(snapshot::Archive& ar) {
+  ar.pod(wakeup_latency_);
+  ar.pod(arrived_count_);
+  ar.pod(max_arrival_);
+  ar.pod(first_arrival_);
+  ar.bool_vec(arrived_);
+  stats_.serialize(ar);
 }
 
 }  // namespace hulkv::cluster

@@ -38,6 +38,10 @@ class EventUnit {
 
   const StatGroup& stats() const { return stats_; }
 
+  /// Snapshot traversal (the cluster recreates the unit with the saved
+  /// team size before loading this).
+  void serialize(snapshot::Archive& ar);
+
  private:
   u32 num_cores_;
   Cycles wakeup_latency_;

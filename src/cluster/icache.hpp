@@ -40,6 +40,18 @@ class ClusterIcache {
   mem::CacheModel& private_cache(u32 core_id) { return *private_[core_id]; }
   mem::CacheModel& shared_cache() { return *shared_; }
 
+  /// Snapshot traversal (shared level first, then per-core privates).
+  void serialize(snapshot::Archive& ar) {
+    shared_->serialize(ar);
+    for (auto& cache : private_) cache->serialize(ar);
+  }
+
+  /// Freshly-constructed state.
+  void reset() {
+    shared_->reset();
+    for (auto& cache : private_) cache->reset();
+  }
+
  private:
   mem::FixedLatency l2_latency_;
   std::unique_ptr<mem::CacheModel> shared_;

@@ -816,4 +816,43 @@ void PmcaCore::exec(const Instr& in) {
   }
 }
 
+void PmcaCore::serialize(snapshot::Archive& ar) {
+  ar.bytes(x_, sizeof(x_));
+  ar.bytes(f_, sizeof(f_));
+  ar.pod(pc_);
+  ar.pod(next_pc_);
+  ar.pod(cycle_);
+  ar.pod(issue_cycle_);
+  ar.pod(instret_);
+  u32 state = static_cast<u32>(state_);
+  ar.pod(state);
+  if (ar.loading()) state_ = static_cast<State>(state);
+  // Field by field: HwLoop has padding bytes.
+  for (HwLoop& loop : loops_) {
+    ar.pod(loop.start);
+    ar.pod(loop.end);
+    ar.pod(loop.count);
+  }
+  ar.pod(fetch_line_);
+  ar.pod(pending_commits_);
+  stats_.serialize(ar);
+  if (ar.loading()) blocks_.invalidate();
+}
+
+void PmcaCore::reset() {
+  std::fill(std::begin(x_), std::end(x_), 0);
+  std::fill(std::begin(f_), std::end(f_), 0);
+  pc_ = 0;
+  next_pc_ = 0;
+  cycle_ = 0;
+  issue_cycle_ = 0;
+  instret_ = 0;
+  state_ = State::kFinished;
+  loops_[0] = loops_[1] = HwLoop{};
+  fetch_line_ = ~0ull;
+  pending_commits_ = 0;
+  stats_.reset();
+  blocks_.invalidate();
+}
+
 }  // namespace hulkv::cluster

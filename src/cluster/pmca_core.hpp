@@ -132,6 +132,13 @@ class PmcaCore {
   StatGroup& stats() { return stats_; }
   u64 instret() const { return instret_; }
 
+  /// Snapshot traversal: registers, clock, run state, hardware loops,
+  /// stats. The decoded-block cache is invalidated on load.
+  void serialize(snapshot::Archive& ar);
+
+  /// Freshly-constructed state (clock rewound, state back to kFinished).
+  void reset();
+
  private:
   void exec(const isa::Instr& instr);
   void apply_hwloops();

@@ -56,4 +56,18 @@ Cycles Tcdm::access(Cycles now, Addr offset, u32 bytes) {
   return done;
 }
 
+void Tcdm::serialize(snapshot::Archive& ar) {
+  ar.bytes(storage_.data(), storage_.size());
+  ar.pod_vec(bank_free_);
+  stats_.serialize(ar);
+  ar.pod(pending_accesses_);
+}
+
+void Tcdm::reset() {
+  std::fill(storage_.begin(), storage_.end(), 0);
+  std::fill(bank_free_.begin(), bank_free_.end(), 0);
+  stats_.reset();
+  pending_accesses_ = 0;
+}
+
 }  // namespace hulkv::cluster

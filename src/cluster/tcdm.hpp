@@ -39,6 +39,13 @@ class Tcdm {
   const TcdmConfig& config() const { return config_; }
   const StatGroup& stats() const { return stats_; }
 
+  /// Snapshot traversal: contents, bank reservations, stats. The
+  /// storage vector never reallocates (cores cache its data pointer).
+  void serialize(snapshot::Archive& ar);
+
+  /// Freshly-constructed state.
+  void reset();
+
   /// Bank index holding `offset`.
   u32 bank_of(Addr offset) const {
     return static_cast<u32>((offset / config_.word_bytes) %

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "snapshot/archive.hpp"
+
 namespace hulkv {
 
 std::string StatGroup::to_string() const {
@@ -10,6 +12,31 @@ std::string StatGroup::to_string() const {
     os << name_ << "." << key << " = " << value << "\n";
   }
   return os.str();
+}
+
+void StatGroup::serialize(snapshot::Archive& ar) {
+  if (ar.loading()) {
+    for (auto& entry : counters_) entry.second = 0;
+    u64 count = 0;
+    ar.pod(count);
+    for (u64 i = 0; i < count; ++i) {
+      std::string key;
+      u64 value = 0;
+      ar.str(key);
+      ar.pod(value);
+      counters_[key] = value;
+    }
+    return;
+  }
+  u64 count = 0;
+  for (const auto& entry : counters_) count += entry.second != 0 ? 1 : 0;
+  ar.pod(count);
+  for (auto& entry : counters_) {
+    if (entry.second == 0) continue;
+    std::string key = entry.first;
+    ar.str(key);
+    ar.pod(entry.second);
+  }
 }
 
 }  // namespace hulkv

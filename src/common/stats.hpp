@@ -13,6 +13,10 @@
 
 #include "common/types.hpp"
 
+namespace hulkv::snapshot {
+class Archive;
+}  // namespace hulkv::snapshot
+
 namespace hulkv {
 
 /// A set of named 64-bit counters belonging to one simulated block.
@@ -53,6 +57,13 @@ class StatGroup {
 
   /// Render as "name.key = value" lines.
   std::string to_string() const;
+
+  /// Snapshot traversal. Only non-zero counters are saved/hashed, so a
+  /// reset group digests equal to a freshly constructed one (lazily
+  /// interned zero slots never perturb the digest). On load every
+  /// existing counter is zeroed first, then the saved values applied —
+  /// interned handles stay valid (map nodes never move).
+  void serialize(snapshot::Archive& ar);
 
  private:
   std::string name_;

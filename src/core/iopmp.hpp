@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snapshot/archive.hpp"
 
 namespace hulkv::core {
 
@@ -36,6 +37,21 @@ class Iopmp {
   bool enforcing() const { return enforcing_; }
 
   const std::vector<Region>& regions() const { return regions_; }
+
+  /// Snapshot traversal (grant table + enforcing flag).
+  void serialize(snapshot::Archive& ar) {
+    u64 count = regions_.size();
+    ar.pod(count);
+    if (ar.loading()) regions_.resize(count);
+    // Field by field: Region has padding bytes.
+    for (Region& region : regions_) {
+      ar.pod(region.base);
+      ar.pod(region.size);
+      ar.pod(region.allow_read);
+      ar.pod(region.allow_write);
+    }
+    ar.pod(enforcing_);
+  }
 
  private:
   std::vector<Region> regions_;

@@ -50,4 +50,23 @@ void Mailbox::mmio_write(Addr offset, u64 value, u32 size) {
   }
 }
 
+void Mailbox::serialize(snapshot::Archive& ar) {
+  const auto fifo = [&ar](std::deque<u32>& q) {
+    u64 count = q.size();
+    ar.pod(count);
+    if (ar.loading()) {
+      q.clear();
+      for (u64 i = 0; i < count; ++i) {
+        u32 word = 0;
+        ar.pod(word);
+        q.push_back(word);
+      }
+      return;
+    }
+    for (u32 word : q) ar.pod(word);
+  };
+  fifo(h2c_);
+  fifo(c2h_);
+}
+
 }  // namespace hulkv::core

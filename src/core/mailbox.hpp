@@ -41,6 +41,15 @@ class Mailbox final : public mem::MmioDevice {
   u32 pop_host();     // pop C2H (host side)
   u32 pop_cluster();  // pop H2C (cluster side)
 
+  /// Snapshot traversal (both FIFOs; the IRQ wiring is construction-time).
+  void serialize(snapshot::Archive& ar);
+
+  /// Freshly-constructed state (drain both FIFOs).
+  void reset() {
+    h2c_.clear();
+    c2h_.clear();
+  }
+
  private:
   std::deque<u32> h2c_;
   std::deque<u32> c2h_;

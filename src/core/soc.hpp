@@ -12,6 +12,8 @@
 // expressed directly in SocConfig: {HyperRAM, DDR4} x {LLC on, LLC off}.
 #pragma once
 
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "mem/llc.hpp"
 #include "mem/rpcdram.hpp"
 #include "mem/udma.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace hulkv::core {
 
@@ -119,7 +122,48 @@ class HulkVSoc {
   void write_mem(Addr addr, const void* src, u64 bytes);
   void read_mem(Addr addr, void* dst, u64 bytes);
 
+  // ---- checkpoint / restore (src/snapshot, DESIGN.md section 11) ----
+
+  /// Callback appending extra sections before the trailer (e.g.
+  /// runtime::OffloadRuntime adds its kRuntime section).
+  using SectionWriterFn = std::function<void(snapshot::Writer&)>;
+  /// Callback consuming extra sections after the SoC ones.
+  using SectionReaderFn = std::function<void(const snapshot::Reader&)>;
+
+  /// Serialize the complete SoC state (architectural + timing-model) in
+  /// the versioned snapshot container format.
+  void save(std::ostream& os, const SectionWriterFn& extra = nullptr);
+
+  /// Restore state previously written by save() into this SoC. The SoC
+  /// must have been built from the same configuration (validated via
+  /// the kMeta fingerprint; throws SimError otherwise). Restore is
+  /// exact: the restored SoC continues cycle-identically to the saved
+  /// one.
+  void restore(std::istream& is, const SectionReaderFn& extra = nullptr);
+
+  /// FNV-1a digest over the same traversal save() uses — a cheap
+  /// whole-SoC state-equality check.
+  u64 state_digest();
+
+  /// Return to freshly-constructed state: state_digest() afterwards
+  /// equals that of a new HulkVSoc with the same config.
+  void reset();
+
+  /// Fingerprint of the construction-time configuration (stored in the
+  /// snapshot's kMeta section and checked on restore).
+  u64 config_fingerprint() const;
+
  private:
+  /// One place enumerating every (section id, component traversal)
+  /// pair; save/restore/state_digest all walk this table so they can
+  /// never drift apart.
+  void visit_sections(
+      const std::function<void(u32, const std::function<void(snapshot::Archive&)>&)>&
+          visit);
+
+  /// IOPMP grants established at construction (re-applied by reset()).
+  void grant_default_iopmp();
+
   SocConfig config_;
 
   // Functional storage.

@@ -30,6 +30,18 @@ class Clint final : public mem::MmioDevice {
   bool timer_interrupt_pending() const { return time_() >= mtimecmp_; }
   u64 mtimecmp() const { return mtimecmp_; }
 
+  /// Snapshot traversal (mtime is a view of the host clock, not state).
+  void serialize(snapshot::Archive& ar) {
+    ar.pod(msip_);
+    ar.pod(mtimecmp_);
+  }
+
+  /// Freshly-constructed state.
+  void reset() {
+    msip_ = false;
+    mtimecmp_ = ~0ull;
+  }
+
  private:
   std::function<Cycles()> time_;
   bool msip_ = false;

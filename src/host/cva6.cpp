@@ -752,4 +752,42 @@ void Cva6Core::exec(const Instr& in) {
   }
 }
 
+void Cva6Core::serialize(snapshot::Archive& ar) {
+  ar.bytes(x_, sizeof(x_));
+  ar.bytes(f_, sizeof(f_));
+  ar.pod(pc_);
+  ar.pod(next_pc_);
+  ar.pod(cycle_);
+  ar.pod(instret_);
+  ar.pod(exited_);
+  ar.pod(exit_code_);
+  ar.pod(fetch_line_);
+  ar.pod(pending_commits_);
+  icache_.serialize(ar);
+  dcache_.serialize(ar);
+  if (itlb_) itlb_->serialize(ar);
+  if (dtlb_) dtlb_->serialize(ar);
+  stats_.serialize(ar);
+  if (ar.loading()) blocks_.invalidate();
+}
+
+void Cva6Core::reset() {
+  std::fill(std::begin(x_), std::end(x_), 0);
+  std::fill(std::begin(f_), std::end(f_), 0);
+  pc_ = config_.boot_pc;
+  next_pc_ = 0;
+  cycle_ = 0;
+  instret_ = 0;
+  exited_ = false;
+  exit_code_ = 0;
+  fetch_line_ = ~0ull;
+  pending_commits_ = 0;
+  icache_.reset();
+  dcache_.reset();
+  if (itlb_) itlb_->reset();
+  if (dtlb_) dtlb_->reset();
+  stats_.reset();
+  blocks_.invalidate();
+}
+
 }  // namespace hulkv::host

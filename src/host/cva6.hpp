@@ -134,6 +134,15 @@ class Cva6Core {
   /// Decoded-block cache (introspection for tests and stats).
   const isa::BlockCache& decode_blocks() const { return blocks_; }
 
+  /// Snapshot traversal: architectural registers, clock, L1/TLB models,
+  /// stats. The decoded-block cache is derived state and is invalidated
+  /// on load (blocks re-translate from restored memory on demand).
+  void serialize(snapshot::Archive& ar);
+
+  /// Freshly-constructed state (registers cleared, pc back at the boot
+  /// vector, clock and caches rewound).
+  void reset();
+
   mem::CacheModel& icache() { return icache_; }
   mem::CacheModel& dcache() { return dcache_; }
   /// Data/instruction TLBs (nullptr when the MMU model is disabled).

@@ -32,6 +32,22 @@ class Plic final : public mem::MmioDevice {
   /// True if any enabled source is pending (the core's external IRQ line).
   bool interrupt_pending() const;
 
+  /// Snapshot traversal.
+  void serialize(snapshot::Archive& ar) {
+    ar.pod(pending_);
+    ar.pod(enabled_);
+    ar.pod(claimed_);
+    ar.bytes(priority_.data(), priority_.size() * sizeof(u32));
+  }
+
+  /// Freshly-constructed state.
+  void reset() {
+    pending_ = 0;
+    enabled_ = 0;
+    claimed_ = 0;
+    priority_.fill(0);
+  }
+
  private:
   u32 highest_pending() const;
 

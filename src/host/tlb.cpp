@@ -51,6 +51,23 @@ void Tlb::flush() {
   stats_.increment("flushes");
 }
 
+void Tlb::reset() {
+  for (Entry& entry : entries_) entry = Entry{};
+  use_clock_ = 0;
+  stats_.reset();
+}
+
+void Tlb::serialize(snapshot::Archive& ar) {
+  ar.pod(use_clock_);
+  // Field by field: Entry has padding bytes.
+  for (Entry& entry : entries_) {
+    ar.pod(entry.vpn);
+    ar.pod(entry.lru);
+    ar.pod(entry.valid);
+  }
+  stats_.serialize(ar);
+}
+
 double Tlb::hit_ratio() const {
   const u64 lookups = stats_.get("lookups");
   return lookups == 0 ? 0.0

@@ -21,6 +21,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "snapshot/archive.hpp"
 
 namespace hulkv::host {
 
@@ -44,6 +45,12 @@ class Tlb {
 
   /// sfence.vma: drop all entries.
   void flush();
+
+  /// Freshly-constructed state: entries, LRU clock, stats.
+  void reset();
+
+  /// Snapshot traversal.
+  void serialize(snapshot::Archive& ar);
 
   const StatGroup& stats() const { return stats_; }
   double hit_ratio() const;

@@ -33,6 +33,10 @@ class Uart final : public mem::MmioDevice {
   /// Mirror transmitted bytes to the simulator's stdout (examples).
   void set_echo(bool echo) { echo_ = echo; }
 
+  /// Snapshot traversal. `echo_` is a simulator-side switch, not guest
+  /// state, and is deliberately excluded.
+  void serialize(snapshot::Archive& ar) { ar.str(output_); }
+
  private:
   std::string output_;
   bool echo_ = false;

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "snapshot/archive.hpp"
+
 namespace hulkv::mem {
+
+void BackingStore::serialize(snapshot::Archive& ar) {
+  if (ar.loading()) {
+    clear();
+    u64 count = 0;
+    ar.pod(count);
+    for (u64 i = 0; i < count; ++i) {
+      u64 page = 0;
+      ar.pod(page);
+      std::vector<u8>& data = pages_[page];
+      data.resize(kPageBytes);
+      ar.bytes(data.data(), kPageBytes);
+    }
+    return;
+  }
+  u64 count = pages_.size();
+  ar.pod(count);
+  std::vector<u64> order;
+  order.reserve(pages_.size());
+  for (const auto& entry : pages_) order.push_back(entry.first);
+  std::sort(order.begin(), order.end());
+  for (u64 page : order) {
+    ar.pod(page);
+    ar.bytes(pages_.at(page).data(), kPageBytes);
+  }
+}
 
 std::vector<u8>& BackingStore::page_for(Addr addr) {
   auto& page = pages_[addr / kPageBytes];

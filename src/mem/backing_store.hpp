@@ -22,6 +22,10 @@
 
 #include "common/types.hpp"
 
+namespace hulkv::snapshot {
+class Archive;
+}  // namespace hulkv::snapshot
+
 namespace hulkv::mem {
 
 class BackingStore {
@@ -91,6 +95,12 @@ class BackingStore {
   // Page-pointer-cache effectiveness, for tests and microbenchmarks.
   u64 ptr_cache_hits() const { return ptr_cache_hits_; }
   u64 ptr_cache_misses() const { return ptr_cache_misses_; }
+
+  /// Snapshot traversal: the materialised pages only, sorted by page
+  /// number (sparse — untouched memory costs nothing). The translation
+  /// slots and hit/miss diagnostics are derived state: on load the
+  /// store is clear()ed first, which also drops the stale slots.
+  void serialize(snapshot::Archive& ar);
 
  private:
   /// One translation: page number -> materialised page data (nullptr

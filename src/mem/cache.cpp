@@ -89,6 +89,32 @@ void SetAssocTags::flush() {
   use_clock_ = 0;
 }
 
+void SetAssocTags::reset() { flush(); }
+
+void SetAssocTags::serialize(snapshot::Archive& ar) {
+  ar.pod(use_clock_);
+  // Field by field: Way has padding bytes, which must never reach the
+  // digest or the file.
+  for (Way& way : ways_) {
+    ar.pod(way.tag);
+    ar.pod(way.lru);
+    ar.pod(way.valid);
+    ar.pod(way.dirty);
+  }
+}
+
+void CacheModel::reset() {
+  tags_.reset();
+  stats_.reset();
+  pending_hits_ = 0;
+}
+
+void CacheModel::serialize(snapshot::Archive& ar) {
+  tags_.serialize(ar);
+  stats_.serialize(ar);
+  ar.pod(pending_hits_);
+}
+
 CacheModel::CacheModel(const CacheConfig& config, MemTiming* next)
     : config_(config),
       next_(next),

@@ -48,6 +48,13 @@ class SetAssocTags {
   /// Invalidate everything.
   void flush();
 
+  /// Freshly-constructed state: flush() plus a rewound LRU clock (the
+  /// use clock is digest-visible, so reset must restore it too).
+  void reset();
+
+  /// Snapshot traversal: use clock + per-way tag/LRU/valid/dirty.
+  void serialize(snapshot::Archive& ar);
+
   u32 num_sets() const { return num_sets_; }
   u32 num_ways() const { return num_ways_; }
   u32 line_bytes() const { return line_bytes_; }
@@ -96,6 +103,12 @@ class CacheModel final : public MemTiming {
   Cycles access(Cycles now, Addr addr, u32 bytes, bool is_write) override;
 
   void flush() { tags_.flush(); }
+
+  /// Freshly-constructed state: tags, stats, trace batch counter.
+  void reset();
+
+  /// Snapshot traversal.
+  void serialize(snapshot::Archive& ar);
 
   /// True when `addr`'s line is resident. Pure peek: no LRU update, no
   /// counters — lets schedulers prove an access would be a local hit.

@@ -59,6 +59,18 @@ class Ddr4Model final : public MemTiming {
     return done;
   }
 
+  /// Freshly-constructed state (data bus idle).
+  void reset() {
+    busy_until_ = 0;
+    stats_.reset();
+  }
+
+  /// Snapshot traversal.
+  void serialize(snapshot::Archive& ar) {
+    ar.pod(busy_until_);
+    stats_.serialize(ar);
+  }
+
   const DdrConfig& config() const { return config_; }
   const StatGroup& stats() const { return stats_; }
   StatGroup& stats() { return stats_; }

@@ -60,6 +60,12 @@ class HyperRamModel final : public MemTiming {
 
   Cycles access(Cycles now, Addr addr, u32 bytes, bool is_write) override;
 
+  /// Freshly-constructed state (device idle, refresh phase rewound).
+  void reset();
+
+  /// Snapshot traversal.
+  void serialize(snapshot::Archive& ar);
+
   const HyperRamConfig& config() const { return config_; }
   const StatGroup& stats() const { return stats_; }
   StatGroup& stats() { return stats_; }

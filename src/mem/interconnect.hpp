@@ -90,6 +90,14 @@ class SocBus {
 
   const StatGroup& stats() const { return stats_; }
 
+  /// Snapshot traversal. The wiring (regions, handlers) is established
+  /// at construction and never changes; the crossbar's only mutable
+  /// state is its counters.
+  void serialize(snapshot::Archive& ar) { stats_.serialize(ar); }
+
+  /// Freshly-constructed state (counters only; wiring is untouched).
+  void reset() { stats_.reset(); }
+
  private:
   struct SramRegion {
     Addr base = 0;

@@ -48,6 +48,12 @@ class Llc final : public MemTiming {
 
   void flush() { tags_.flush(); }
 
+  /// Freshly-constructed state (tags + stats).
+  void reset();
+
+  /// Snapshot traversal.
+  void serialize(snapshot::Archive& ar);
+
   const LlcConfig& config() const { return config_; }
   const StatGroup& stats() const { return stats_; }
   StatGroup& stats() { return stats_; }

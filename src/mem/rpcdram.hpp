@@ -48,6 +48,12 @@ class RpcDramModel final : public MemTiming {
 
   Cycles access(Cycles now, Addr addr, u32 bytes, bool is_write) override;
 
+  /// Freshly-constructed state (device idle, rows closed).
+  void reset();
+
+  /// Snapshot traversal.
+  void serialize(snapshot::Archive& ar);
+
   const RpcDramConfig& config() const { return config_; }
   const StatGroup& stats() const { return stats_; }
   StatGroup& stats() { return stats_; }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "common/types.hpp"
+#include "snapshot/archive.hpp"
 
 namespace hulkv::mem {
 
@@ -52,6 +53,12 @@ class SramTiming final : public MemTiming {
     busy_until_ = start + beats;
     return start + latency_ + beats;
   }
+
+  /// Snapshot traversal (port occupancy is the only state).
+  void serialize(snapshot::Archive& ar) { ar.pod(busy_until_); }
+
+  /// Back to an idle port (freshly-constructed state).
+  void reset() { busy_until_ = 0; }
 
  private:
   Cycles latency_;

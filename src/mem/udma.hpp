@@ -36,6 +36,13 @@ class Udma {
 
   const StatGroup& stats() const { return stats_; }
 
+  /// Snapshot traversal (transfers are synchronous; counters are the
+  /// only state).
+  void serialize(snapshot::Archive& ar) { stats_.serialize(ar); }
+
+  /// Freshly-constructed state.
+  void reset() { stats_.reset(); }
+
  private:
   bool in_l2(Addr addr, u64 bytes) const;
   bool in_dram(Addr addr, u64 bytes) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -180,6 +181,11 @@ Table& MetricsReport::add_table(std::string title,
   return tables_.back();
 }
 
+Table& MetricsReport::add_table(Table table) {
+  tables_.push_back(std::move(table));
+  return tables_.back();
+}
+
 const Value* MetricsReport::metric(const std::string& key) const {
   for (const auto& m : metrics_) {
     if (m.key == key) return &m.value;
@@ -258,8 +264,13 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     return false;
   };
   for (int i = 1; i < argc; ++i) {
+    std::string jobs;
     if (take(i, "--json", options.json_path)) continue;
     if (take(i, "--trace", options.trace_path)) continue;
+    if (take(i, "--jobs", jobs)) {
+      options.jobs = static_cast<u32>(std::strtoul(jobs.c_str(), nullptr, 10));
+      continue;
+    }
     // Unknown flags belong to the wrapped tool (e.g. google-benchmark).
   }
   return options;

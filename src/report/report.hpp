@@ -76,6 +76,12 @@ class Table {
 /// free-form notes.
 class MetricsReport {
  public:
+  struct Metric {
+    std::string key;
+    Value value;
+    std::string unit;
+  };
+
   explicit MetricsReport(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
@@ -86,6 +92,8 @@ class MetricsReport {
   /// Append a table and return a reference for row filling. References
   /// stay valid across later add_table calls (deque storage).
   Table& add_table(std::string title, std::vector<std::string> columns);
+  /// Append an already-built table (batch::merge_reports).
+  Table& add_table(Table table);
 
   const Value* metric(const std::string& key) const;
   /// Text form of a metric for embedding in printed prose; "?" when the
@@ -94,6 +102,8 @@ class MetricsReport {
   std::string metric_text(const std::string& key) const;
 
   const std::deque<Table>& tables() const { return tables_; }
+  const std::vector<Metric>& metrics() const { return metrics_; }
+  const std::vector<std::string>& notes() const { return notes_; }
 
   std::string to_text() const;
   std::string to_json() const;
@@ -101,23 +111,20 @@ class MetricsReport {
   void write_json(const std::string& path) const;
 
  private:
-  struct Metric {
-    std::string key;
-    Value value;
-    std::string unit;
-  };
   std::string name_;
   std::vector<Metric> metrics_;
   std::deque<Table> tables_;
   std::vector<std::string> notes_;
 };
 
-/// Shared bench command line: --json <path> / --trace <path> (also the
-/// --flag=value spellings). Unknown arguments are ignored so wrappers
-/// like google-benchmark keep their own flags.
+/// Shared bench command line: --json <path> / --trace <path> /
+/// --jobs <n> (also the --flag=value spellings). Unknown arguments are
+/// ignored so wrappers like google-benchmark keep their own flags.
 struct BenchOptions {
   std::string json_path;
   std::string trace_path;
+  /// Sweep worker count (batch::SweepEngine); 0 = hardware concurrency.
+  u32 jobs = 0;
 };
 BenchOptions parse_bench_args(int argc, char** argv);
 

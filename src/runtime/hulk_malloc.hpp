@@ -14,6 +14,7 @@
 #pragma once
 
 #include "common/types.hpp"
+#include "snapshot/archive.hpp"
 
 namespace hulkv::runtime {
 
@@ -36,6 +37,10 @@ class Arena {
   u64 used() const { return cursor_ - base_; }
   u64 available() const { return size_ - used(); }
 
+  /// Snapshot traversal (base/size are construction-time; only the
+  /// bump cursor is state).
+  void serialize(snapshot::Archive& ar) { ar.pod(cursor_); }
+
  private:
   Addr base_;
   u64 size_;
@@ -55,6 +60,9 @@ class SharedRegion {
 
   void reset() { arena_.reset(); }
   Arena& arena() { return arena_; }
+
+  /// Snapshot traversal.
+  void serialize(snapshot::Archive& ar) { arena_.serialize(ar); }
 
  private:
   Arena arena_;

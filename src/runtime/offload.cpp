@@ -195,4 +195,56 @@ void OffloadRuntime::install_host_syscalls() {
   soc_->host().set_wfi_handler([](Cycles now) { return now + 1; });
 }
 
+// ---- checkpoint / restore ----------------------------------------------
+
+void OffloadRuntime::save(std::ostream& os) {
+  soc_->save(os, [this](snapshot::Writer& writer) {
+    writer.section(snapshot::kRuntime,
+                   [this](snapshot::Archive& ar) { serialize(ar); });
+  });
+}
+
+void OffloadRuntime::restore(std::istream& is) {
+  soc_->restore(is, [this](const snapshot::Reader& reader) {
+    reader.section(snapshot::kRuntime,
+                   [this](snapshot::Archive& ar) { serialize(ar); });
+  });
+}
+
+u64 OffloadRuntime::state_digest() {
+  snapshot::Archive ar = snapshot::Archive::hasher();
+  u64 soc_digest = soc_->state_digest();
+  ar.pod(soc_digest);
+  serialize(ar);
+  return ar.hash();
+}
+
+void OffloadRuntime::serialize(snapshot::Archive& ar) {
+  shared_.serialize(ar);
+  l2_arena_.serialize(ar);
+  tcdm_arena_.serialize(ar);
+  u64 count = images_.size();
+  ar.pod(count);
+  if (ar.loading()) {
+    images_.resize(count);
+    names_.resize(count);
+  }
+  for (u64 i = 0; i < count; ++i) {
+    Image& image = images_[i];
+    ar.str(image.name);
+    ar.pod(image.dram_addr);
+    ar.pod(image.l2_addr);
+    ar.pod(image.bytes);
+    if (ar.loading()) names_[i] = image.name;
+  }
+}
+
+void OffloadRuntime::reset() {
+  shared_.reset();
+  l2_arena_.reset();
+  tcdm_arena_.reset();
+  images_.clear();
+  names_.clear();
+}
+
 }  // namespace hulkv::runtime

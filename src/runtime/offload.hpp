@@ -23,6 +23,7 @@
 #include "analysis/analyzer.hpp"
 #include "core/soc.hpp"
 #include "runtime/hulk_malloc.hpp"
+#include "snapshot/snapshot.hpp"
 #include "trace/trace.hpp"
 
 namespace hulkv::runtime {
@@ -107,6 +108,25 @@ class OffloadRuntime {
   static constexpr u64 kSyscallOffload = 0x1000;
 
   const std::vector<std::string>& kernel_names() const { return names_; }
+
+  // ---- checkpoint / restore ----
+
+  /// Save the SoC plus this runtime's kRuntime section to `os`.
+  void save(std::ostream& os);
+
+  /// Restore SoC + runtime state written by save(). The SoC must be
+  /// built from the same configuration.
+  void restore(std::istream& is);
+
+  /// Digest covering the SoC and the runtime state.
+  u64 state_digest();
+
+  /// Snapshot traversal: arenas, registered kernel images. Analysis
+  /// mode/policy are host-side configuration, not guest state.
+  void serialize(snapshot::Archive& ar);
+
+  /// Freshly-constructed state (arenas rewound, kernel table cleared).
+  void reset();
 
  private:
   struct Image {

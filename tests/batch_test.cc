@@ -1,0 +1,171 @@
+// hulkv::batch: worker pool, snapshot forking, report merging.
+//
+// The determinism contract under test: results land in pre-allocated
+// index slots, so a sweep's output is identical for every worker count.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "core/soc.hpp"
+#include "kernels/iot_benchmarks.hpp"
+#include "report/report.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace hulkv;
+
+TEST(RunJobs, EveryJobRunsExactlyOnce) {
+  constexpr u64 kCount = 64;
+  std::vector<std::atomic<u32>> hits(kCount);
+  batch::run_jobs(kCount, 4, [&](u64 index) { hits[index].fetch_add(1); });
+  for (u64 i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1u) << "job " << i;
+  }
+}
+
+TEST(RunJobs, SerialPathRunsInIndexOrder) {
+  std::vector<u64> order;
+  batch::run_jobs(16, 1, [&](u64 index) { order.push_back(index); });
+  std::vector<u64> expected(16);
+  std::iota(expected.begin(), expected.end(), u64{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(RunJobs, ZeroJobsIsANoOp) {
+  batch::run_jobs(0, 4, [&](u64) { FAIL() << "job ran"; });
+}
+
+TEST(RunJobs, JobExceptionPropagates) {
+  EXPECT_THROW(batch::run_jobs(8, 4,
+                               [&](u64 index) {
+                                 if (index == 5) {
+                                   throw SimError("boom from job 5");
+                                 }
+                               }),
+               SimError);
+}
+
+TEST(RunJobs, SerialJobExceptionPropagates) {
+  EXPECT_THROW(
+      batch::run_jobs(2, 1, [&](u64) { throw SimError("serial boom"); }),
+      SimError);
+}
+
+TEST(RunJobs, RefusesParallelismWhileTracing) {
+  trace::sink().clear();
+  trace::sink().enable();
+  EXPECT_THROW(batch::run_jobs(4, 2, [](u64) {}), SimError);
+  // The serial path stays usable under tracing.
+  u32 ran = 0;
+  batch::run_jobs(4, 1, [&](u64) { ++ran; });
+  EXPECT_EQ(ran, 4u);
+  trace::sink().disable();
+  trace::sink().clear();
+}
+
+TEST(SweepEngine, DefaultsToHardwareConcurrency) {
+  EXPECT_EQ(batch::SweepEngine().workers(), batch::default_jobs());
+  EXPECT_EQ(batch::SweepEngine(3).workers(), 3u);
+  EXPECT_GE(batch::default_jobs(), 1u);
+}
+
+TEST(SweepEngine, ParallelMapEqualsSerialMap) {
+  // A real (small) simulation per point: the parallel sweep must land
+  // cycle counts identical to the serial one, in the same slots.
+  const auto point = [](u64 index) {
+    core::SocConfig cfg;
+    cfg.llc.num_lines = 64u << index;
+    core::HulkVSoc soc(cfg);
+    const auto prog = kernels::host_stride_reads(128, 256, 3);
+    return kernels::run_host_program(
+               soc, prog.words,
+               std::array<u64, 1>{core::layout::kSharedBase})
+        .cycles;
+  };
+  const std::vector<Cycles> serial =
+      batch::SweepEngine(1).map<Cycles>(3, point);
+  const std::vector<Cycles> parallel =
+      batch::SweepEngine(3).map<Cycles>(3, point);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepEngine, MapForkedMatchesSerialContinuation) {
+  // Warm a SoC, checkpoint it, then fork the sweep from the snapshot:
+  // every forked point must behave exactly like the warmed original.
+  core::SocConfig cfg;
+  core::HulkVSoc warmed(cfg);
+  const auto prog = kernels::host_stride_reads(64, 512, 4);
+  const std::array<u64, 1> args = {core::layout::kSharedBase};
+  kernels::run_host_program(warmed, prog.words, args);  // warm-up
+  const batch::SocSnapshot snap = batch::SocSnapshot::capture(warmed);
+  EXPECT_FALSE(snap.empty());
+
+  // Reference: continue the warmed SoC itself.
+  const Cycles reference =
+      kernels::run_host_program(warmed, prog.words, args).cycles;
+
+  const std::vector<Cycles> forked =
+      batch::SweepEngine(3).map_forked<Cycles>(
+          snap, 4, [&] { return std::make_unique<core::HulkVSoc>(cfg); },
+          [&](core::HulkVSoc& soc, u64) {
+            return kernels::run_host_program(soc, prog.words, args).cycles;
+          });
+  for (u64 i = 0; i < forked.size(); ++i) {
+    EXPECT_EQ(forked[i], reference) << "fork " << i;
+  }
+}
+
+TEST(MergeReports, KeepsIndexOrder) {
+  std::vector<report::MetricsReport> parts;
+  for (u32 i = 0; i < 3; ++i) {
+    report::MetricsReport part("part" + std::to_string(i));
+    part.add_metric("m" + std::to_string(i), report::Value::uinteger(i),
+                    "u");
+    part.add_note("note " + std::to_string(i));
+    report::Table t("table " + std::to_string(i), {"col"});
+    t.add_row({report::Value::uinteger(i)});
+    part.add_table(std::move(t));
+    parts.push_back(std::move(part));
+  }
+  const report::MetricsReport merged = batch::merge_reports("all", parts);
+  EXPECT_EQ(merged.name(), "all");
+  ASSERT_EQ(merged.metrics().size(), 3u);
+  ASSERT_EQ(merged.tables().size(), 3u);
+  ASSERT_EQ(merged.notes().size(), 3u);
+  for (u32 i = 0; i < 3; ++i) {
+    EXPECT_EQ(merged.metrics()[i].key, "m" + std::to_string(i));
+    EXPECT_EQ(merged.tables()[i].title(), "table " + std::to_string(i));
+    EXPECT_EQ(merged.notes()[i], "note " + std::to_string(i));
+  }
+}
+
+TEST(SweepEngine, MapReportsMergesInOrder) {
+  const report::MetricsReport merged =
+      batch::SweepEngine(2).map_reports("sweep", 4, [](u64 index) {
+        report::MetricsReport part("p");
+        part.add_metric("index", report::Value::uinteger(index));
+        return part;
+      });
+  ASSERT_EQ(merged.metrics().size(), 4u);
+  for (u64 i = 0; i < 4; ++i) {
+    EXPECT_EQ(merged.metrics()[i].value.as_double(),
+              static_cast<double>(i));
+  }
+}
+
+TEST(BenchOptions, ParsesJobs) {
+  const char* argv_jobs[] = {"bench", "--jobs", "7"};
+  EXPECT_EQ(report::parse_bench_args(3, const_cast<char**>(argv_jobs)).jobs,
+            7u);
+  const char* argv_plain[] = {"bench"};
+  EXPECT_EQ(
+      report::parse_bench_args(1, const_cast<char**>(argv_plain)).jobs, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Cross-run determinism regression tests.
+//
+// The simulator must be a pure function of its inputs: two runs of the
+// same workload — in one process, across processes, or across worker
+// counts — produce identical cycle counts, digests and bench output.
+// This pins down the cross-run state-bleed class of bug (a static or
+// global that survives into the next Soc).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "core/soc.hpp"
+#include "kernels/iot_benchmarks.hpp"
+
+namespace {
+
+using namespace hulkv;
+
+// Bench/example binary locations, injected by tests/CMakeLists.txt.
+#ifndef HULKV_BENCH_DIR
+#define HULKV_BENCH_DIR "."
+#endif
+#ifndef HULKV_EXAMPLES_DIR
+#define HULKV_EXAMPLES_DIR "."
+#endif
+
+/// Run a command, discard stderr (logs go there), return stdout.
+std::string run_stdout(const std::string& cmd) {
+  const std::string full = cmd + " 2>/dev/null";
+  FILE* pipe = popen(full.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << full;
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    out.append(buf, n);
+  }
+  const int rc = pclose(pipe);
+  EXPECT_EQ(rc, 0) << full;
+  return out;
+}
+
+struct RunResult {
+  Cycles cycles;
+  u64 digest;
+};
+
+RunResult run_workload() {
+  core::SocConfig cfg;
+  core::HulkVSoc soc(cfg);
+  const auto prog = kernels::host_stride_reads(256, 1024, 5);
+  const Cycles cycles =
+      kernels::run_host_program(
+          soc, prog.words, std::array<u64, 1>{core::layout::kSharedBase})
+          .cycles;
+  return {cycles, soc.state_digest()};
+}
+
+TEST(Determinism, RepeatedInProcessRunsAreIdentical) {
+  const RunResult first = run_workload();
+  const RunResult second = run_workload();
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(first.digest, second.digest);
+}
+
+TEST(Determinism, Fig7RunTwiceIsByteIdentical) {
+  const std::string cmd = std::string(HULKV_BENCH_DIR) + "/fig7_llc_sweep";
+  const std::string first = run_stdout(cmd);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, run_stdout(cmd));
+}
+
+TEST(Determinism, Fig7OutputIndependentOfWorkerCount) {
+  const std::string cmd = std::string(HULKV_BENCH_DIR) + "/fig7_llc_sweep";
+  const std::string serial = run_stdout(cmd + " --jobs 1");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_stdout(cmd + " --jobs 4"));
+}
+
+TEST(Determinism, AblationMemsysRunTwiceIsByteIdentical) {
+  const std::string cmd = std::string(HULKV_BENCH_DIR) + "/ablation_memsys";
+  const std::string first = run_stdout(cmd);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, run_stdout(cmd));
+}
+
+TEST(Determinism, MemsysExplorerOutputIndependentOfWorkerCount) {
+  const std::string cmd =
+      std::string(HULKV_EXAMPLES_DIR) + "/memsys_explorer 128";
+  const std::string serial = run_stdout(cmd + " --jobs 1");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_stdout(cmd + " --jobs 4"));
+}
+
+}  // namespace
