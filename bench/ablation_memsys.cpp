@@ -21,6 +21,7 @@
 #include "kernels/cluster_kernels.hpp"
 #include "kernels/iot_benchmarks.hpp"
 #include "common/rng.hpp"
+#include "profile/profile.hpp"
 #include "report/report.hpp"
 #include "runtime/offload.hpp"
 #include "power/power_model.hpp"
@@ -35,9 +36,9 @@ Cycles run_stride_on(core::SocConfig cfg, u32 stride, u32 reads = 1024,
   core::HulkVSoc soc(cfg);
   const std::array<u64, 1> args = {core::layout::kSharedBase};
   kernels::run_host_program(
-      soc, kernels::host_stride_reads(stride, reads, 2).words, args);
+      soc, kernels::host_stride_reads(stride, reads, 2), args);
   return kernels::run_host_program(
-             soc, kernels::host_stride_reads(stride, reads, rounds).words,
+             soc, kernels::host_stride_reads(stride, reads, rounds),
              args)
       .cycles;
 }
@@ -170,9 +171,9 @@ void mmu_ablation(const batch::SweepEngine& engine,
         core::HulkVSoc soc(cfg);
         const std::array<u64, 1> args = {core::layout::kSharedBase};
         kernels::run_host_program(
-            soc, kernels::host_stride_reads(1024, 1024, 2).words, args);
+            soc, kernels::host_stride_reads(1024, 1024, 2), args);
         const auto run = kernels::run_host_program(
-            soc, kernels::host_stride_reads(1024, 1024, 10).words, args);
+            soc, kernels::host_stride_reads(1024, 1024, 10), args);
         return Point{run.cycles, tlb_entries == 0
                                      ? 0.0
                                      : soc.host().dtlb()->hit_ratio()};
@@ -222,7 +223,8 @@ void precision_ablation(const batch::SweepEngine& engine,
             l1 + m * k * elem,     l1 + (m + n) * k * elem};
         const auto program = reduced ? kernels::cluster_matmul_i8(m, n, k)
                                      : kernels::cluster_matmul_i32(m, n, k);
-        const auto handle = rt.register_kernel("mm", program.words);
+        const auto handle =
+            rt.register_kernel("mm", program.words, program.symbols);
         rt.preload(handle);
         return rt.offload(handle, args).kernel;
       });
@@ -275,8 +277,8 @@ void latency_ladder(const batch::SweepEngine& engine,
         const u32 count = 4096;
         const auto prog = kernels::host_pointer_chase(count);
         const std::array<u64, 1> args = {base + order[0] * 64};
-        kernels::run_host_program(soc, prog.words, args);  // warm
-        const auto run = kernels::run_host_program(soc, prog.words, args);
+        kernels::run_host_program(soc, prog, args);  // warm
+        const auto run = kernels::run_host_program(soc, prog, args);
         return static_cast<double>(run.cycles) / count;
       });
   for (size_t row = 0; row < footprints.size(); ++row) {
@@ -292,6 +294,7 @@ void latency_ladder(const batch::SweepEngine& engine,
 
 int main(int argc, char** argv) {
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  profile::configure(options);
 
   report::MetricsReport rep("ablation_memsys");
   rep.add_note("HULK-V design-choice ablations");
@@ -304,6 +307,7 @@ int main(int argc, char** argv) {
   latency_ladder(engine, rep);
   rep.add_note("E. Voltage/frequency corners (GF22 FDX):\n" +
                power::render_corner_table(power::PowerModel{}));
+  profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "kernels/host_kernels.hpp"
 #include "power/energy.hpp"
 #include "power/power_model.hpp"
+#include "profile/profile.hpp"
 #include "report/report.hpp"
 #include "runtime/offload.hpp"
 #include "trace/chrome_trace.hpp"
@@ -112,9 +113,11 @@ Row run_case(const Setup& setup) {
   BenchCase bench = setup(soc, rt, rng);
 
   const auto host_run =
-      kernels::run_host_program(soc, bench.host.words, bench.host_args);
+      kernels::run_host_program(soc, bench.host, bench.host_args);
 
-  const auto handle = rt.register_kernel(bench.label, bench.device.words);
+  const auto handle =
+      rt.register_kernel(bench.label, bench.device.words,
+                         bench.device.symbols);
   const auto cold = rt.offload(handle, bench.device_args);  // lazy load
   const auto warm = rt.offload(handle, bench.device_args);
 
@@ -288,6 +291,7 @@ Setup dotp_fp_case() {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  profile::configure(options);
   if (!options.trace_path.empty()) trace::sink().enable();
 
   report::MetricsReport rep("fig6_speedup");
@@ -326,6 +330,7 @@ int main(int argc, char** argv) {
                    "max_speedup_x1000") + "x (paper: up to 112x); max PMCA "
                "efficiency " + rep.metric_text("max_pmca_gops_w") +
                " GOps/W (paper: up to 157)");
+  profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
   if (!options.trace_path.empty()) {
     trace::write_chrome_trace_file(options.trace_path, trace::sink());

@@ -26,6 +26,7 @@
 #include "batch/batch.hpp"
 #include "core/soc.hpp"
 #include "kernels/iot_benchmarks.hpp"
+#include "profile/profile.hpp"
 #include "report/report.hpp"
 
 namespace {
@@ -61,7 +62,7 @@ Point run_mixed(core::MainMemoryKind kind, bool llc, u32 miss_slots) {
   const std::array<u64, 2> args = {resident, thrash};
   // Warm-up round (paper: "the second iteration warms up the caches").
   kernels::run_host_program(
-      soc, kernels::host_mixed_reads(miss_slots, kFootprint, kReads, 6).words,
+      soc, kernels::host_mixed_reads(miss_slots, kFootprint, kReads, 6),
       args);
   const auto run = kernels::run_host_program(
       soc,
@@ -82,9 +83,9 @@ Point run_stride(core::MainMemoryKind kind, bool llc, u32 stride) {
   constexpr u32 kRounds = 10;
   const std::array<u64, 1> args = {core::layout::kSharedBase};
   kernels::run_host_program(
-      soc, kernels::host_stride_reads(stride, kReads, 2).words, args);
+      soc, kernels::host_stride_reads(stride, kReads, 2), args);
   const auto run = kernels::run_host_program(
-      soc, kernels::host_stride_reads(stride, kReads, kRounds).words, args);
+      soc, kernels::host_stride_reads(stride, kReads, kRounds), args);
   auto& d = soc.host().dcache().stats();
   const double accesses =
       static_cast<double>(d.get("reads") + d.get("writes"));
@@ -98,6 +99,7 @@ Point run_stride(core::MainMemoryKind kind, bool llc, u32 stride) {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  profile::configure(options);
 
   report::MetricsReport rep("fig7_llc_sweep");
   rep.add_note("Fig. 7 — Sweep on Last Level Cache (synthetic benchmark). "
@@ -157,6 +159,7 @@ int main(int argc, char** argv) {
                "configuration tracks DDR4 at every miss ratio; without it, "
                "the gap grows with the miss ratio, and below ~50% L1 "
                "misses DDR4 brings no benefit over HyperRAM.");
+  profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
   return 0;
 }

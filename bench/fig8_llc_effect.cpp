@@ -15,6 +15,7 @@
 #include "kernels/golden.hpp"
 #include "kernels/host_kernels.hpp"
 #include "kernels/iot_benchmarks.hpp"
+#include "profile/profile.hpp"
 #include "report/report.hpp"
 
 namespace {
@@ -38,8 +39,8 @@ Cycles run_on(const Workload& workload, core::MainMemoryKind kind,
   auto [program, args] = workload.setup(soc);
   // Steady-state measurement: warm run, then the timed run (benchmarks
   // are conventionally repeated; the caches stay warm across runs).
-  kernels::run_host_program(soc, program.words, args);
-  return kernels::run_host_program(soc, program.words, args).cycles;
+  kernels::run_host_program(soc, program, args);
+  return kernels::run_host_program(soc, program, args).cycles;
 }
 
 std::vector<Workload> workloads() {
@@ -125,6 +126,7 @@ std::vector<Workload> workloads() {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  profile::configure(options);
 
   report::MetricsReport rep("fig8_llc_effect");
   rep.add_note("Fig. 8 — Last Level Cache effect on IoT benchmarks. "
@@ -165,6 +167,7 @@ int main(int argc, char** argv) {
   rep.add_note("Shape check (paper): cases 1 and 2 are 'closer than 5%'. "
                "Worst measured gap: " + rep.metric_text("worst_gap_pct") +
                "%");
+  profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "kernels/cluster_kernels.hpp"
 #include "kernels/iot_benchmarks.hpp"
 #include "power/energy.hpp"
+#include "profile/profile.hpp"
 #include "report/report.hpp"
 
 namespace {
@@ -111,6 +112,8 @@ Runner cluster_kernel_runner(const kernels::KernelProgram& program,
       soc.write_mem(addr, data.data(), bytes);
     }
     soc.load_program(kKernelL2, program.words);
+    profile::session().register_symbols(kKernelL2, program.words.size() * 4,
+                                        program.name, program.symbols);
     soc.write_mem(kTcdm, args.data(), args.size() * 4);
     const Cycles busy0 = ext_busy_of(soc);
     const auto result = soc.cluster().run_kernel(0, kKernelL2,
@@ -127,7 +130,7 @@ Runner dhrystone_runner() {
     soc.write_mem(b1, buf.data(), 64);
     const auto program = kernels::host_dhrystone_mix(20000);
     const Cycles busy0 = ext_busy_of(soc);
-    const auto run = kernels::run_host_program(soc, program.words,
+    const auto run = kernels::run_host_program(soc, program,
                                                std::array<u64, 2>{b1, b2});
     // Dhrystone "operations" = retired instructions (the usual DMIPS
     // convention scaled to ops).
@@ -150,6 +153,7 @@ Runner dnn_runner(const apps::Network& network) {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  profile::configure(options);
 
   report::MetricsReport rep("fig9_energy_eff");
   rep.add_note("Fig. 9 — HULK-V energy efficiency vs CCR_hyper (HyperRAM "
@@ -233,6 +237,7 @@ int main(int argc, char** argv) {
                "reach the same GOps on both memories but ~2x the energy "
                "efficiency on the fully digital hierarchy; memory-bound "
                "workloads gain GOps from LPDDR4 bandwidth.");
+  profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
   return 0;
 }

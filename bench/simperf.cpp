@@ -22,6 +22,7 @@
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
 #include "mem/hyperram.hpp"
+#include "profile/profile.hpp"
 #include "report/report.hpp"
 
 namespace {
@@ -64,6 +65,33 @@ void BM_HostIssLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_HostIssLoop)->Unit(benchmark::kMillisecond);
 
+/// Scoped "profiler collecting" state for the *Profile benchmark
+/// variants: fresh session on entry, prior enabled/disabled state
+/// restored (and the session cleared) on exit, so the variants never
+/// leak accumulators into a --profile report.
+class ProfileScope {
+ public:
+  ProfileScope() : was_enabled_(profile::enabled()) {
+    profile::session().reset();
+    profile::session().enable();
+  }
+  ~ProfileScope() {
+    profile::session().reset();
+    if (!was_enabled_) profile::session().disable();
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+/// BM_HostIssLoop with the cycle profiler collecting: the profile-on
+/// overhead row (compare instr/s against BM_HostIssLoop).
+void BM_HostIssLoopProfile(benchmark::State& state) {
+  const ProfileScope scope;
+  BM_HostIssLoop(state);
+}
+BENCHMARK(BM_HostIssLoopProfile)->Unit(benchmark::kMillisecond);
+
 void BM_ClusterIssLoop(benchmark::State& state) {
   core::SocConfig cfg;
   cfg.main_memory = core::MainMemoryKind::kDdr4;
@@ -99,6 +127,13 @@ void BM_ClusterIssLoop(benchmark::State& state) {
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ClusterIssLoop)->Unit(benchmark::kMillisecond);
+
+/// BM_ClusterIssLoop with the cycle profiler collecting.
+void BM_ClusterIssLoopProfile(benchmark::State& state) {
+  const ProfileScope scope;
+  BM_ClusterIssLoop(state);
+}
+BENCHMARK(BM_ClusterIssLoopProfile)->Unit(benchmark::kMillisecond);
 
 void BM_BlockCacheLookup(benchmark::State& state) {
   // Steady-state dispatch cost: one warm block_at probe (the memoized
@@ -160,7 +195,7 @@ core::HulkVSoc& warmed_soc() {
     warmed = true;
     const auto prog = kernels::host_stride_reads(128, 512, 2);
     kernels::run_host_program(
-        soc, prog.words, std::array<u64, 1>{core::layout::kSharedBase});
+        soc, prog, std::array<u64, 1>{core::layout::kSharedBase});
   }
   return soc;
 }
@@ -269,6 +304,7 @@ class ReportCollector : public benchmark::BenchmarkReporter {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  profile::configure(options);
 
   // Strip the shared bench flags before handing argv to google-benchmark
   // (it rejects flags it does not know).
@@ -280,7 +316,9 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
-    if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0) {
+    if (arg == "--profile") continue;  // optional value: only the = form
+    if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0 ||
+        arg.rfind("--profile=", 0) == 0) {
       continue;
     }
     filtered.push_back(argv[i]);
@@ -297,6 +335,7 @@ int main(int argc, char** argv) {
   ReportCollector collector(&rep, &table);
   benchmark::RunSpecifiedBenchmarks(&collector);
   benchmark::Shutdown();
+  profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
   return 0;
 }

@@ -1,11 +1,13 @@
 // Regenerates Table I: comparison with the state of the art.
 #include "core/comparison.hpp"
+#include "profile/profile.hpp"
 #include "report/report.hpp"
 
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   using hulkv::core::DeviceEntry;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  hulkv::profile::configure(options);
 
   report::MetricsReport rep("table1_comparison");
   rep.add_note("Table I — comparison with the state of the art");
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
                      hulkv::core::comparison_table().size()));
   rep.add_metric("num_linux_capable", report::Value::uinteger(linux_capable));
   rep.add_metric("num_heterogeneous", report::Value::uinteger(heterogeneous));
+  hulkv::profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
   return 0;
 }

@@ -1,12 +1,14 @@
 // Regenerates Table II (per-block area / leakage / dynamic power / fmax /
 // max power in GF22 FDX) and the Fig. 5 area accounting.
 #include "power/power_model.hpp"
+#include "profile/profile.hpp"
 #include "report/report.hpp"
 
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   namespace power = hulkv::power;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  hulkv::profile::configure(options);
   const power::PowerModel model;
 
   report::MetricsReport rep("table2_power");
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
                "die area " + rep.metric_text("die_area_mm2") +
                " mm^2 (< 9 mm^2)");
   rep.add_note(power::render_floorplan(model));
+  hulkv::profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
   return 0;
 }

@@ -11,6 +11,9 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 out_dir="${1:-$repo_root}"
 mkdir -p "$out_dir"
+# Absolutize: the benches receive this path, and a relative one would
+# silently depend on the caller's working directory.
+out_dir="$(cd "$out_dir" && pwd)"
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found. Build first:" >&2

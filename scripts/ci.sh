@@ -49,6 +49,18 @@ if [ "$fast" -eq 0 ]; then
     --output-on-failure --no-tests=error
 fi
 
+step "profiler smoke (fig8 --profile, conservation checked in-process)"
+profile_out="$(mktemp -u /tmp/ci_profile.XXXXXX)"
+BUILD_DIR="$repo_root/build" "$repo_root/scripts/profile.sh" \
+  fig8_llc_effect "$profile_out" > /dev/null
+for ext in folded annotated.txt; do
+  if [ ! -s "$profile_out.$ext" ]; then
+    echo "ci: profiler smoke FAILED — empty or missing $profile_out.$ext" >&2
+    exit 1
+  fi
+done
+rm -f "$profile_out.folded" "$profile_out.annotated.txt"
+
 step "lint"
 "$repo_root/scripts/lint.sh"
 

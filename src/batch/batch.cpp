@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "profile/attr.hpp"
 #include "trace/trace.hpp"
 
 namespace hulkv::batch {
@@ -48,6 +49,9 @@ void run_jobs(u64 count, u32 workers, const std::function<void(u64)>& job) {
   HULKV_CHECK(!trace::enabled(),
               "batch: the trace sink is not thread-safe; "
               "run with --jobs 1 when tracing");
+  HULKV_CHECK(!profile::enabled(),
+              "batch: the cycle profiler is not thread-safe; "
+              "run with --jobs 1 when profiling");
   // Force the lazy HULKV_LOG read now, while single-threaded; workers
   // then only read the settled level.
   (void)log_level();

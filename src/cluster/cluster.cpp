@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "profile/attr.hpp"
 
 namespace hulkv::cluster {
 
@@ -46,6 +47,10 @@ void Cluster::release_barrier() {
     if (at_barrier_[c]) {
       at_barrier_[c] = false;
       cores_[c]->advance_to(wake);
+      // Waiting cores slept outside any instruction; the gap to `wake`
+      // shows up before their next retired instruction. (The releasing
+      // core accounts for its own wait in-bracket — its gap is zero.)
+      cores_[c]->profile_note_gap(profile::Reason::kBarrierWait);
       cores_[c]->set_state(PmcaCore::State::kRunning);
       // Re-enter the scheduler's runnable set. The releasing core's
       // slice ends right after this envcall, so the heap is consulted
@@ -70,12 +75,20 @@ void Cluster::handle_envcall(PmcaCore& core) {
     case envcall::kBarrier: {
       at_barrier_[core.core_id()] = true;
       core.set_state(PmcaCore::State::kBlocked);
+      const Cycles arrive_time = core.now();
       if (event_unit_->arrive(core.core_id(), core.now())) {
         release_barrier();
+        // The last core to arrive is advanced to the wake time inside
+        // its own ecall bracket: record its (usually short) wait here.
+        profile::add(profile::Reason::kBarrierWait,
+                     core.now() - arrive_time);
       }
       break;
     }
     case envcall::kDma1d: {
+      // The DMA engine's bus/TCDM occupancy does not stall the starting
+      // core; keep its timing-model spans off the core's books.
+      const profile::SuppressGuard mute;
       const u32 job = dma_.start_1d(core.now(), core.reg(a0), core.reg(a1),
                                     core.reg(a2));
       core.set_reg(a0, job);
@@ -83,6 +96,7 @@ void Cluster::handle_envcall(PmcaCore& core) {
       break;
     }
     case envcall::kDma2d: {
+      const profile::SuppressGuard mute;
       const u32 job =
           dma_.start_2d(core.now(), core.reg(a0), core.reg(a1),
                         core.reg(a2), core.reg(a3), core.reg(a4));
@@ -90,10 +104,16 @@ void Cluster::handle_envcall(PmcaCore& core) {
       core.advance_to(core.now() + 6);
       break;
     }
-    case envcall::kDmaWait:
-      core.advance_to(std::max(core.now(), dma_.finish_all()));
-      dma_.retire_before(core.now());
+    case envcall::kDmaWait: {
+      const Cycles wait_start = core.now();
+      {
+        const profile::SuppressGuard mute;
+        core.advance_to(std::max(core.now(), dma_.finish_all()));
+        dma_.retire_before(core.now());
+      }
+      profile::add(profile::Reason::kDmaWait, core.now() - wait_start);
       break;
+    }
     case envcall::kCoreCount:
       core.set_reg(a0, team_size_);
       break;
@@ -127,6 +147,9 @@ Cluster::KernelResult Cluster::run_kernel(Cycles start_time, Addr entry,
         core.core_id() * 1024);
     core.set_reg(isa::reg::sp, stack_top);
     core.advance_to(start_time + config_.dispatch_latency);
+    // Idle time since this core's previous kernel (plus the dispatch
+    // latency itself) is event-unit sleep, not execution.
+    core.profile_note_gap(profile::Reason::kEvuSleep);
   }
 
   // Always advance the core with the smallest local clock so

@@ -11,6 +11,8 @@ ClusterIcache::ClusterIcache(u32 num_cores,
                               .ways = 4,
                               .write_through = true,
                               .write_allocate = false,
+                              .profile_reason =
+                                  profile::Reason::kClIcacheMiss,
                               .hit_latency = config.shared_hit_latency,
                               .fill_penalty = 0};
   shared_ = std::make_unique<mem::CacheModel>(shared_cfg, &l2_latency_);
@@ -23,6 +25,7 @@ ClusterIcache::ClusterIcache(u32 num_cores,
         .ways = 1,  // direct-mapped private level
         .write_through = true,
         .write_allocate = false,
+        .profile_reason = profile::Reason::kClIcacheMiss,
         .hit_latency = 0,
         .fill_penalty = 0};
     private_.push_back(

@@ -130,9 +130,16 @@ u32 PmcaCore::load(Addr addr, u32 bytes, bool sign, Cycles issue) {
   } else {
     // Demand access over the cluster's AXI master port.
     u64 wide = 0;
+    const u64 claimed_before = profile::claimed();
     cycle_ = std::max(
         cycle_, bus_->read(issue, addr, &wide, bytes,
                            mem::Master::kClusterCore));
+    // The LSU parks the core for the whole AXI round trip; downstream
+    // models (LLC, external memory) claimed their shares above, the
+    // crossbar/port remainder is the park itself.
+    profile::add(profile::Reason::kLsuPark,
+                 profile::own_share(cycle_ - issue,
+                                    profile::claimed() - claimed_before));
     value = static_cast<u32>(wide);
     stats_.increment("demand_axi_loads");
   }
@@ -151,8 +158,10 @@ void PmcaCore::store(Addr addr, u32 value, u32 bytes, Cycles issue) {
     std::memcpy(tcdm_data_ + (addr - tcdm_base_), &value, bytes);
     cycle_ = std::max(cycle_, tcdm_->access(issue, addr - tcdm_base_, bytes));
   } else {
-    // Posted write through the AXI port: occupancy advances, no stall.
+    // Posted write through the AXI port: occupancy advances, no stall —
+    // so the profiler must not attribute the hidden latency either.
     const u64 wide = value;
+    const profile::SuppressGuard mute;
     bus_->write(issue, addr, &wide, bytes, mem::Master::kClusterCore);
     stats_.increment("demand_axi_stores");
   }
@@ -168,6 +177,9 @@ void PmcaCore::run_slice(Cycles limit_cycle, u32 limit_id, u64 max_instrs) {
   // scheduling order (run-ahead would reorder the sink's event stream;
   // cycles are identical either way).
   const bool lockstep = trace_ || trace::enabled();
+  // Resolved once per slice; disabled cost per instruction is the null
+  // check on this local.
+  profile::CoreProfile* prof = profile::attach(prof_handle_, stats_.name());
   // Outer loop: one decoded block per iteration (a single cache probe,
   // usually the memoized last block for loop bodies). Inner loop: the
   // same per-instruction sequence as the old step(), so per-line I-cache
@@ -196,6 +208,7 @@ void PmcaCore::run_slice(Cycles limit_cycle, u32 limit_id, u64 max_instrs) {
         return;  // yield before executing; the scheduler re-picks the min
       }
       const Instr& in = block.instrs[i];
+      if (prof != nullptr) prof->begin_instr(cycle_);
       fetch_timing(pc_);
       if (trace_) {
         log(LogLevel::kTrace, stats_.name(), "cyc=", cycle_, " pc=0x",
@@ -208,6 +221,7 @@ void PmcaCore::run_slice(Cycles limit_cycle, u32 limit_id, u64 max_instrs) {
       exec(in);
       ++instret_;
       ++executed;
+      if (prof != nullptr) prof->end_instr(block, i, cycle_);
       if (trace::enabled()) trace_commit();
       if (state_ == State::kRunning || state_ == State::kBlocked) {
         apply_hwloops();

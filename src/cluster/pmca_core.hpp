@@ -31,6 +31,7 @@
 #include "isa/block_cache.hpp"
 #include "isa/decoder.hpp"
 #include "mem/interconnect.hpp"
+#include "profile/profile.hpp"
 
 namespace hulkv::cluster {
 
@@ -132,6 +133,16 @@ class PmcaCore {
   StatGroup& stats() { return stats_; }
   u64 instret() const { return instret_; }
 
+  /// Tell the cycle profiler why this core's next idle gap happened
+  /// (barrier wake-up, dispatch sleep). Called by the cluster when it
+  /// advances a blocked core's clock from outside an instruction.
+  void profile_note_gap(profile::Reason reason) {
+    if (profile::CoreProfile* prof =
+            profile::attach(prof_handle_, stats_.name())) {
+      prof->note_gap(reason);
+    }
+  }
+
   /// Snapshot traversal: registers, clock, run state, hardware loops,
   /// stats. The decoded-block cache is invalidated on load.
   void serialize(snapshot::Archive& ar);
@@ -193,6 +204,9 @@ class PmcaCore {
   bool trace_ = false;
   isa::BlockCache blocks_;
   EnvHandler env_;
+  // Cold (touched once per run_slice(), not per instruction); kept last
+  // so it does not shift the execution-state members across cache lines.
+  profile::Handle prof_handle_;  // cycle-attribution registration
 };
 
 }  // namespace hulkv::cluster

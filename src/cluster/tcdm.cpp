@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "profile/attr.hpp"
+
 namespace hulkv::cluster {
 
 namespace {
@@ -53,6 +55,10 @@ Cycles Tcdm::access(Cycles now, Addr offset, u32 bytes) {
     bank_free_[bank] = start + 1;
     done = std::max(done, start + 1);
   }
+  // done == now + 1 is the conflict-free single-cycle access; anything
+  // beyond that is bank serialization, which the issuing core waits out
+  // (it folds this completion time into its clock with a max()).
+  profile::add(profile::Reason::kTcdmConflict, done - now - 1);
   return done;
 }
 

@@ -94,7 +94,16 @@ void Cva6Core::fetch_timing(Addr pc) {
   const Addr line = align_down(pc, config_.icache.line_bytes);
   if (line != fetch_line_) {
     fetch_line_ = line;
-    if (itlb_ && dram_cached(pc)) cycle_ = itlb_->translate(cycle_, pc);
+    if (itlb_ && dram_cached(pc)) {
+      // The whole walk — including its PTE reads through the L1D path —
+      // is one stall to the profiler, so nested attribution is muted.
+      const Cycles walk_start = cycle_;
+      {
+        const profile::SuppressGuard mute;
+        cycle_ = itlb_->translate(cycle_, pc);
+      }
+      profile::add(profile::Reason::kHostTlbWalk, cycle_ - walk_start);
+    }
     cycle_ = icache_.access(cycle_, pc, 4, /*is_write=*/false);
   }
 }
@@ -104,7 +113,14 @@ u64 Cva6Core::load(Addr addr, u32 bytes, bool sign) {
   ctr_loads_ += 1;
   const Cycles issue = cycle_;
   if (dram_cached(addr)) {
-    if (dtlb_) cycle_ = dtlb_->translate(cycle_, addr);
+    if (dtlb_) {
+      const Cycles walk_start = cycle_;
+      {
+        const profile::SuppressGuard mute;
+        cycle_ = dtlb_->translate(cycle_, addr);
+      }
+      profile::add(profile::Reason::kHostTlbWalk, cycle_ - walk_start);
+    }
     if (addr + bytes <= mem::map::kDramBase + mem::map::kDramSize) {
       dram_->read(addr, &value, bytes);  // page-pointer fast path
     } else {
@@ -112,7 +128,13 @@ u64 Cva6Core::load(Addr addr, u32 bytes, bool sign) {
     }
     cycle_ = dcache_.access(cycle_, addr, bytes, /*is_write=*/false);
   } else {
+    const u64 claimed_before = profile::claimed();
     cycle_ = bus_->read(cycle_, addr, &value, bytes, mem::Master::kHost);
+    // Crossbar + target latency beyond what instrumented models (LLC,
+    // external memory) already claimed: the uncached-read stall.
+    profile::add(profile::Reason::kUncachedBus,
+                 profile::own_share(cycle_ - issue,
+                                    profile::claimed() - claimed_before));
   }
   if (trace::enabled() && cycle_ > issue + kStallThreshold) {
     auto& sink = trace::sink();
@@ -126,18 +148,28 @@ u64 Cva6Core::load(Addr addr, u32 bytes, bool sign) {
 void Cva6Core::store(Addr addr, u64 value, u32 bytes) {
   ctr_stores_ += 1;
   if (dram_cached(addr)) {
-    if (dtlb_) cycle_ = dtlb_->translate(cycle_, addr);
+    if (dtlb_) {
+      const Cycles walk_start = cycle_;
+      {
+        const profile::SuppressGuard mute;
+        cycle_ = dtlb_->translate(cycle_, addr);
+      }
+      profile::add(profile::Reason::kHostTlbWalk, cycle_ - walk_start);
+    }
     if (addr + bytes <= mem::map::kDramBase + mem::map::kDramSize) {
       dram_->write(addr, &value, bytes);  // page-pointer fast path
     } else {
       bus_->write_functional(addr, &value, bytes);  // out of range: faults
     }
     // Write-through store buffer: downstream occupancy advances, the core
-    // does not stall (CacheModel hides the downstream latency).
+    // does not stall (CacheModel hides the downstream latency) — so the
+    // profiler must not attribute the hidden latency either.
+    const profile::SuppressGuard mute;
     dcache_.access(cycle_, addr, bytes, /*is_write=*/true);
   } else {
     // Uncached stores post through the crossbar; the AXI write buffer
     // hides the target latency from the core.
+    const profile::SuppressGuard mute;
     bus_->write(cycle_, addr, &value, bytes, mem::Master::kHost);
   }
 }
@@ -165,16 +197,21 @@ void Cva6Core::trace_commit() {
   pending_commits_ = 0;
 }
 
-Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
-  const Cycles start_cycle = cycle_;
-  const u64 start_instret = instret_;
-  exited_ = false;
-
-  // Block-dispatch loop: one cache probe per straight-line run instead
-  // of one per instruction. Every per-instruction side effect of the old
-  // loop (per-line I-cache timing, trace log, commit batching, the
-  // instruction-budget check) happens in the same order, so timing is
-  // bit-identical to per-instruction dispatch.
+// Block-dispatch loop: one cache probe per straight-line run instead
+// of one per instruction. Every per-instruction side effect of the old
+// loop (per-line I-cache timing, trace log, commit batching, the
+// instruction-budget check) happens in the same order, so timing is
+// bit-identical to per-instruction dispatch.
+//
+// Templated on whether the cycle profiler is collecting so the
+// disabled-mode loop carries no bracket code at all — not even a dead
+// branch: a live `prof` register measurably slows this loop. The
+// profiled instantiation brackets every retired instruction. The flag
+// is resolved once per run(): enabling/disabling the profiler between
+// runs is supported, mid-run is not.
+template <bool kProfiled>
+void Cva6Core::dispatch_blocks(u64 max_instructions, u64 start_instret,
+                               profile::CoreProfile* prof) {
   while (!exited_ && instret_ - start_instret < max_instructions) {
     const isa::DecodedBlock& block = blocks_.block_at(pc_);
     const u64 budget = max_instructions - (instret_ - start_instret);
@@ -182,6 +219,7 @@ Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
         static_cast<size_t>(std::min<u64>(block.instrs.size(), budget));
     for (size_t i = 0; i < count; ++i) {
       const Instr& instr = block.instrs[i];
+      if constexpr (kProfiled) prof->begin_instr(cycle_);
       fetch_timing(pc_);
       if (trace_) {
         log(LogLevel::kTrace, "cva6", "cyc=", cycle_, " pc=0x", std::hex,
@@ -191,6 +229,7 @@ Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
       cycle_ += 1;  // single-issue, in-order
       exec(instr);
       ++instret_;
+      if constexpr (kProfiled) prof->end_instr(block, i, cycle_);
       if (trace::enabled()) trace_commit();
       pc_ = next_pc_;
       // Only a block's last instruction can redirect control or exit
@@ -198,6 +237,19 @@ Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
       // iteration's pc_ is always the sequential block address.
       if (exited_) break;
     }
+  }
+}
+
+Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
+  const Cycles start_cycle = cycle_;
+  const u64 start_instret = instret_;
+  exited_ = false;
+
+  profile::CoreProfile* prof = profile::attach(prof_handle_, stats_.name());
+  if (prof != nullptr) {
+    dispatch_blocks<true>(max_instructions, start_instret, prof);
+  } else {
+    dispatch_blocks<false>(max_instructions, start_instret, nullptr);
   }
 
   stats_.set("cycles", cycle_);
@@ -450,7 +502,9 @@ void Cva6Core::exec(const Instr& in) {
       throw SimError("ebreak executed at pc=0x" + std::to_string(pc_));
     case Op::kWfi:
       if (wfi_) {
+        const Cycles sleep_start = cycle_;
         advance_to(wfi_(cycle_));
+        profile::add(profile::Reason::kHostWfi, cycle_ - sleep_start);
       }
       break;
     case Op::kCsrrw:

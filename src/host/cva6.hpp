@@ -31,6 +31,7 @@
 #include "host/tlb.hpp"
 #include "mem/cache.hpp"
 #include "mem/interconnect.hpp"
+#include "profile/profile.hpp"
 
 namespace hulkv::host {
 
@@ -58,6 +59,8 @@ struct Cva6Config {
                           .ways = 4,
                           .write_through = true,
                           .write_allocate = false,
+                          .profile_reason =
+                              profile::Reason::kHostIcacheMiss,
                           .hit_latency = 0,
                           .fill_penalty = 1};
   mem::CacheConfig dcache{.name = "host_l1d",
@@ -66,6 +69,8 @@ struct Cva6Config {
                           .ways = 8,
                           .write_through = true,
                           .write_allocate = false,
+                          .profile_reason =
+                              profile::Reason::kHostDcacheMiss,
                           .hit_latency = 0,
                           .fill_penalty = 1};
 };
@@ -153,6 +158,11 @@ class Cva6Core {
 
  private:
   void exec(const isa::Instr& instr);
+  /// Block-dispatch loop of run(), split on whether the cycle profiler
+  /// is collecting so the disabled path carries no bracket code.
+  template <bool kProfiled>
+  void dispatch_blocks(u64 max_instructions, u64 start_instret,
+                       profile::CoreProfile* prof);
   /// I-cache (+ITLB) timing for a fetch at `pc`: paid once per line.
   void fetch_timing(Addr pc);
 
@@ -199,6 +209,9 @@ class Cva6Core {
   isa::BlockCache blocks_;
   SyscallHandler syscall_;
   WfiHandler wfi_;
+  // Cold (touched once per run(), not per instruction); kept last so it
+  // does not shift the execution-state members across cache lines.
+  profile::Handle prof_handle_;  // cycle-attribution registration
 };
 
 }  // namespace hulkv::host

@@ -1,5 +1,7 @@
 #include "isa/assembler.hpp"
 
+#include <algorithm>
+
 #include "common/bitutil.hpp"
 
 namespace hulkv::isa {
@@ -100,6 +102,18 @@ Addr Assembler::address_of(const std::string& label) const {
   auto it = labels_.find(label);
   HULKV_CHECK(it != labels_.end(), "undefined label: " + label);
   return base_ + 4 * it->second;
+}
+
+std::vector<std::pair<std::string, u64>> Assembler::symbols() const {
+  std::vector<std::pair<std::string, u64>> out;
+  out.reserve(labels_.size());
+  for (const auto& [name, index] : labels_) {
+    out.emplace_back(name, static_cast<u64>(index) * 4);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+  return out;
 }
 
 void Assembler::add_fixup(const std::string& label) {

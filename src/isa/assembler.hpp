@@ -11,6 +11,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "isa/encoding.hpp"
@@ -118,6 +119,11 @@ class Assembler {
 
   /// Address of a bound label (valid before assemble()).
   Addr address_of(const std::string& label) const;
+
+  /// All bound labels as (name, byte offset from base) pairs, sorted by
+  /// offset. This is the program's symbol table — the cycle profiler
+  /// uses it to roll per-block costs up to function names.
+  std::vector<std::pair<std::string, u64>> symbols() const;
 
  private:
   struct Fixup {

@@ -138,7 +138,7 @@ KernelProgram cluster_matmul_i8(u32 m, u32 n, u32 k) {
   a.label("after_dma_out");
   barrier(a);
   exit_kernel(a);
-  return {"matmul", Precision::kInt8, a.assemble(), 2ull * m * n * k};
+  return finish_program("matmul", Precision::kInt8, a, 2ull * m * n * k);
 }
 
 KernelProgram cluster_matmul_i32(u32 m, u32 n, u32 k) {
@@ -196,7 +196,7 @@ KernelProgram cluster_matmul_i32(u32 m, u32 n, u32 k) {
   a.label("after_dma_out");
   barrier(a);
   exit_kernel(a);
-  return {"matmul", Precision::kInt32, a.assemble(), 2ull * m * n * k};
+  return finish_program("matmul", Precision::kInt32, a, 2ull * m * n * k);
 }
 
 KernelProgram cluster_axpy_f32(u32 n) {
@@ -240,7 +240,7 @@ KernelProgram cluster_axpy_f32(u32 n) {
   a.label("after_dma_out");
   barrier(a);
   exit_kernel(a);
-  return {"axpy", Precision::kFp32, a.assemble(), 2ull * n};
+  return finish_program("axpy", Precision::kFp32, a, 2ull * n);
 }
 
 KernelProgram cluster_matmul_f16(u32 m, u32 n, u32 k) {
@@ -299,7 +299,7 @@ KernelProgram cluster_matmul_f16(u32 m, u32 n, u32 k) {
   a.label("after_dma_out");
   barrier(a);
   exit_kernel(a);
-  return {"matmul", Precision::kFp16, a.assemble(), 2ull * m * n * k};
+  return finish_program("matmul", Precision::kFp16, a, 2ull * m * n * k);
 }
 
 KernelProgram cluster_conv3x3_i8(u32 h, u32 w) {
@@ -369,8 +369,8 @@ KernelProgram cluster_conv3x3_i8(u32 h, u32 w) {
   a.label("after_dma_out");
   barrier(a);
   exit_kernel(a);
-  return {"conv3x3", Precision::kInt8, a.assemble(),
-          18ull * (h - 2) * (w - 2)};
+  return finish_program("conv3x3", Precision::kInt8, a,
+                        18ull * (h - 2) * (w - 2));
 }
 
 KernelProgram cluster_fir_i8(u32 n, u32 taps) {
@@ -428,7 +428,7 @@ KernelProgram cluster_fir_i8(u32 n, u32 taps) {
   a.label("after_dma_out");
   barrier(a);
   exit_kernel(a);
-  return {"fir", Precision::kInt8, a.assemble(), 2ull * taps * nout};
+  return finish_program("fir", Precision::kInt8, a, 2ull * taps * nout);
 }
 
 KernelProgram cluster_axpy_f16(u32 n) {
@@ -473,7 +473,7 @@ KernelProgram cluster_axpy_f16(u32 n) {
   a.label("after_dma_out");
   barrier(a);
   exit_kernel(a);
-  return {"axpy", Precision::kFp16, a.assemble(), 2ull * n};
+  return finish_program("axpy", Precision::kFp16, a, 2ull * n);
 }
 
 KernelProgram cluster_relu_i8(u32 n) {
@@ -515,7 +515,7 @@ KernelProgram cluster_relu_i8(u32 n) {
   a.label("after_dma_out");
   barrier(a);
   exit_kernel(a);
-  return {"relu", Precision::kInt8, a.assemble(), n};
+  return finish_program("relu", Precision::kInt8, a, n);
 }
 
 KernelProgram cluster_dotp_f16(u32 n) {
@@ -569,7 +569,7 @@ KernelProgram cluster_dotp_f16(u32 n) {
   a.label("after_reduce");
   barrier(a);
   exit_kernel(a);
-  return {"dotp", Precision::kFp16, a.assemble(), 2ull * n};
+  return finish_program("dotp", Precision::kFp16, a, 2ull * n);
 }
 
 }  // namespace hulkv::kernels

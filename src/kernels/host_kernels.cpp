@@ -65,8 +65,7 @@ KernelProgram host_matmul_i32(u32 m, u32 n, u32 k) {
   a.li(t6, m);
   a.blt(s0, t6, "loop_i");
   emit_exit(a);
-  return {"matmul", Precision::kInt32, a.assemble(),
-          2ull * m * n * k};
+  return finish_program("matmul", Precision::kInt32, a, 2ull * m * n * k);
 }
 
 KernelProgram host_conv3x3_i32(u32 h, u32 w) {
@@ -104,8 +103,8 @@ KernelProgram host_conv3x3_i32(u32 h, u32 w) {
   a.li(t6, h - 2);
   a.blt(s0, t6, "loop_y");
   emit_exit(a);
-  return {"conv3x3", Precision::kInt32, a.assemble(),
-          18ull * (h - 2) * (w - 2)};
+  return finish_program("conv3x3", Precision::kInt32, a,
+                        18ull * (h - 2) * (w - 2));
 }
 
 KernelProgram host_fir_i32(u32 n, u32 taps) {
@@ -135,8 +134,8 @@ KernelProgram host_fir_i32(u32 n, u32 taps) {
   a.li(t6, n - taps + 1);
   a.blt(s0, t6, "loop_i");
   emit_exit(a);
-  return {"fir", Precision::kInt32, a.assemble(),
-          2ull * taps * (n - taps + 1)};
+  return finish_program("fir", Precision::kInt32, a,
+                        2ull * taps * (n - taps + 1));
 }
 
 KernelProgram host_matmul_f32(u32 m, u32 n, u32 k) {
@@ -176,7 +175,7 @@ KernelProgram host_matmul_f32(u32 m, u32 n, u32 k) {
   a.li(t6, m);
   a.blt(s0, t6, "loop_i");
   emit_exit(a);
-  return {"matmul", Precision::kFp32, a.assemble(), 2ull * m * n * k};
+  return finish_program("matmul", Precision::kFp32, a, 2ull * m * n * k);
 }
 
 KernelProgram host_axpy_f32(u32 n) {
@@ -196,7 +195,7 @@ KernelProgram host_axpy_f32(u32 n) {
   a.li(t6, n);
   a.blt(t0, t6, "loop");
   emit_exit(a);
-  return {"axpy", Precision::kFp32, a.assemble(), 2ull * n};
+  return finish_program("axpy", Precision::kFp32, a, 2ull * n);
 }
 
 KernelProgram host_dotp_f32(u32 n) {
@@ -216,7 +215,7 @@ KernelProgram host_dotp_f32(u32 n) {
   a.blt(t0, t6, "loop");
   a.store(Op::kFsw, 0, 0, a2);
   emit_exit(a);
-  return {"dotp", Precision::kFp32, a.assemble(), 2ull * n};
+  return finish_program("dotp", Precision::kFp32, a, 2ull * n);
 }
 
 }  // namespace hulkv::kernels

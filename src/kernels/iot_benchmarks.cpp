@@ -44,7 +44,7 @@ KernelProgram host_crc32(u32 n) {
   a.xori(t0, t0, -1);  // crc ^= 0xFFFF_FFFF
   a.sw(t0, 0, a2);
   emit_exit(a);
-  return {"crc32", Precision::kInt32, a.assemble(), n};
+  return finish_program("crc32", Precision::kInt32, a, n);
 }
 
 KernelProgram host_shell_sort(u32 n) {
@@ -80,8 +80,7 @@ KernelProgram host_shell_sort(u32 n) {
   }
   emit_exit(a);
   // ~n * #gaps element moves as a nominal op count.
-  return {"sort", Precision::kInt32, a.assemble(),
-          static_cast<u64>(n) * 9};
+  return finish_program("sort", Precision::kInt32, a, static_cast<u64>(n) * 9);
 }
 
 KernelProgram host_histogram(u32 n) {
@@ -108,7 +107,7 @@ KernelProgram host_histogram(u32 n) {
   a.addi(t1, t1, 1);
   a.blt(t1, t2, "loop");
   emit_exit(a);
-  return {"histogram", Precision::kInt32, a.assemble(), n};
+  return finish_program("histogram", Precision::kInt32, a, n);
 }
 
 KernelProgram host_strsearch(u32 n, u32 m) {
@@ -139,7 +138,7 @@ KernelProgram host_strsearch(u32 n, u32 m) {
   a.label("done");
   a.sw(s0, 0, a2);
   emit_exit(a);
-  return {"strsearch", Precision::kInt32, a.assemble(), n};
+  return finish_program("strsearch", Precision::kInt32, a, n);
 }
 
 KernelProgram host_dhrystone_mix(u32 iters) {
@@ -194,8 +193,8 @@ KernelProgram host_dhrystone_mix(u32 iters) {
   a.addi(s0, s0, -1);
   a.bnez(s0, "loop");
   emit_exit(a);
-  return {"dhrystone", Precision::kInt32, a.assemble(),
-          static_cast<u64>(iters) * 40};
+  return finish_program("dhrystone", Precision::kInt32, a,
+                        static_cast<u64>(iters) * 40);
 }
 
 KernelProgram host_stride_reads(u32 stride, u32 count, u32 rounds) {
@@ -215,8 +214,8 @@ KernelProgram host_stride_reads(u32 stride, u32 count, u32 rounds) {
   a.addi(s0, s0, -1);
   a.bnez(s0, "round");
   emit_exit(a);
-  return {"stride", Precision::kInt32, a.assemble(),
-          static_cast<u64>(count) * rounds};
+  return finish_program("stride", Precision::kInt32, a,
+                        static_cast<u64>(count) * rounds);
 }
 
 KernelProgram host_mixed_reads(u32 miss_slots, u32 footprint, u32 count,
@@ -256,8 +255,8 @@ KernelProgram host_mixed_reads(u32 miss_slots, u32 footprint, u32 count,
   a.addi(s0, s0, -1);
   a.bnez(s0, "round");
   emit_exit(a);
-  return {"mixed", Precision::kInt32, a.assemble(),
-          static_cast<u64>(count) * rounds};
+  return finish_program("mixed", Precision::kInt32, a,
+                        static_cast<u64>(count) * rounds);
 }
 
 KernelProgram host_pointer_chase(u32 count) {
@@ -271,7 +270,7 @@ KernelProgram host_pointer_chase(u32 count) {
   a.mv(a0, t0);  // keep the chain live
   a.li(a7, 93);
   a.ecall();
-  return {"chase", Precision::kInt32, a.assemble(), count};
+  return finish_program("chase", Precision::kInt32, a, count);
 }
 
 }  // namespace hulkv::kernels

@@ -3,6 +3,7 @@
 #include "analysis/analyzer.hpp"
 #include "common/log.hpp"
 #include "isa/instr.hpp"
+#include "profile/profile.hpp"
 
 namespace hulkv::kernels {
 
@@ -18,6 +19,25 @@ std::string_view precision_name(Precision p) {
       return "fp16";
   }
   return "?";
+}
+
+KernelProgram finish_program(std::string name, Precision precision,
+                             isa::Assembler& a, u64 ops) {
+  KernelProgram program;
+  program.name = std::move(name);
+  program.precision = precision;
+  program.words = a.assemble();
+  program.ops = ops;
+  program.symbols = a.symbols();
+  return program;
+}
+
+HostRun run_host_program(core::HulkVSoc& soc, const KernelProgram& program,
+                         std::span<const u64> args) {
+  profile::session().register_symbols(core::layout::kHostCodeBase,
+                                      program.words.size() * 4,
+                                      program.name, program.symbols);
+  return run_host_program(soc, program.words, args);
 }
 
 HostRun run_host_program(core::HulkVSoc& soc,

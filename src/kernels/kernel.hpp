@@ -10,9 +10,11 @@
 
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/soc.hpp"
+#include "isa/assembler.hpp"
 #include "runtime/hulk_malloc.hpp"
 
 namespace hulkv::kernels {
@@ -29,7 +31,16 @@ struct KernelProgram {
   Precision precision = Precision::kInt32;
   std::vector<u32> words;  // encoded instructions
   u64 ops = 0;             // total arithmetic operations of the problem
+  /// (label, byte offset) pairs from the assembler — the program's
+  /// symbol table, consumed by the cycle profiler for flamegraph and
+  /// annotated-disassembly rollups.
+  std::vector<std::pair<std::string, u64>> symbols;
 };
+
+/// Finalize a builder's assembler into a KernelProgram, capturing the
+/// encoded words and the label table in one step.
+KernelProgram finish_program(std::string name, Precision precision,
+                             isa::Assembler& a, u64 ops);
 
 /// Result of running a host program to completion.
 struct HostRun {
@@ -43,6 +54,12 @@ struct HostRun {
 /// The host core's clock keeps advancing across calls (one timeline).
 HostRun run_host_program(core::HulkVSoc& soc,
                          const std::vector<u32>& program,
+                         std::span<const u64> args);
+
+/// KernelProgram overload: additionally registers the program's symbol
+/// table with the cycle profiler (a no-op unless profiling is enabled),
+/// so host flamegraphs resolve to kernel labels instead of raw PCs.
+HostRun run_host_program(core::HulkVSoc& soc, const KernelProgram& program,
                          std::span<const u64> args);
 
 /// Convenience arena over the shared external-memory data region for

@@ -170,7 +170,9 @@ Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
       if (config_.write_through) {
         // Forward the word to the next level; the store buffer absorbs the
         // latency so the core sees only the hit latency, but the next
-        // level's occupancy advances (bandwidth is consumed).
+        // level's occupancy advances (bandwidth is consumed). The core
+        // never waits for it, so the profiler must not claim it either.
+        const profile::SuppressGuard mute;
         next_->access(now, line_addr, 8, /*is_write=*/true);
         ctr_wt_words_ += 1;
       } else {
@@ -188,6 +190,7 @@ Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
   }
   if (is_write && !config_.write_allocate) {
     // Write miss, no allocate: forward the write downstream.
+    const profile::SuppressGuard mute;
     const Cycles done = next_->access(now, line_addr, 8, /*is_write=*/true);
     ctr_wt_words_ += 1;
     // The store buffer hides the downstream latency from the core.
@@ -196,6 +199,10 @@ Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
   }
 
   // Refill (and evict a dirty victim first for write-back caches).
+  // Attribution: nested levels (LLC, external memory) claim their share
+  // of the refill chain below; the leftover span is this cache's own
+  // miss handling and lands on config_.profile_reason.
+  const u64 claimed_before = profile::claimed();
   const SetAssocTags::Victim victim = tags_.fill(line_addr);
   Cycles t = now + config_.hit_latency;  // tag lookup before the miss
   if (victim.valid && victim.dirty) {
@@ -212,12 +219,15 @@ Cycles CacheModel::access_line(Cycles now, Addr line_addr, bool is_write) {
   t += config_.fill_penalty;
   if (is_write) {
     if (config_.write_through) {
+      const profile::SuppressGuard mute;
       next_->access(t, line_addr, 8, /*is_write=*/true);
       ctr_wt_words_ += 1;
     } else {
       tags_.mark_dirty(line_addr);
     }
   }
+  profile::add(config_.profile_reason,
+               profile::own_share(t - now, profile::claimed() - claimed_before));
   return t;
 }
 

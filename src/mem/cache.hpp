@@ -15,6 +15,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/timing.hpp"
+#include "profile/attr.hpp"
 #include "trace/trace.hpp"
 
 namespace hulkv::mem {
@@ -90,6 +91,11 @@ struct CacheConfig {
   u32 ways = 8;
   bool write_through = true;   // CVA6 L1D is write-through
   bool write_allocate = false; // no-allocate on write miss (write-through)
+  /// Stall reason this cache's own share of a miss is attributed to
+  /// when the cycle profiler is collecting (DESIGN.md section 12).
+  /// Lives in the padding after the bools: CacheConfig is embedded in
+  /// the cores, and growing it shifts their hot members (measurably).
+  profile::Reason profile_reason = profile::Reason::kOther;
   Cycles hit_latency = 1;      // cycles for a hit
   Cycles fill_penalty = 1;     // extra cycles to install a refilled line
 };

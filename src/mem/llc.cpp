@@ -1,6 +1,21 @@
 #include "mem/llc.hpp"
 
+#include "profile/attr.hpp"
+
 namespace hulkv::mem {
+
+namespace {
+
+/// External-memory transaction with its span attributed to the device
+/// (kExtMemWait) when the cycle profiler is collecting.
+Cycles ext_access(MemTiming* ext, Cycles now, Addr addr, u32 bytes,
+                  bool is_write) {
+  const Cycles done = ext->access(now, addr, bytes, is_write);
+  profile::add(profile::Reason::kExtMemWait, done - now);
+  return done;
+}
+
+}  // namespace
 
 Llc::Llc(const LlcConfig& config, MemTiming* ext_mem)
     : config_(config),
@@ -27,7 +42,7 @@ Cycles Llc::access(Cycles now, Addr addr, u32 bytes, bool is_write) {
       sink.instant(sink.resolve(trace_track_, stats_.name()),
                    trace::Ev::kBypass, now, addr, is_write ? 1 : 0);
     }
-    return ext_mem_->access(now, addr, bytes, is_write);
+    return ext_access(ext_mem_, now, addr, bytes, is_write);
   }
 
   const u32 line = config_.line_bytes();
@@ -42,6 +57,7 @@ Cycles Llc::access(Cycles now, Addr addr, u32 bytes, bool is_write) {
 
 Cycles Llc::access_line(Cycles now, Addr line_addr, bool is_write) {
   (is_write ? ctr_writes_ : ctr_reads_) += 1;
+  const u64 claimed_before = profile::claimed();
   Cycles t = now + config_.tag_latency;  // descriptor tag lookup (1 cycle)
 
   if (tags_.lookup(line_addr)) {
@@ -52,6 +68,8 @@ Cycles Llc::access_line(Cycles now, Addr line_addr, bool is_write) {
                    trace::Ev::kHit, now, line_addr, is_write ? 1 : 0);
     }
     if (is_write) tags_.mark_dirty(line_addr);
+    profile::add(profile::Reason::kLlcWait,
+                 t + config_.hit_latency - now);
     return t + config_.hit_latency;
   }
 
@@ -70,13 +88,18 @@ Cycles Llc::access_line(Cycles now, Addr line_addr, bool is_write) {
       sink.instant(sink.resolve(trace_track_, stats_.name()),
                    trace::Ev::kEvict, t, victim.line_addr);
     }
-    t = ext_mem_->access(t, victim.line_addr, config_.line_bytes(),
-                         /*is_write=*/true);
+    t = ext_access(ext_mem_, t, victim.line_addr, config_.line_bytes(),
+                   /*is_write=*/true);
   }
   // Refill: AXI read transaction on the output port.
-  t = ext_mem_->access(t, line_addr, config_.line_bytes(),
-                       /*is_write=*/false);
+  t = ext_access(ext_mem_, t, line_addr, config_.line_bytes(),
+                 /*is_write=*/false);
   if (is_write) tags_.mark_dirty(line_addr);
+  // The device claimed its share above; the leftover span (tag + hit
+  // pipeline around the refill) is the LLC's own.
+  profile::add(profile::Reason::kLlcWait,
+               profile::own_share(t + config_.hit_latency - now,
+                                  profile::claimed() - claimed_before));
   return t + config_.hit_latency;
 }
 

@@ -265,6 +265,16 @@ BenchOptions parse_bench_args(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     std::string jobs;
+    // --profile takes an *optional* value, so only the `=` spelling
+    // carries one — the bare form must not consume the next argument.
+    if (std::string_view(argv[i]) == "--profile") {
+      options.profile = true;
+      continue;
+    }
+    if (take(i, "--profile", options.profile_path)) {
+      options.profile = true;
+      continue;
+    }
     if (take(i, "--json", options.json_path)) continue;
     if (take(i, "--trace", options.trace_path)) continue;
     if (take(i, "--jobs", jobs)) {

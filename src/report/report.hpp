@@ -118,13 +118,20 @@ class MetricsReport {
 };
 
 /// Shared bench command line: --json <path> / --trace <path> /
-/// --jobs <n> (also the --flag=value spellings). Unknown arguments are
-/// ignored so wrappers like google-benchmark keep their own flags.
+/// --jobs <n> / --profile[=<path>] (also the --flag=value spellings for
+/// the value-taking flags). Unknown arguments are ignored so wrappers
+/// like google-benchmark keep their own flags.
 struct BenchOptions {
   std::string json_path;
   std::string trace_path;
   /// Sweep worker count (batch::SweepEngine); 0 = hardware concurrency.
   u32 jobs = 0;
+  /// Cycle-attribution profiler (hulkv::profile). Bare --profile prints
+  /// the report tables only; --profile=<path> additionally writes
+  /// <path>.folded (flamegraph/speedscope folded stacks) and
+  /// <path>.annotated.txt (per-line annotated disassembly).
+  bool profile = false;
+  std::string profile_path;
 };
 BenchOptions parse_bench_args(int argc, char** argv);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "profile/profile.hpp"
 #include "trace/trace.hpp"
 
 namespace hulkv::runtime {
@@ -36,8 +37,9 @@ analysis::Report OffloadRuntime::analyze_kernel(
   return analysis::analyze(words, options);
 }
 
-KernelHandle OffloadRuntime::register_kernel(const std::string& name,
-                                             const std::vector<u32>& words) {
+KernelHandle OffloadRuntime::register_kernel(
+    const std::string& name, const std::vector<u32>& words,
+    std::vector<std::pair<std::string, u64>> symbols) {
   HULKV_CHECK(!words.empty(), "registering an empty kernel");
   if (analysis_mode_ != AnalysisMode::kOff) {
     const analysis::Report report = analyze_kernel(words);
@@ -50,6 +52,7 @@ KernelHandle OffloadRuntime::register_kernel(const std::string& name,
   Image image;
   image.name = name;
   image.bytes = static_cast<u32>(words.size() * 4);
+  image.symbols = std::move(symbols);
   image.dram_addr = shared_.arena().alloc(image.bytes, 64);
   soc_->write_mem(image.dram_addr, words.data(), image.bytes);
   images_.push_back(image);
@@ -78,6 +81,10 @@ Cycles OffloadRuntime::load_code(Image& image) {
   }
   host.advance_to(t);
   soc_->cluster().on_code_loaded(image.l2_addr, image.bytes);
+  // Tell the profiler where this image now lives; re-registration after
+  // an evict_all() displaces whatever previously occupied the range.
+  profile::session().register_symbols(image.l2_addr, image.bytes,
+                                      image.name, image.symbols);
   if (trace::enabled()) {
     auto& sink = trace::sink();
     sink.complete(sink.resolve(trace_track_, "offload"),
@@ -108,6 +115,7 @@ OffloadRuntime::OffloadResult OffloadRuntime::offload(
 
   OffloadResult result;
   const Cycles t0 = host.now();
+  const u64 claimed_before = profile::claimed();
 
   // 1. Lazy code load.
   if (image.l2_addr == 0) result.code_load = load_code(image);
@@ -154,6 +162,15 @@ OffloadRuntime::OffloadResult OffloadRuntime::offload(
 
   result.total = host.now() - t0;
   result.handshake = result.total - result.code_load - result.kernel;
+  // When invoked from a guest ecall, the whole offload sits inside the
+  // host's instruction bracket. Timing models claimed their shares into
+  // it above (code-load/marshalling bus traffic); the remainder — the
+  // cluster run and the handshake — is time the host spent waiting on
+  // the offload. (Cluster-core brackets use their own scratch and do
+  // not claim here.)
+  profile::add(profile::Reason::kOffloadWait,
+               profile::own_share(result.total,
+                                  profile::claimed() - claimed_before));
   if (trace::enabled()) {
     auto& sink = trace::sink();
     const u32 track = sink.resolve(trace_track_, "offload");

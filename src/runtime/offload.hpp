@@ -18,6 +18,7 @@
 
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
@@ -49,9 +50,12 @@ class OffloadRuntime {
   /// statically analyzed (see src/analysis/) — under AnalysisMode::kReject
   /// an image with error-severity diagnostics throws SimError — then
   /// placed in external memory; it is copied to L2SPM lazily at first
-  /// offload.
-  KernelHandle register_kernel(const std::string& name,
-                               const std::vector<u32>& words);
+  /// offload. `symbols` is the optional (label, byte offset) table from
+  /// the assembler; when present, the cycle profiler resolves cluster
+  /// PCs inside the image to these labels.
+  KernelHandle register_kernel(
+      const std::string& name, const std::vector<u32>& words,
+      std::vector<std::pair<std::string, u64>> symbols = {});
 
   /// Configure the load-time static analyzer.
   void set_analysis_mode(AnalysisMode mode) { analysis_mode_ = mode; }
@@ -134,6 +138,9 @@ class OffloadRuntime {
     Addr dram_addr = 0;   // backing copy in external memory
     Addr l2_addr = 0;     // resident copy (0 = not loaded)
     u32 bytes = 0;
+    // Profiler symbol table; host-side metadata (not snapshotted, like
+    // the analysis mode): a restored SoC profiles with raw PCs.
+    std::vector<std::pair<std::string, u64>> symbols;
   };
 
   Cycles load_code(Image& image);

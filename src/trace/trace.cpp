@@ -31,6 +31,7 @@ const char* event_name(Ev type) {
     case Ev::kMailbox: return "mailbox";
     case Ev::kKernel: return "kernel";
     case Ev::kOffload: return "offload";
+    case Ev::kStallCycles: return "stall_cycles";
   }
   return "unknown";
 }
@@ -49,6 +50,7 @@ Phase event_phase(Ev type) {
     case Ev::kCommitBatch:
     case Ev::kHitBatch:
     case Ev::kAccessBatch:
+    case Ev::kStallCycles:
       return Phase::kCounter;
     case Ev::kStall:
     case Ev::kHit:

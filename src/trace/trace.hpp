@@ -53,11 +53,14 @@ enum class Ev : u16 {
   kMailbox,        // instant: doorbell / completion token (value = word)
   kKernel,         // complete: kernel phase of one offload
   kOffload,        // complete: whole offload (value = kernel index)
+  // Profiler (src/profile/).
+  kStallCycles,    // counter: attributed stall cycles since the last
+                   //          flush (one track per core x stall reason)
 };
 
 /// Number of event types (for array-indexed per-type state).
 inline constexpr size_t kNumEventTypes =
-    static_cast<size_t>(Ev::kOffload) + 1;
+    static_cast<size_t>(Ev::kStallCycles) + 1;
 
 /// Stable lowercase name of an event type ("miss", "mem_xact", ...).
 const char* event_name(Ev type);
