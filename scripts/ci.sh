@@ -10,6 +10,7 @@
 # Build trees (kept out of the source tree, see .gitignore):
 #   build/        plain RelWithDebInfo — benches + simperf numbers
 #   build-asan/   address+undefined sanitizers — memory-safety gate
+#   build-tsan/   thread sanitizer — batch job-queue race gate
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -46,6 +47,30 @@ if [ "$fast" -eq 0 ]; then
 
   step "test (ASan/UBSan, tier1)"
   ctest --test-dir "$repo_root/build-asan" -L tier1 -j "$jobs" \
+    --output-on-failure --no-tests=error
+fi
+
+step "analyze-corpus (hulkv-analyze over every built-in program)"
+analyze_out="$(mktemp -u /tmp/ci_analyze.XXXXXX.json)"
+# Exit 0 == no program has error-severity findings; the golden diff
+# additionally pins every fact-table count (proven/eligible/tcdm-local
+# blocks per program), so a silent analysis regression fails here.
+"$repo_root/build/tools/hulkv-analyze" --corpus --json > "$analyze_out"
+if ! diff -u "$repo_root/tests/golden/analyze_corpus.json" "$analyze_out"; then
+  echo "ci: analyze-corpus FAILED — whole-corpus facts drifted from" \
+       "tests/golden/analyze_corpus.json (regenerate via" \
+       "HULKV_REGEN_GOLDEN=1 build/tests/facts_test if intended)" >&2
+  exit 1
+fi
+rm -f "$analyze_out"
+
+if [ "$fast" -eq 0 ]; then
+  step "build (TSan)"
+  configure_and_build "$repo_root/build-tsan" "thread"
+
+  step "test (TSan: batch job queue + determinism under worker pools)"
+  ctest --test-dir "$repo_root/build-tsan" -j "$jobs" \
+    -R '^(RunJobs|SweepEngine|SocSnapshot|Determinism)' \
     --output-on-failure --no-tests=error
 fi
 

@@ -1,19 +1,29 @@
 // Entry point of the guest-program static analyzer.
 //
-// `analyze` decodes an assembled image, builds its CFG (cfg.hpp) and
-// runs a forward dataflow pass over it: register definedness (use
-// before def, dead writes), constant propagation for materialised
-// addresses, and static memory checks of those addresses against the
-// SoC memory map and the IOPMP grant windows. The load paths
+// `analyze_program` decodes an assembled image, builds its CFG
+// (cfg.hpp) and runs a forward abstract-interpretation pass over it on
+// the interval domain (domain.hpp): register definedness (use before
+// def, dead writes), value-range propagation for materialised and
+// derived addresses (with widening at loop back edges), and static
+// memory checks of the resulting address ranges against the SoC memory
+// map and the IOPMP grant windows. Alongside the diagnostic report it
+// exports a FactsTable (facts.hpp) of proven per-instruction, per-block
+// and per-function properties, which the load paths attach to the
+// executing core's decode cache. The load paths
 // (OffloadRuntime::register_kernel, kernels::run_host_program) call it
 // before any instruction executes and reject images whose report
 // contains errors under the configured policy.
 #pragma once
 
+#include <memory>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "analysis/cfg.hpp"
 #include "analysis/diag.hpp"
+#include "analysis/domain.hpp"
+#include "analysis/facts.hpp"
 #include "core/iopmp.hpp"
 #include "mem/interconnect.hpp"
 
@@ -44,6 +54,12 @@ struct Options {
   /// profile's convention via default_entry_defined().
   u64 entry_defined = 0;
 
+  /// Statically-known entry values of integer registers, from the load
+  /// path's calling convention (e.g. the offload runtime always passes
+  /// the TCDM argument-block address in a0, and the cluster stacks live
+  /// in a fixed TCDM window). Registers not listed start at top.
+  std::vector<std::pair<u8, Interval>> entry_values;
+
   Policy policy = Policy::standard();
 };
 
@@ -58,7 +74,18 @@ constexpr u64 reg_mask(std::initializer_list<u8> slots) {
   return mask;
 }
 
-/// Run every pass over the image and return the full report.
+/// Diagnostics plus the proven facts of one analyzed image.
+struct Analysis {
+  Report report;
+  /// Never null after analyze_program (empty tables for empty images).
+  std::shared_ptr<const FactsTable> facts;
+};
+
+/// Run every pass over the image: the diagnostic report plus the
+/// BlockFacts/function-summary table the simulators consume.
+Analysis analyze_program(std::span<const u32> words, const Options& options);
+
+/// Diagnostics only (the facts table is discarded).
 Report analyze(std::span<const u32> words, const Options& options);
 
 }  // namespace hulkv::analysis

@@ -1,0 +1,213 @@
+#include "analysis/callgraph.hpp"
+
+#include <algorithm>
+
+#include "analysis/facts.hpp"
+
+namespace hulkv::analysis {
+
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+bool is_linking_jal(const Instr& in) {
+  return in.op == Op::kJal && in.rd != 0;
+}
+
+/// Direct callee address of a jal call, or 0 when out of image.
+Addr jal_target(const Cfg& cfg, size_t index) {
+  const Addr target =
+      cfg.program.addr_of(index) + cfg.program.instrs[index].imm;
+  return cfg.program.contains(target) && target % 4 == 0 ? target : 0;
+}
+
+/// Intraprocedural reachability from `entry_block`: follow every
+/// successor edge except call targets (a call block continues at its
+/// fall-through; the callee is summarised separately).
+void collect_members(const Cfg& cfg, size_t entry_block,
+                     FuncSummary* func) {
+  std::vector<bool> seen(cfg.blocks.size(), false);
+  std::vector<size_t> work{entry_block};
+  seen[entry_block] = true;
+  while (!work.empty()) {
+    const size_t b = work.back();
+    work.pop_back();
+    func->blocks.push_back(b);
+    const Block& block = cfg.blocks[b];
+    const Instr& term = cfg.program.instrs[block.last];
+    if (block.is_call) {
+      if (term.op == Op::kJal) {
+        const Addr callee = jal_target(cfg, block.last);
+        if (callee != 0) func->callees.push_back(callee);
+      } else {
+        func->has_indirect_call = true;  // jalr call: unknown callee
+      }
+      if (block.fall_succ != SIZE_MAX) {
+        const size_t succ = block.succs[block.fall_succ];
+        if (!seen[succ]) {
+          seen[succ] = true;
+          work.push_back(succ);
+        }
+      }
+      continue;
+    }
+    if (term.op == Op::kJalr && block.succs.empty()) {
+      // Indirect tail jump: control leaves for an unknown address (a
+      // return is fine — it ends the function — but `jalr x0` through a
+      // computed register taints the summary like an indirect call).
+      const bool is_return = term.rd == 0 && term.rs1 == isa::reg::ra &&
+                             term.imm == 0;
+      if (!is_return) func->has_indirect_call = true;
+    }
+    for (const size_t succ : block.succs) {
+      if (!seen[succ]) {
+        seen[succ] = true;
+        work.push_back(succ);
+      }
+    }
+  }
+  std::sort(func->blocks.begin(), func->blocks.end());
+  std::sort(func->callees.begin(), func->callees.end());
+  func->callees.erase(
+      std::unique(func->callees.begin(), func->callees.end()),
+      func->callees.end());
+}
+
+}  // namespace
+
+std::vector<FuncSummary> build_callgraph(const Cfg& cfg,
+                                         const FactsTable& facts) {
+  std::vector<FuncSummary> functions;
+  if (cfg.blocks.empty()) return functions;
+  const Program& program = cfg.program;
+
+  // Discover function entries: the image entry plus every in-image
+  // target of a linking jal.
+  std::vector<Addr> entries{program.base};
+  for (size_t i = 0; i < program.instrs.size(); ++i) {
+    if (!is_linking_jal(program.instrs[i])) continue;
+    const Addr target = jal_target(cfg, i);
+    if (target != 0) entries.push_back(target);
+  }
+  std::sort(entries.begin() + 1, entries.end());
+  entries.erase(std::unique(entries.begin() + 1, entries.end()),
+                entries.end());
+  if (entries.size() > 1 && entries[1] == entries[0]) {
+    entries.erase(entries.begin() + 1);  // a jal targeting the entry
+  }
+
+  for (const Addr entry : entries) {
+    FuncSummary func;
+    func.entry = entry;
+    collect_members(cfg, cfg.block_of[program.index_of(entry)], &func);
+    functions.push_back(std::move(func));
+  }
+
+  const auto func_index = [&](Addr entry) -> size_t {
+    for (size_t f = 0; f < functions.size(); ++f) {
+      if (functions[f].entry == entry) return f;
+    }
+    return SIZE_MAX;
+  };
+
+  // Intraprocedural (own-blocks) effects. `all_tcdm` tracks "every
+  // access so far proven TCDM-local" separately from the exported
+  // tcdm_local (which additionally requires the function to access
+  // memory at all).
+  std::vector<bool> all_tcdm(functions.size(), true);
+  for (size_t f = 0; f < functions.size(); ++f) {
+    FuncSummary& func = functions[f];
+    for (const size_t b : func.blocks) {
+      const BlockFacts& bf = facts.blocks[b];
+      func.may_access_memory |= bf.may_access_memory;
+      func.may_ecall |= bf.may_ecall;
+      if (bf.may_access_memory && !bf.tcdm_local) all_tcdm[f] = false;
+      func.footprint.merge(bf.footprint);
+    }
+    if (func.has_indirect_call) {
+      func.may_access_memory = true;
+      func.may_ecall = true;
+      all_tcdm[f] = false;
+      func.footprint.set_unbounded();
+    }
+  }
+
+  // Bottom-up propagation of callee effects to a fixpoint (monotone
+  // joins over a finite lattice: converges even for mutual recursion).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t f = 0; f < functions.size(); ++f) {
+      FuncSummary& func = functions[f];
+      for (const Addr callee : func.callees) {
+        const size_t c = func_index(callee);
+        if (c == SIZE_MAX) continue;
+        const FuncSummary& sub = functions[c];
+        if (sub.may_access_memory && !func.may_access_memory) {
+          func.may_access_memory = true;
+          changed = true;
+        }
+        if (sub.may_ecall && !func.may_ecall) {
+          func.may_ecall = true;
+          changed = true;
+        }
+        if (sub.may_access_memory && !all_tcdm[c] && all_tcdm[f]) {
+          all_tcdm[f] = false;
+          changed = true;
+        }
+        if (sub.has_indirect_call && all_tcdm[f]) {
+          all_tcdm[f] = false;
+          changed = true;
+        }
+        RangeSet joined = func.footprint;
+        joined.merge(sub.footprint);
+        if (joined.unbounded() != func.footprint.unbounded() ||
+            joined.ranges() != func.footprint.ranges()) {
+          func.footprint = std::move(joined);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Recursion: a function on any call-graph cycle through resolvable
+  // edges.
+  for (size_t f = 0; f < functions.size(); ++f) {
+    std::vector<bool> seen(functions.size(), false);
+    std::vector<size_t> work;
+    for (const Addr callee : functions[f].callees) {
+      const size_t c = func_index(callee);
+      if (c != SIZE_MAX && !seen[c]) {
+        seen[c] = true;
+        work.push_back(c);
+      }
+    }
+    while (!work.empty()) {
+      const size_t c = work.back();
+      work.pop_back();
+      if (c == f) {
+        functions[f].recursive = true;
+        break;
+      }
+      for (const Addr callee : functions[c].callees) {
+        const size_t n = func_index(callee);
+        if (n != SIZE_MAX && !seen[n]) {
+          seen[n] = true;
+          work.push_back(n);
+        }
+      }
+    }
+    if (!functions[f].recursive && seen[f]) functions[f].recursive = true;
+  }
+
+  for (size_t f = 0; f < functions.size(); ++f) {
+    FuncSummary& func = functions[f];
+    func.pure = !func.may_access_memory && !func.may_ecall &&
+                !func.has_indirect_call;
+    func.tcdm_local = func.may_access_memory && all_tcdm[f];
+  }
+  return functions;
+}
+
+}  // namespace hulkv::analysis

@@ -1,0 +1,44 @@
+// Call graph over an analyzed image and the per-function summaries the
+// interprocedural passes export (DESIGN.md §13).
+//
+// Functions are discovered syntactically: the image entry point plus
+// every in-image target of a linking `jal` (rd != x0). An indirect call
+// (`jalr` with a link register) has an unknown callee, which taints the
+// caller's summary conservatively. Summaries are computed bottom-up to
+// a fixpoint, so mutual recursion converges (monotone joins over the
+// footprint/effect lattice) and a recursive cycle is simply reported as
+// `recursive` with the join of its members' effects.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/footprint.hpp"
+
+namespace hulkv::analysis {
+
+class FactsTable;
+
+/// Interprocedural summary of one function: its own blocks' effects
+/// joined with every (transitive) callee's.
+struct FuncSummary {
+  Addr entry = 0;                // entry address at the analysis base
+  std::vector<size_t> blocks;    // intraprocedural block ids (CFG)
+  std::vector<Addr> callees;     // direct callee entries (deduplicated)
+  bool has_indirect_call = false;  // jalr call: callee set unknown
+  bool recursive = false;          // on a call-graph cycle
+  bool may_access_memory = false;
+  bool may_ecall = false;
+  /// No memory, no ecall/trap anywhere in the function or its callees.
+  bool pure = false;
+  /// All accesses (incl. callees') proven inside the TCDM window.
+  bool tcdm_local = false;
+  RangeSet footprint;            // joined over blocks and callees
+};
+
+/// Build the call graph of `cfg` and compute per-function summaries
+/// from `facts`' per-block tables. functions[0] is the image entry.
+std::vector<FuncSummary> build_callgraph(const Cfg& cfg,
+                                         const FactsTable& facts);
+
+}  // namespace hulkv::analysis

@@ -1,0 +1,123 @@
+#include "analysis/domain.hpp"
+
+#include <algorithm>
+
+namespace hulkv::analysis {
+
+namespace {
+
+/// Width of an interval as a count-minus-one, in unsigned __int128 so
+/// the bits=64 top does not overflow.
+unsigned __int128 span(const Interval& a) {
+  return static_cast<unsigned __int128>(a.hi - a.lo);
+}
+
+/// The sum of two intervals is a contiguous segment of `total_span + 1`
+/// values modulo 2^bits starting at `lo`. Representable as an unsigned
+/// interval exactly when the segment does not wrap past the modulus.
+Interval wrapped_segment(u64 lo, unsigned __int128 total_span, u32 bits) {
+  const u64 mask = Interval::mask_of(bits);
+  if (total_span > span(Interval::top(bits))) return Interval::top(bits);
+  const u64 hi = (lo + static_cast<u64>(total_span)) & mask;
+  lo &= mask;
+  if (lo > hi) return Interval::top(bits);  // wraps through 0
+  return Interval::range(lo, hi);
+}
+
+}  // namespace
+
+Interval Interval::join(const Interval& a, const Interval& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  return range(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+Interval Interval::meet(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  const u64 lo = std::max(a.lo, b.lo);
+  const u64 hi = std::min(a.hi, b.hi);
+  if (lo > hi) return bottom();
+  return range(lo, hi);
+}
+
+Interval Interval::widen(const Interval& prev, const Interval& next,
+                         u32 bits) {
+  if (prev.is_bottom()) return next;
+  if (next.is_bottom()) return prev;
+  const u64 lo = next.lo < prev.lo ? 0 : prev.lo;
+  const u64 hi = next.hi > prev.hi ? mask_of(bits) : prev.hi;
+  // The result must subsume `next` even when a stable bound of `prev`
+  // is tighter on the other side (prev ⊐ next keeps prev's bounds).
+  return range(std::min(lo, next.lo), std::max(hi, next.hi));
+}
+
+Interval Interval::add(const Interval& a, const Interval& b, u32 bits) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  return wrapped_segment(a.lo + b.lo, span(a) + span(b), bits);
+}
+
+Interval Interval::sub(const Interval& a, const Interval& b, u32 bits) {
+  if (a.is_bottom() || b.is_bottom()) return bottom();
+  return wrapped_segment(a.lo - b.hi, span(a) + span(b), bits);
+}
+
+Interval Interval::add_const(const Interval& a, i64 imm, u32 bits) {
+  return add(a, constant(static_cast<u64>(imm), bits), bits);
+}
+
+Interval Interval::shl(const Interval& a, u32 shamt, u32 bits) {
+  if (a.is_bottom()) return bottom();
+  const u64 mask = mask_of(bits);
+  shamt &= bits - 1;
+  if (a.is_constant()) return constant((a.lo << shamt) & mask, bits);
+  // Non-singleton: keep the range only when no bound sheds bits.
+  if (shamt != 0 && a.hi > (mask >> shamt)) return top(bits);
+  return range((a.lo << shamt) & mask, (a.hi << shamt) & mask);
+}
+
+Interval Interval::shr(const Interval& a, u32 shamt, u32 bits) {
+  if (a.is_bottom()) return bottom();
+  shamt &= bits - 1;
+  const u64 mask = mask_of(bits);
+  return range((a.lo & mask) >> shamt, (a.hi & mask) >> shamt);
+}
+
+Interval Interval::and_const(const Interval& a, i64 imm, u32 bits) {
+  if (a.is_bottom()) return bottom();
+  const u64 m = static_cast<u64>(imm) & mask_of(bits);
+  if (a.is_constant()) return constant(a.lo & m, bits);
+  // x & m <= min(x, m); with a non-negative mask the result stays below
+  // both bounds. (A sign-extended mask keeps the value's top bits, so
+  // only the value bound applies.)
+  return range(0, std::min(a.hi, imm >= 0 ? m : mask_of(bits)));
+}
+
+Interval Interval::or_const(const Interval& a, i64 imm, u32 bits) {
+  if (a.is_bottom()) return bottom();
+  if (a.is_constant()) {
+    return constant(a.lo | (static_cast<u64>(imm) & mask_of(bits)), bits);
+  }
+  return top(bits);
+}
+
+Interval Interval::xor_const(const Interval& a, i64 imm, u32 bits) {
+  if (a.is_bottom()) return bottom();
+  if (a.is_constant()) {
+    return constant(a.lo ^ (static_cast<u64>(imm) & mask_of(bits)), bits);
+  }
+  return top(bits);
+}
+
+Interval Interval::sext32(const Interval& a) {
+  if (a.is_bottom()) return bottom();
+  if (a.is_constant()) {
+    const auto v = static_cast<u64>(
+        static_cast<i64>(static_cast<i32>(static_cast<u32>(a.lo))));
+    return constant(v, 64);
+  }
+  // A non-singleton range of sign-extended 32-bit values is contiguous
+  // in u64 only when all members share the sign bit; not worth chasing.
+  return top(64);
+}
+
+}  // namespace hulkv::analysis

@@ -1,0 +1,86 @@
+// Interval abstract domain for the dataflow passes (DESIGN.md §13).
+//
+// Values are unsigned bit patterns of the target register width (32 for
+// the PMCA, 64 for CVA6); an Interval is a contiguous unsigned range
+// [lo, hi]. The domain replaces the analyzer's original constant-only
+// propagation: a singleton interval is exactly the old "known constant",
+// and every transfer below degrades to the old behaviour when its
+// inputs are singletons (singleton arithmetic wraps exactly, like the
+// hardware). Non-singleton results are kept only when the transfer can
+// prove the result range is contiguous in the unsigned order —
+// otherwise it returns top. That keeps the lattice shallow and every
+// operation obviously sound.
+//
+// The lattice (per register width):
+//
+//     bottom  ⊑  [lo, hi]  ⊑  top = [0, 2^bits - 1]
+//
+// join/meet are interval hull/intersection; `widen` jumps an unstable
+// bound to the lattice extreme, so fixpoints over CFGs with back edges
+// (hardware loops, backward branches) terminate in a bounded number of
+// visits per block.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace hulkv::analysis {
+
+struct Interval {
+  // Bottom is encoded as lo > hi; every other state has lo <= hi.
+  u64 lo = 1;
+  u64 hi = 0;
+
+  static constexpr u64 mask_of(u32 bits) {
+    return bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1;
+  }
+
+  static constexpr Interval bottom() { return {1, 0}; }
+  static constexpr Interval top(u32 bits) { return {0, mask_of(bits)}; }
+  static constexpr Interval constant(u64 v, u32 bits) {
+    return {v & mask_of(bits), v & mask_of(bits)};
+  }
+  /// [lo, hi] with lo <= hi (callers must normalise).
+  static constexpr Interval range(u64 lo, u64 hi) { return {lo, hi}; }
+
+  bool is_bottom() const { return lo > hi; }
+  bool is_top(u32 bits) const { return lo == 0 && hi == mask_of(bits); }
+  bool is_constant() const { return lo == hi; }
+  u64 value() const { return lo; }  // valid only when is_constant()
+  bool contains(u64 v) const { return v >= lo && v <= hi; }
+
+  /// Lattice order: this ⊑ other (every value of this is in other).
+  bool subset_of(const Interval& other) const {
+    if (is_bottom()) return true;
+    if (other.is_bottom()) return false;
+    return lo >= other.lo && hi <= other.hi;
+  }
+
+  bool operator==(const Interval& other) const {
+    if (is_bottom() && other.is_bottom()) return true;
+    return lo == other.lo && hi == other.hi;
+  }
+
+  // ---- lattice operations ----
+
+  static Interval join(const Interval& a, const Interval& b);
+  static Interval meet(const Interval& a, const Interval& b);
+  /// Widening: bounds of `next` that moved past `prev` jump to the
+  /// lattice extreme. widen(prev, next) always subsumes both.
+  static Interval widen(const Interval& prev, const Interval& next,
+                        u32 bits);
+
+  // ---- transfer functions (all wrap-aware modulo 2^bits) ----
+
+  static Interval add(const Interval& a, const Interval& b, u32 bits);
+  static Interval sub(const Interval& a, const Interval& b, u32 bits);
+  static Interval add_const(const Interval& a, i64 imm, u32 bits);
+  static Interval shl(const Interval& a, u32 shamt, u32 bits);
+  static Interval shr(const Interval& a, u32 shamt, u32 bits);
+  static Interval and_const(const Interval& a, i64 imm, u32 bits);
+  static Interval or_const(const Interval& a, i64 imm, u32 bits);
+  static Interval xor_const(const Interval& a, i64 imm, u32 bits);
+  /// RV64 *W-ops: truncate to 32 bits and sign-extend into 64.
+  static Interval sext32(const Interval& a);
+};
+
+}  // namespace hulkv::analysis

@@ -1,0 +1,72 @@
+#include "analysis/footprint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hulkv::analysis {
+
+void RangeSet::add(Addr lo, Addr hi) {
+  if (unbounded_ || lo >= hi) return;
+  // Insert sorted, then merge every range overlapping or adjacent to
+  // the new one into it.
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), lo,
+      [](const AddrRange& r, Addr v) { return r.lo < v; });
+  it = ranges_.insert(it, {lo, hi});
+  if (it != ranges_.begin() && std::prev(it)->hi >= it->lo) {
+    auto prev = std::prev(it);
+    prev->hi = std::max(prev->hi, it->hi);
+    it = ranges_.erase(it);
+    it = prev;
+  }
+  while (std::next(it) != ranges_.end() && it->hi >= std::next(it)->lo) {
+    it->hi = std::max(it->hi, std::next(it)->hi);
+    ranges_.erase(std::next(it));
+  }
+  // Over the cap: coalesce the two closest neighbours into their hull
+  // (stays conservative — the hull covers both).
+  while (ranges_.size() > kMaxRanges) {
+    size_t best = 0;
+    Addr best_gap = ~Addr{0};
+    for (size_t i = 0; i + 1 < ranges_.size(); ++i) {
+      const Addr gap = ranges_[i + 1].lo - ranges_[i].hi;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    ranges_[best].hi = ranges_[best + 1].hi;
+    ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+}
+
+void RangeSet::merge(const RangeSet& other) {
+  if (other.unbounded_) unbounded_ = true;
+  if (unbounded_) {
+    ranges_.clear();
+    return;
+  }
+  for (const AddrRange& r : other.ranges_) add(r.lo, r.hi);
+}
+
+bool RangeSet::within(Addr lo, Addr hi) const {
+  if (unbounded_) return false;
+  return std::all_of(ranges_.begin(), ranges_.end(),
+                     [&](const AddrRange& r) {
+                       return r.lo >= lo && r.hi <= hi;
+                     });
+}
+
+std::string RangeSet::to_string() const {
+  if (unbounded_) return "unbounded";
+  if (ranges_.empty()) return "none";
+  std::ostringstream os;
+  os << std::hex;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << "[0x" << ranges_[i].lo << ",0x" << ranges_[i].hi << ")";
+  }
+  return os.str();
+}
+
+}  // namespace hulkv::analysis

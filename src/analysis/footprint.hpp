@@ -1,0 +1,57 @@
+// Memory-footprint representation for the dataflow passes: a small,
+// normalised set of byte-address ranges an instruction / block /
+// function may touch. Built from the interval domain's effective
+// addresses, so a bounded base register yields a bounded footprint even
+// when the exact address is unknown. An access whose address interval
+// is top makes the owning footprint `unbounded` — conservative "may
+// touch anything".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hulkv::analysis {
+
+/// Half-open byte range [lo, hi).
+struct AddrRange {
+  Addr lo = 0;
+  Addr hi = 0;
+
+  bool operator==(const AddrRange&) const = default;
+};
+
+class RangeSet {
+ public:
+  /// Ranges kept before coalescing into a single hull; a footprint is a
+  /// summary, not a precise region list, so a small cap is enough to
+  /// separate e.g. the TCDM argument block from a DRAM buffer.
+  static constexpr size_t kMaxRanges = 8;
+
+  /// Add [lo, hi); merges with overlapping/adjacent ranges and, above
+  /// kMaxRanges, coalesces the two closest ranges into their hull.
+  void add(Addr lo, Addr hi);
+  /// Mark the footprint unknown (absorbs every range).
+  void set_unbounded() { unbounded_ = true; }
+  /// Union with another footprint.
+  void merge(const RangeSet& other);
+
+  bool unbounded() const { return unbounded_; }
+  bool empty() const { return !unbounded_ && ranges_.empty(); }
+  const std::vector<AddrRange>& ranges() const { return ranges_; }
+
+  /// Every possibly-touched byte lies in [lo, hi). False when
+  /// unbounded (nothing is provable then) or empty-by-vacuity is fine:
+  /// an empty footprint is contained in any window.
+  bool within(Addr lo, Addr hi) const;
+
+  /// "[0x10000000,0x10000100) [0x1c000000,0x1c000040)" or "unbounded".
+  std::string to_string() const;
+
+ private:
+  std::vector<AddrRange> ranges_;  // sorted by lo, disjoint, non-adjacent
+  bool unbounded_ = false;
+};
+
+}  // namespace hulkv::analysis

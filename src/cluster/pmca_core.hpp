@@ -121,6 +121,7 @@ class PmcaCore {
   }
   /// Decoded-block cache (introspection for tests and stats).
   const isa::BlockCache& decode_blocks() const { return blocks_; }
+  isa::BlockCache& decode_blocks() { return blocks_; }
 
   /// Emit one log line per retired instruction (LogLevel::kTrace).
   void set_trace(bool enabled) { trace_ = enabled; }

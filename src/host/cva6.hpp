@@ -138,6 +138,7 @@ class Cva6Core {
   }
   /// Decoded-block cache (introspection for tests and stats).
   const isa::BlockCache& decode_blocks() const { return blocks_; }
+  isa::BlockCache& decode_blocks() { return blocks_; }
 
   /// Snapshot traversal: architectural registers, clock, L1/TLB models,
   /// stats. The decoded-block cache is derived state and is invalidated

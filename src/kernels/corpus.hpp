@@ -1,0 +1,55 @@
+// The analysis corpus: every built-in kernel/host program at a fixed
+// small shape, paired with the load-path analysis conventions. One
+// list serves three consumers that must agree on what "the corpus" is:
+//
+//  * tools/hulkv_analyze.cpp — the standalone `hulkv-analyze` CLI
+//    (whole-corpus mode and per-program reports),
+//  * tests/facts_test.cc — the golden whole-corpus JSON regression,
+//  * scripts/ci.sh — the analyze-corpus gate (corpus error-free,
+//    proven-block counts non-regressing).
+//
+// Shapes are deliberately tiny: the analyzer's verdicts (diagnostics,
+// per-block facts) do not depend on trip counts, only on code shape,
+// and small images keep the golden file and the CI step fast.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace hulkv::kernels {
+
+struct CorpusEntry {
+  std::string name;
+  analysis::IsaProfile profile = analysis::IsaProfile::kClusterRv32;
+  std::vector<u32> words;
+};
+
+/// Every built-in program at its corpus shape, cluster kernels first,
+/// in a fixed order (the golden file and CI counts depend on it).
+std::vector<CorpusEntry> analysis_corpus();
+
+/// Analyze one entry exactly as its load path would: cluster kernels
+/// PIC at base 0 with the offload runtime's entry values (a0 = argument
+/// block, sp in the 8-core TCDM stack window); host programs non-PIC at
+/// the host load base with sp seeded.
+analysis::Analysis analyze_corpus_entry(const CorpusEntry& entry);
+
+/// Per-entry analysis summary used by the renderers below.
+struct CorpusResult {
+  CorpusEntry entry;
+  analysis::Analysis analysis;
+};
+
+/// Analyze the whole corpus in order.
+std::vector<CorpusResult> run_corpus_analysis();
+
+/// Aligned text table (one row per program) plus any diagnostics.
+std::string render_corpus_text(const std::vector<CorpusResult>& results);
+
+/// Deterministic JSON document (stable key order, corpus order) — the
+/// golden-file and CI currency.
+std::string render_corpus_json(const std::vector<CorpusResult>& results);
+
+}  // namespace hulkv::kernels

@@ -57,14 +57,25 @@ HostRun run_host_program(core::HulkVSoc& soc,
     entry |= u64{1} << (isa::reg::a0 + i);
   }
   options.entry_defined = entry;
-  const analysis::Report report = analysis::analyze(program, options);
-  analysis::log_report(report, "host-program");
-  if (!report.ok()) {
+  // run_host_program sets sp to a fixed address below — seeding the
+  // analyzer with it makes stack accesses provably mapped even through
+  // auipc/add-derived address arithmetic (non-PIC interval folding).
+  options.entry_values.emplace_back(
+      isa::reg::sp,
+      analysis::Interval::constant(core::layout::kHostStackTop - 64, 64));
+  analysis::Analysis analyzed = analysis::analyze_program(program, options);
+  analysis::log_report(analyzed.report, "host-program");
+  if (!analyzed.report.ok()) {
     throw SimError("host program rejected by static analysis:\n" +
-                   report.to_string());
+                   analyzed.report.to_string());
   }
 
   soc.load_program(core::layout::kHostCodeBase, program);
+  // Attach the proven facts to the host decode cache at the load base
+  // (counts run-ahead-eligible blocks; clears exit-ecall mask bits).
+  analysis::attach_facts(soc.host().decode_blocks(),
+                         core::layout::kHostCodeBase,
+                         std::move(analyzed.facts));
 
   auto& host = soc.host();
   for (size_t i = 0; i < args.size(); ++i) {

@@ -456,6 +456,82 @@ TEST(Analyzer, PicImageDoesNotFoldAuipcAddresses) {
   EXPECT_FALSE(report.has(Diag::kMisalignedAccess)) << report.to_string();
 }
 
+// ---- interval-domain address reasoning (DESIGN.md §13) ----
+
+TEST(Analyzer, NonPicHostFoldsAuipcAddresses) {
+  // Host images are loaded at a known base (pic=false), so
+  // auipc-derived addresses fold through the interval domain and get
+  // the same verdicts li-materialised ones would. This used to drop to
+  // "unknown" — the old pic asymmetry silently skipped every
+  // pc-relative address on the host.
+  Assembler a(core::layout::kHostCodeBase, true);
+  // kHostCodeBase - 0x4010'0000 = 0x4000'0000: the hole between L2
+  // and DRAM (U-type immediates carry the already-shifted value).
+  a.emit({.op = Op::kAuipc, .rd = t0, .imm = -0x4010'0000});
+  a.ld(t1, 0, t0);
+  a.li(a7, 93);
+  a.ecall();
+  const std::vector<u32> words = a.assemble();
+  const Report report = analyze(words, host_options());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Diag::kUnmappedAddress)) << report.to_string();
+
+  // The same image analyzed as position-independent must stay silent:
+  // the load address (and thus the auipc result) is unknown.
+  Options pic = host_options();
+  pic.pic = true;
+  EXPECT_FALSE(analyze(words, pic).has(Diag::kUnmappedAddress));
+}
+
+TEST(Analyzer, BoundedIndexProvesWholeRangeUnmapped) {
+  // A bounded-but-unknown index (andi masks it to [0, 0xFF]) added to
+  // a constant base in the L2/DRAM hole: every address in the derived
+  // interval is unmapped, so the range-level proof must fire. The old
+  // constant-only analyzer could not see through the andi.
+  Assembler a(0, false);
+  a.li(t0, 0x4000'0000);
+  a.andi(t1, a0, 0xFF);
+  a.add(t0, t0, t1);
+  a.lw(t2, 0, t0);
+  cluster_exit(a);
+  const Report report = analyze_cluster(a);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Diag::kUnmappedAddress)) << report.to_string();
+}
+
+TEST(Analyzer, BoundedIndexInsideRegionStaysClean) {
+  // Same shape, but the whole interval lands inside L2: a range that
+  // merely *might* be fine must not produce findings.
+  Assembler a(0, false);
+  a.li(t0, mem::map::kL2Base);
+  a.andi(t1, a0, 0xFF);
+  a.slli(t1, t1, 2);
+  a.add(t0, t0, t1);
+  a.lw(t2, 0, t0);
+  cluster_exit(a);
+  const Report report = analyze_cluster(a);
+  EXPECT_FALSE(report.has(Diag::kUnmappedAddress)) << report.to_string();
+  EXPECT_FALSE(report.has(Diag::kIopmpDenied)) << report.to_string();
+}
+
+TEST(Analyzer, JoinedConstantServiceIdIsStillProven) {
+  // Both branch arms set a7 to the same (invalid) service id before
+  // the join; the syntactic backscan gives up at the join point, but
+  // the interval fixpoint proves a7 is a singleton — the unknown-
+  // envcall finding must still fire.
+  Assembler a(0, false);
+  a.beqz(a0, "other");
+  a.li(a7, 99);
+  a.jal(0, "join");
+  a.label("other");
+  a.li(a7, 99);
+  a.label("join");
+  a.ecall();
+  cluster_exit(a);
+  const Report report = analyze_cluster(a);
+  EXPECT_TRUE(report.has(Diag::kUnknownEnvcall)) << report.to_string();
+}
+
 // ---- report plumbing ----
 
 TEST(Analyzer, ReportFormatsDiagnostics) {

@@ -29,6 +29,22 @@ TEST(RunJobs, EveryJobRunsExactlyOnce) {
   }
 }
 
+TEST(RunJobs, ContendedQueueStress) {
+  // Many tiny jobs on an oversubscribed pool: the handout counter and
+  // the per-slot writes are the surfaces a queue race would corrupt.
+  // Run under -DHULKV_SANITIZE=thread this is the TSan gate for the
+  // job queue (scripts/ci.sh).
+  constexpr u64 kCount = 4096;
+  std::vector<u64> slot(kCount, 0);
+  std::atomic<u64> sum{0};
+  batch::run_jobs(kCount, 8, [&](u64 index) {
+    slot[index] = index + 1;  // distinct slot: no synchronisation needed
+    sum.fetch_add(index, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kCount * (kCount - 1) / 2);
+  for (u64 i = 0; i < kCount; ++i) ASSERT_EQ(slot[i], i + 1);
+}
+
 TEST(RunJobs, SerialPathRunsInIndexOrder) {
   std::vector<u64> order;
   batch::run_jobs(16, 1, [&](u64 index) { order.push_back(index); });

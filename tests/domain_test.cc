@@ -1,0 +1,250 @@
+// Interval abstract-domain tests (src/analysis/domain.hpp):
+//  * lattice laws over a sampled interval set — join/meet commutativity
+//    and idempotence, the partial order they induce, monotonicity of
+//    join in both arguments,
+//  * widening: widen(prev, next) subsumes both, and any widening chain
+//    stabilises after a bounded number of strict increases,
+//  * transfer soundness, checked *exhaustively* at 8 bits: for every
+//    concrete pair drawn from the operand intervals the wrapped machine
+//    result must land inside the transfer's result interval,
+//  * singleton exactness: constant operands degrade to the old
+//    constant-propagation behaviour (wrapping arithmetic, no widening).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/domain.hpp"
+
+namespace hulkv::analysis {
+namespace {
+
+constexpr u32 kBits = 8;  // exhaustive concrete checks stay cheap
+constexpr u64 kMask = Interval::mask_of(kBits);
+
+/// Sampled lattice elements: bottom, top, singletons, narrow and wide
+/// ranges, ranges hugging both ends of the unsigned order.
+std::vector<Interval> samples() {
+  return {
+      Interval::bottom(),
+      Interval::top(kBits),
+      Interval::constant(0, kBits),
+      Interval::constant(5, kBits),
+      Interval::constant(0x80, kBits),
+      Interval::constant(0xFF, kBits),
+      Interval::range(3, 10),
+      Interval::range(0, 7),
+      Interval::range(17, 42),
+      Interval::range(0x7E, 0x82),
+      Interval::range(0xC8, 0xFF),
+      Interval::range(0xFE, 0xFF),
+  };
+}
+
+/// Concrete members of a sampled interval (all of them: samples are
+/// small or top, and top at 8 bits is only 256 values).
+std::vector<u64> members(const Interval& a) {
+  std::vector<u64> out;
+  if (a.is_bottom()) return out;
+  for (u64 v = a.lo; v <= a.hi; ++v) out.push_back(v);
+  return out;
+}
+
+TEST(IntervalLattice, BottomAndTopAreExtremes) {
+  for (const Interval& a : samples()) {
+    EXPECT_TRUE(Interval::bottom().subset_of(a));
+    EXPECT_TRUE(a.subset_of(Interval::top(kBits)));
+    EXPECT_EQ(Interval::join(a, Interval::bottom()), a);
+    EXPECT_EQ(Interval::meet(a, Interval::top(kBits)), a);
+    EXPECT_TRUE(Interval::meet(a, Interval::bottom()).is_bottom());
+  }
+}
+
+TEST(IntervalLattice, JoinMeetCommutativeAndIdempotent) {
+  for (const Interval& a : samples()) {
+    EXPECT_EQ(Interval::join(a, a), a);
+    EXPECT_EQ(Interval::meet(a, a), a);
+    for (const Interval& b : samples()) {
+      EXPECT_EQ(Interval::join(a, b), Interval::join(b, a));
+      EXPECT_EQ(Interval::meet(a, b), Interval::meet(b, a));
+    }
+  }
+}
+
+TEST(IntervalLattice, JoinIsLeastUpperBoundOnSamples) {
+  for (const Interval& a : samples()) {
+    for (const Interval& b : samples()) {
+      const Interval j = Interval::join(a, b);
+      EXPECT_TRUE(a.subset_of(j));
+      EXPECT_TRUE(b.subset_of(j));
+      // Least among the sampled upper bounds.
+      for (const Interval& u : samples()) {
+        if (a.subset_of(u) && b.subset_of(u)) {
+          EXPECT_TRUE(j.subset_of(u));
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalLattice, MeetIsLowerBoundAndExact) {
+  for (const Interval& a : samples()) {
+    for (const Interval& b : samples()) {
+      const Interval m = Interval::meet(a, b);
+      EXPECT_TRUE(m.subset_of(a));
+      EXPECT_TRUE(m.subset_of(b));
+      // Intervals are closed under intersection, so meet is exact:
+      // every value in both operands is in the meet.
+      for (u64 v = 0; v <= kMask; ++v) {
+        EXPECT_EQ(m.contains(v), a.contains(v) && b.contains(v))
+            << "v=" << v;
+      }
+    }
+  }
+}
+
+TEST(IntervalLattice, JoinMonotone) {
+  for (const Interval& a : samples()) {
+    for (const Interval& b : samples()) {
+      if (!a.subset_of(b)) continue;
+      for (const Interval& c : samples()) {
+        EXPECT_TRUE(
+            Interval::join(a, c).subset_of(Interval::join(b, c)));
+      }
+    }
+  }
+}
+
+TEST(IntervalWiden, SubsumesBothOperands) {
+  for (const Interval& prev : samples()) {
+    for (const Interval& next : samples()) {
+      const Interval w = Interval::widen(prev, next, kBits);
+      EXPECT_TRUE(prev.subset_of(w));
+      EXPECT_TRUE(next.subset_of(w));
+    }
+  }
+}
+
+TEST(IntervalWiden, ChainsStabiliseWithinTwoSteps) {
+  // Each widening either leaves the value unchanged or jumps at least
+  // one bound to its lattice extreme — so any ascending chain has at
+  // most two strict increases before reaching a fixpoint.
+  for (const Interval& start : samples()) {
+    for (const Interval& stimulus : samples()) {
+      Interval x = start;
+      int changes = 0;
+      for (int i = 0; i < 8; ++i) {
+        const Interval next = Interval::join(x, stimulus);
+        const Interval w = Interval::widen(x, next, kBits);
+        if (!(w == x)) ++changes;
+        x = w;
+      }
+      EXPECT_LE(changes, 2);
+      EXPECT_EQ(Interval::widen(x, Interval::join(x, stimulus), kBits),
+                x);
+    }
+  }
+}
+
+// ---- transfer soundness (exhaustive at 8 bits) ----
+
+TEST(IntervalTransfer, AddSubSound) {
+  for (const Interval& a : samples()) {
+    for (const Interval& b : samples()) {
+      const Interval sum = Interval::add(a, b, kBits);
+      const Interval dif = Interval::sub(a, b, kBits);
+      for (u64 x : members(a)) {
+        for (u64 y : members(b)) {
+          EXPECT_TRUE(sum.contains((x + y) & kMask))
+              << "add " << x << "+" << y;
+          EXPECT_TRUE(dif.contains((x - y) & kMask))
+              << "sub " << x << "-" << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalTransfer, AddConstSoundIncludingWrap) {
+  for (const Interval& a : samples()) {
+    for (i64 imm : {i64{0}, i64{1}, i64{-1}, i64{100}, i64{-100},
+                    i64{255}, i64{-256}}) {
+      const Interval r = Interval::add_const(a, imm, kBits);
+      for (u64 x : members(a)) {
+        EXPECT_TRUE(r.contains((x + static_cast<u64>(imm)) & kMask))
+            << x << "+" << imm;
+      }
+    }
+  }
+}
+
+TEST(IntervalTransfer, ShiftAndBitwiseSound) {
+  for (const Interval& a : samples()) {
+    for (u32 sh : {0u, 1u, 3u, 7u}) {
+      const Interval l = Interval::shl(a, sh, kBits);
+      const Interval r = Interval::shr(a, sh, kBits);
+      for (u64 x : members(a)) {
+        EXPECT_TRUE(l.contains((x << sh) & kMask));
+        EXPECT_TRUE(r.contains(x >> sh));
+      }
+    }
+    for (i64 imm : {i64{0}, i64{0x0F}, i64{0x80}, i64{-1}}) {
+      const Interval andr = Interval::and_const(a, imm, kBits);
+      const Interval orr = Interval::or_const(a, imm, kBits);
+      const Interval xorr = Interval::xor_const(a, imm, kBits);
+      for (u64 x : members(a)) {
+        EXPECT_TRUE(andr.contains(x & static_cast<u64>(imm) & kMask));
+        EXPECT_TRUE(orr.contains((x | static_cast<u64>(imm)) & kMask));
+        EXPECT_TRUE(xorr.contains((x ^ static_cast<u64>(imm)) & kMask));
+      }
+    }
+  }
+}
+
+TEST(IntervalTransfer, Sext32SoundAtWordBoundary) {
+  // 64-bit *W-op semantics: truncate to 32 bits, sign-extend back.
+  const auto sext = [](u64 v) {
+    return static_cast<u64>(static_cast<i64>(static_cast<i32>(v)));
+  };
+  const std::vector<Interval> cases = {
+      Interval::constant(0x7FFFFFFF, 64),
+      Interval::constant(0x80000000, 64),
+      Interval::range(0x7FFFFFFE, 0x80000002),
+      Interval::range(0xFFFFFFF0, 0xFFFFFFFF),
+      Interval::range(0, 100),
+      Interval::top(64),
+  };
+  for (const Interval& a : cases) {
+    const Interval r = Interval::sext32(a);
+    const u64 span = a.hi - a.lo;
+    for (u64 off = 0; off <= span && off < 16; ++off) {
+      EXPECT_TRUE(r.contains(sext(a.lo + off)));
+      EXPECT_TRUE(r.contains(sext(a.hi - off)));
+    }
+  }
+}
+
+TEST(IntervalTransfer, SingletonsStayExact) {
+  // Constant operands reproduce the old constant propagation exactly:
+  // wrapped machine arithmetic, result still a singleton.
+  const Interval a = Interval::constant(0xF0, kBits);
+  const Interval b = Interval::constant(0x20, kBits);
+  EXPECT_EQ(Interval::add(a, b, kBits),
+            Interval::constant(0x10, kBits));  // wraps
+  EXPECT_EQ(Interval::sub(b, a, kBits), Interval::constant(0x30, kBits));
+  EXPECT_EQ(Interval::add_const(a, -0x100, kBits), a);  // full wrap
+  EXPECT_EQ(Interval::shl(a, 4, kBits), Interval::constant(0, kBits));
+  EXPECT_TRUE(Interval::add(a, b, kBits).is_constant());
+}
+
+TEST(IntervalTransfer, BottomPropagates) {
+  const Interval bot = Interval::bottom();
+  const Interval a = Interval::range(1, 5);
+  EXPECT_TRUE(Interval::add(bot, a, kBits).is_bottom());
+  EXPECT_TRUE(Interval::add(a, bot, kBits).is_bottom());
+  EXPECT_TRUE(Interval::add_const(bot, 3, kBits).is_bottom());
+  EXPECT_TRUE(Interval::shl(bot, 1, kBits).is_bottom());
+  EXPECT_TRUE(Interval::sext32(Interval::bottom()).is_bottom());
+}
+
+}  // namespace
+}  // namespace hulkv::analysis

@@ -1,0 +1,386 @@
+// Block-facts plumbing tests (src/analysis/{facts,callgraph,footprint}):
+//  * RangeSet normalisation (merge, adjacency, the kMaxRanges cap,
+//    within, unbounded absorption),
+//  * FactsTable::query_range — flag conjunction, the clear_mask for
+//    proven core-local ecalls, and the self-modifying-code guard (a
+//    decoded word that no longer matches the analyzed image must
+//    degrade to "unproven", never to wrong facts),
+//  * FactsRegistry image registration/displacement/lookup,
+//  * call-graph summaries: entry function first, direct callees,
+//    recursion, indirect-call taint, effect propagation bottom-up,
+//  * the real load paths: offloading a kernel through OffloadRuntime
+//    and running host programs through run_host_program must leave the
+//    executing cores' BlockCaches with fact-proven (and run-ahead
+//    eligible) translations — the counters simperf reports,
+//  * the whole-corpus golden JSON (tests/golden/analyze_corpus.json,
+//    regenerate with HULKV_REGEN_GOLDEN=1).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "core/soc.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/cluster_kernels.hpp"
+#include "kernels/corpus.hpp"
+#include "kernels/iot_benchmarks.hpp"
+#include "kernels/kernel.hpp"
+#include "runtime/offload.hpp"
+
+#ifndef HULKV_TEST_DATA_DIR
+#define HULKV_TEST_DATA_DIR "."
+#endif
+
+namespace hulkv::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa::reg;
+
+core::SocConfig fast_config() {
+  core::SocConfig cfg;
+  cfg.main_memory = core::MainMemoryKind::kDdr4;
+  return cfg;
+}
+
+Options cluster_options() {
+  Options options;
+  options.profile = IsaProfile::kClusterRv32;
+  options.base = 0;
+  options.pic = true;
+  return options;
+}
+
+/// Instr array whose raw words match `words` — query_range verifies
+/// only the raw encodings, so decode metadata can stay zeroed.
+std::vector<isa::Instr> raw_instrs(const std::vector<u32>& words,
+                                   size_t first, size_t count) {
+  std::vector<isa::Instr> instrs(count);
+  for (size_t i = 0; i < count; ++i) instrs[i].raw = words[first + i];
+  return instrs;
+}
+
+// ---------------------------------------------------------------------
+// RangeSet
+// ---------------------------------------------------------------------
+
+TEST(RangeSet, MergesOverlapAndAdjacency) {
+  RangeSet s;
+  s.add(0x100, 0x110);
+  s.add(0x120, 0x130);
+  ASSERT_EQ(s.ranges().size(), 2u);
+  s.add(0x110, 0x120);  // adjacent on both sides: all three coalesce
+  ASSERT_EQ(s.ranges().size(), 1u);
+  EXPECT_EQ(s.ranges()[0], (AddrRange{0x100, 0x130}));
+  EXPECT_TRUE(s.within(0x100, 0x130));
+  EXPECT_FALSE(s.within(0x100, 0x12F));
+}
+
+TEST(RangeSet, CapCoalescesClosestPair) {
+  RangeSet s;
+  // kMaxRanges widely-spaced ranges, then one more close to the first.
+  for (size_t i = 0; i < RangeSet::kMaxRanges; ++i) {
+    s.add(0x1000 * (i + 1), 0x1000 * (i + 1) + 0x10);
+  }
+  ASSERT_EQ(s.ranges().size(), RangeSet::kMaxRanges);
+  s.add(0x1020, 0x1030);  // nearest neighbour of [0x1000, 0x1010)
+  EXPECT_LE(s.ranges().size(), RangeSet::kMaxRanges);
+  // Soundness after coalescing: every added byte is still covered.
+  EXPECT_TRUE(s.within(0x1000, 0x9010));
+  for (size_t i = 0; i < RangeSet::kMaxRanges; ++i) {
+    const Addr lo = 0x1000 * (i + 1);
+    bool covered = false;
+    for (const AddrRange& r : s.ranges()) {
+      covered |= r.lo <= lo && lo + 0x10 <= r.hi;
+    }
+    EXPECT_TRUE(covered) << "range " << i << " lost";
+  }
+}
+
+TEST(RangeSet, UnboundedAbsorbsEverything) {
+  RangeSet s;
+  s.add(0x100, 0x200);
+  s.set_unbounded();
+  EXPECT_TRUE(s.unbounded());
+  EXPECT_FALSE(s.empty());
+  EXPECT_FALSE(s.within(0, ~u64{0}));
+  RangeSet t;
+  t.add(0x500, 0x600);
+  t.merge(s);
+  EXPECT_TRUE(t.unbounded());
+}
+
+// ---------------------------------------------------------------------
+// FactsTable::query_range
+// ---------------------------------------------------------------------
+
+/// Pure arithmetic block, then a core-local exit ecall: the analyzer
+/// must prove the whole program eligible with the ecall's shared_mask
+/// bit clearable.
+TEST(FactsTable, QueryRangeProvesEligibleAndClearMask) {
+  Assembler a(0, false);
+  a.li(t0, 1);
+  a.li(t1, 2);
+  a.add(t2, t0, t1);
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  const std::vector<u32> words = a.assemble();
+  const Analysis an = analyze_program(words, cluster_options());
+  ASSERT_TRUE(an.facts != nullptr);
+
+  const auto instrs = raw_instrs(words, 0, words.size());
+  isa::RunAheadFacts out;
+  ASSERT_TRUE(an.facts->query_range(0, instrs.data(), instrs.size(), &out));
+  EXPECT_TRUE(out.eligible);
+  EXPECT_EQ(out.min_cycles, words.size());
+  // The ecall is the last instruction; exactly its bit is clearable.
+  EXPECT_EQ(out.clear_mask, u64{1} << (words.size() - 1));
+  EXPECT_EQ(an.facts->core_local_ecalls(), 1u);
+}
+
+TEST(FactsTable, MemoryAccessBlocksEligibility) {
+  Assembler a(0, false);
+  a.li(t0, 42);
+  a.sw(t0, 0, a0);
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  const std::vector<u32> words = a.assemble();
+  const Analysis an = analyze_program(words, cluster_options());
+  const auto instrs = raw_instrs(words, 0, words.size());
+  isa::RunAheadFacts out;
+  ASSERT_TRUE(an.facts->query_range(0, instrs.data(), instrs.size(), &out));
+  EXPECT_FALSE(out.eligible);  // the store is a memory access
+  // The ecall bit is still clearable: clear_mask and eligibility are
+  // independent facts (run-ahead may widen past the ecall even in a
+  // block it must park for).
+  EXPECT_NE(out.clear_mask & (u64{1} << (words.size() - 1)), 0u);
+}
+
+TEST(FactsTable, SmcMismatchDegradesToUnproven) {
+  Assembler a(0, false);
+  a.li(t0, 1);
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  const std::vector<u32> words = a.assemble();
+  const Analysis an = analyze_program(words, cluster_options());
+  auto instrs = raw_instrs(words, 0, words.size());
+  isa::RunAheadFacts out;
+  ASSERT_TRUE(an.facts->query_range(0, instrs.data(), instrs.size(), &out));
+  // A rewritten word (self-modifying code) must invalidate the proof.
+  instrs[0].raw ^= 0x1000;
+  EXPECT_FALSE(
+      an.facts->query_range(0, instrs.data(), instrs.size(), &out));
+  // Out-of-image and misaligned queries are unproven, not UB.
+  EXPECT_FALSE(an.facts->query_range(words.size() * 4, instrs.data(), 1,
+                                     &out));
+  EXPECT_FALSE(an.facts->query_range(2, instrs.data(), 1, &out));
+  EXPECT_FALSE(an.facts->query_range(0, instrs.data(), 0, &out));
+}
+
+// ---------------------------------------------------------------------
+// FactsRegistry
+// ---------------------------------------------------------------------
+
+TEST(FactsRegistry, RegisterFindDisplace) {
+  auto table_a = std::make_shared<FactsTable>();
+  table_a->words.resize(4);  // 16 bytes
+  auto table_b = std::make_shared<FactsTable>();
+  table_b->words.resize(8);  // 32 bytes
+
+  FactsRegistry reg;
+  reg.register_image(0x1000, table_a);
+  reg.register_image(0x2000, table_b);
+  EXPECT_EQ(reg.size(), 2u);
+
+  Addr base = 0;
+  EXPECT_EQ(reg.find(0x100F, &base), table_a.get());
+  EXPECT_EQ(base, 0x1000u);
+  EXPECT_EQ(reg.find(0x1010, &base), nullptr);
+  EXPECT_EQ(reg.find(0x2010, &base), table_b.get());
+
+  // A new image overlapping table_a's range displaces it.
+  auto table_c = std::make_shared<FactsTable>();
+  table_c->words.resize(16);
+  reg.register_image(0x0FF8, table_c);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.find(0x1000, &base), table_c.get());
+  EXPECT_EQ(base, 0x0FF8u);
+
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.find(0x1000, &base), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Call graph
+// ---------------------------------------------------------------------
+
+TEST(Callgraph, DirectCalleeAndEffectPropagation) {
+  // main: call f; exit.   f: store, return.
+  Assembler a(0, false);
+  a.jal(ra, "f");
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  a.label("f");
+  a.sw(zero, 0, a0);
+  a.ret();
+  const std::vector<u32> words = a.assemble();
+  const Analysis an = analyze_program(words, cluster_options());
+  const auto& funcs = an.facts->functions;
+  ASSERT_EQ(funcs.size(), 2u);
+  EXPECT_EQ(funcs[0].entry, 0u);  // image entry first
+  ASSERT_EQ(funcs[0].callees.size(), 1u);
+  EXPECT_EQ(funcs[0].callees[0], funcs[1].entry);
+  // f's store taints the caller's summary bottom-up.
+  EXPECT_TRUE(funcs[1].may_access_memory);
+  EXPECT_TRUE(funcs[0].may_access_memory);
+  EXPECT_FALSE(funcs[1].may_ecall);
+  EXPECT_TRUE(funcs[0].may_ecall);
+  EXPECT_FALSE(funcs[0].recursive);
+}
+
+TEST(Callgraph, RecursionConvergesAndIsFlagged) {
+  // f calls itself (conditionally) — the bottom-up fixpoint must
+  // terminate and flag the cycle.
+  Assembler a(0, false);
+  a.jal(ra, "f");
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  a.label("f");
+  a.addi(a0, a0, -1);
+  a.beqz(a0, "done");
+  a.jal(ra, "f");
+  a.label("done");
+  a.ret();
+  const std::vector<u32> words = a.assemble();
+  const Analysis an = analyze_program(words, cluster_options());
+  const auto& funcs = an.facts->functions;
+  ASSERT_EQ(funcs.size(), 2u);
+  EXPECT_TRUE(funcs[1].recursive);
+  EXPECT_FALSE(funcs[0].recursive);
+  // Pure recursion: no memory, no ecall inside f.
+  EXPECT_FALSE(funcs[1].may_access_memory);
+}
+
+TEST(Callgraph, IndirectCallTaints) {
+  Assembler a(0, false);
+  a.li(t0, 0x10);
+  a.ri(Op::kJalr, ra, t0, 0);  // indirect call: callee unknown
+  a.li(a7, cluster::envcall::kExit);
+  a.ecall();
+  const std::vector<u32> words = a.assemble();
+  const Analysis an = analyze_program(words, cluster_options());
+  ASSERT_FALSE(an.facts->functions.empty());
+  const FuncSummary& entry = an.facts->functions[0];
+  EXPECT_TRUE(entry.has_indirect_call);
+  // Unknown callee: conservatively impure with unbounded footprint.
+  EXPECT_FALSE(entry.pure);
+  EXPECT_TRUE(entry.footprint.unbounded());
+}
+
+// ---------------------------------------------------------------------
+// Load paths: facts must reach the executing cores' BlockCaches
+// ---------------------------------------------------------------------
+
+TEST(LoadPath, OffloadAttachesFactsToClusterCores) {
+  core::HulkVSoc soc(fast_config());
+  runtime::OffloadRuntime runtime(&soc);
+  // Real corpus kernel; argument values only need to be valid buffers
+  // (relu: [0]=x_ext [1]=y_ext [2]=x_l1 [3]=y_l1).
+  const auto kernel = kernels::cluster_relu_i8(64);
+  const auto handle = runtime.register_kernel(kernel.name, kernel.words);
+  const std::array<u32, 4> args = {
+      static_cast<u32>(core::layout::kSharedBase),
+      static_cast<u32>(core::layout::kSharedBase + 0x100),
+      static_cast<u32>(mem::map::kTcdmBase + 0x400),
+      static_cast<u32>(mem::map::kTcdmBase + 0x600)};
+  runtime.offload(handle, args);
+  EXPECT_EQ(runtime.facts_registry().size(), 1u);
+  u64 proven = 0, eligible = 0;
+  for (u32 c = 0; c < soc.cluster().num_cores(); ++c) {
+    proven += soc.cluster().core(c).decode_blocks().fact_proven_blocks();
+    eligible +=
+        soc.cluster().core(c).decode_blocks().fact_eligible_blocks();
+  }
+  EXPECT_GT(proven, 0u);
+  EXPECT_GT(eligible, 0u);
+  // Eviction drops the image's facts with its residency.
+  runtime.evict_all();
+  EXPECT_EQ(runtime.facts_registry().size(), 0u);
+}
+
+TEST(LoadPath, HostProgramsRunWithProvenFacts) {
+  core::HulkVSoc soc(fast_config());
+  // Two real corpus programs back to back on one host timeline; each
+  // run_host_program call re-attaches its own facts table.
+  {
+    const auto prog = kernels::host_shell_sort(64);
+    std::vector<i32> data(64, 3);
+    soc.write_mem(core::layout::kSharedBase, data.data(),
+                  data.size() * 4);
+    const std::array<u64, 1> args = {core::layout::kSharedBase};
+    kernels::run_host_program(soc, prog.words, args);
+    EXPECT_GT(soc.host().decode_blocks().fact_proven_blocks(), 0u);
+    EXPECT_GT(soc.host().decode_blocks().fact_eligible_blocks(), 0u);
+  }
+  {
+    const auto prog = kernels::host_crc32(64);
+    const std::vector<u8> data(64, 0xA5);
+    const std::vector<u32> table(256, 0);
+    const Addr pdata = core::layout::kSharedBase;
+    const Addr ptable = pdata + 0x100;
+    const Addr pout = ptable + 0x400;
+    soc.write_mem(pdata, data.data(), data.size());
+    soc.write_mem(ptable, table.data(), table.size() * 4);
+    const std::array<u64, 3> args = {pdata, ptable, pout};
+    const u64 before = soc.host().decode_blocks().fact_proven_blocks();
+    kernels::run_host_program(soc, prog.words, args);
+    EXPECT_GT(soc.host().decode_blocks().fact_proven_blocks(), before);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Whole-corpus golden JSON
+// ---------------------------------------------------------------------
+
+TEST(Corpus, AnalysesAreErrorFreeWithProvenBlocks) {
+  const auto results = kernels::run_corpus_analysis();
+  ASSERT_GE(results.size(), 20u);
+  u32 with_eligible = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.analysis.report.ok()) << r.entry.name;
+    ASSERT_TRUE(r.analysis.facts != nullptr) << r.entry.name;
+    EXPECT_GT(r.analysis.facts->reachable_blocks(), 0u) << r.entry.name;
+    if (r.analysis.facts->eligible_blocks() > 0) ++with_eligible;
+  }
+  // The ISSUE gate: run-ahead-eligible blocks proven on well over
+  // three programs.
+  EXPECT_GE(with_eligible, 3u);
+}
+
+TEST(Corpus, JsonMatchesGolden) {
+  const std::string json =
+      kernels::render_corpus_json(kernels::run_corpus_analysis());
+  const std::string golden_path =
+      std::string(HULKV_TEST_DATA_DIR) + "/golden/analyze_corpus.json";
+  if (std::getenv("HULKV_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << json;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream golden_file(golden_path);
+  ASSERT_TRUE(golden_file.good()) << "missing golden file " << golden_path;
+  std::ostringstream golden;
+  golden << golden_file.rdbuf();
+  EXPECT_EQ(json, golden.str())
+      << "whole-corpus analysis drifted; regenerate with "
+         "HULKV_REGEN_GOLDEN=1 if the change is intended";
+}
+
+}  // namespace
+}  // namespace hulkv::analysis
