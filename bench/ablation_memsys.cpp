@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "profile/profile.hpp"
 #include "report/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "runtime/offload.hpp"
 #include "power/power_model.hpp"
 
@@ -295,6 +296,7 @@ void latency_ladder(const batch::SweepEngine& engine,
 int main(int argc, char** argv) {
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
   profile::configure(options);
+  telemetry::configure(options);
 
   report::MetricsReport rep("ablation_memsys");
   rep.add_note("HULK-V design-choice ablations");
@@ -309,5 +311,6 @@ int main(int argc, char** argv) {
                power::render_corner_table(power::PowerModel{}));
   profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
+  telemetry::finish_bench(rep, options);
   return 0;
 }

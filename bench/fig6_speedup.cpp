@@ -20,6 +20,7 @@
 #include "power/power_model.hpp"
 #include "profile/profile.hpp"
 #include "report/report.hpp"
+#include "telemetry/telemetry.hpp"
 #include "runtime/offload.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/trace.hpp"
@@ -292,6 +293,7 @@ int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
   profile::configure(options);
+  telemetry::configure(options);
   if (!options.trace_path.empty()) trace::sink().enable();
 
   report::MetricsReport rep("fig6_speedup");
@@ -332,6 +334,7 @@ int main(int argc, char** argv) {
                " GOps/W (paper: up to 157)");
   profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
+  telemetry::finish_bench(rep, options);
   if (!options.trace_path.empty()) {
     trace::write_chrome_trace_file(options.trace_path, trace::sink());
   }

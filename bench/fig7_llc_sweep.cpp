@@ -28,6 +28,7 @@
 #include "kernels/iot_benchmarks.hpp"
 #include "profile/profile.hpp"
 #include "report/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -100,6 +101,7 @@ int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
   profile::configure(options);
+  telemetry::configure(options);
 
   report::MetricsReport rep("fig7_llc_sweep");
   rep.add_note("Fig. 7 — Sweep on Last Level Cache (synthetic benchmark). "
@@ -161,5 +163,6 @@ int main(int argc, char** argv) {
                "misses DDR4 brings no benefit over HyperRAM.");
   profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
+  telemetry::finish_bench(rep, options);
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "kernels/iot_benchmarks.hpp"
 #include "profile/profile.hpp"
 #include "report/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -127,6 +128,7 @@ int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
   profile::configure(options);
+  telemetry::configure(options);
 
   report::MetricsReport rep("fig8_llc_effect");
   rep.add_note("Fig. 8 — Last Level Cache effect on IoT benchmarks. "
@@ -169,5 +171,6 @@ int main(int argc, char** argv) {
                "%");
   profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
+  telemetry::finish_bench(rep, options);
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "power/energy.hpp"
 #include "profile/profile.hpp"
 #include "report/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -154,6 +155,7 @@ int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
   profile::configure(options);
+  telemetry::configure(options);
 
   report::MetricsReport rep("fig9_energy_eff");
   rep.add_note("Fig. 9 — HULK-V energy efficiency vs CCR_hyper (HyperRAM "
@@ -239,5 +241,6 @@ int main(int argc, char** argv) {
                "workloads gain GOps from LPDDR4 bandwidth.");
   profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
+  telemetry::finish_bench(rep, options);
   return 0;
 }

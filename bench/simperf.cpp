@@ -25,6 +25,7 @@
 #include "mem/hyperram.hpp"
 #include "profile/profile.hpp"
 #include "report/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -175,6 +176,72 @@ void BM_ClusterIssLoopProfile(benchmark::State& state) {
   BM_ClusterIssLoop(state);
 }
 BENCHMARK(BM_ClusterIssLoopProfile)->Unit(benchmark::kMillisecond);
+
+/// Scoped "telemetry collecting" state, mirroring ProfileScope: fresh
+/// registry on entry, prior enabled/disabled state restored on exit so
+/// the variants never leak spans into a --telemetry manifest.
+class TelemetryScope {
+ public:
+  TelemetryScope() : was_enabled_(telemetry::enabled()) {
+    telemetry::registry().reset();
+    telemetry::registry().enable();
+  }
+  ~TelemetryScope() {
+    telemetry::registry().reset();
+    if (!was_enabled_) telemetry::registry().disable();
+  }
+
+ private:
+  bool was_enabled_;
+};
+
+/// BM_HostIssLoop with telemetry spans collecting: the telemetry-on
+/// overhead row (compare instr/s against BM_HostIssLoop). Note the
+/// benchmark-name regex 'BM_(Host|Cluster)IssLoop' used by the simperf
+/// gate also matches this row, so the telemetry-on rate is gated once a
+/// baseline carries it.
+void BM_HostIssLoopTelemetry(benchmark::State& state) {
+  const TelemetryScope scope;
+  BM_HostIssLoop(state);
+}
+BENCHMARK(BM_HostIssLoopTelemetry)->Unit(benchmark::kMillisecond);
+
+/// Span construct/destruct with telemetry disabled: the cost every
+/// instrumented phase pays in normal (untelemetered) runs. Should be a
+/// load + branch — low single-digit ns.
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  if (telemetry::enabled()) telemetry::registry().disable();
+  for (auto _ : state) {
+    const telemetry::Span span(telemetry::SpanPhase::kBatchJob);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
+/// Span construct/destruct with telemetry collecting: two clock reads,
+/// one histogram record, one TLS buffer append.
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  const TelemetryScope scope;
+  for (auto _ : state) {
+    const telemetry::Span span(telemetry::SpanPhase::kBatchJob);
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+/// Raw histogram record throughput (the per-sample floor under every
+/// enabled span and sweep-latency sample).
+void BM_HistogramRecord(benchmark::State& state) {
+  telemetry::AtomicHistogram hist;
+  u64 v = 1;
+  for (auto _ : state) {
+    hist.record(v);
+    v = (v * 2862933555777941757ull + 3037000493ull) >> 8;  // cheap lcg
+    benchmark::DoNotOptimize(v);
+  }
+  benchmark::DoNotOptimize(&hist);
+}
+BENCHMARK(BM_HistogramRecord);
 
 void BM_BlockCacheLookup(benchmark::State& state) {
   // Steady-state dispatch cost: one warm block_at probe (the memoized
@@ -346,6 +413,7 @@ int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
   profile::configure(options);
+  telemetry::configure(options);
 
   // Strip the shared bench flags before handing argv to google-benchmark
   // (it rejects flags it does not know).
@@ -357,9 +425,11 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
-    if (arg == "--profile") continue;  // optional value: only the = form
+    // Optional-value flags: only the = form carries a value.
+    if (arg == "--profile" || arg == "--telemetry") continue;
     if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0 ||
-        arg.rfind("--profile=", 0) == 0) {
+        arg.rfind("--profile=", 0) == 0 ||
+        arg.rfind("--telemetry=", 0) == 0) {
       continue;
     }
     filtered.push_back(argv[i]);
@@ -378,5 +448,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
+  telemetry::finish_bench(rep, options);
   return 0;
 }

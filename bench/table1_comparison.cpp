@@ -2,12 +2,14 @@
 #include "core/comparison.hpp"
 #include "profile/profile.hpp"
 #include "report/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   using hulkv::core::DeviceEntry;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
   hulkv::profile::configure(options);
+  hulkv::telemetry::configure(options);
 
   report::MetricsReport rep("table1_comparison");
   rep.add_note("Table I — comparison with the state of the art");
@@ -35,5 +37,6 @@ int main(int argc, char** argv) {
   rep.add_metric("num_heterogeneous", report::Value::uinteger(heterogeneous));
   hulkv::profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
+  hulkv::telemetry::finish_bench(rep, options);
   return 0;
 }

@@ -3,12 +3,14 @@
 #include "power/power_model.hpp"
 #include "profile/profile.hpp"
 #include "report/report.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   namespace power = hulkv::power;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
   hulkv::profile::configure(options);
+  hulkv::telemetry::configure(options);
   const power::PowerModel model;
 
   report::MetricsReport rep("table2_power");
@@ -57,5 +59,6 @@ int main(int argc, char** argv) {
   rep.add_note(power::render_floorplan(model));
   hulkv::profile::finish_bench(rep, options);
   report::finish_bench(rep, options);
+  hulkv::telemetry::finish_bench(rep, options);
   return 0;
 }

@@ -86,6 +86,19 @@ for ext in folded annotated.txt; do
 done
 rm -f "$profile_out.folded" "$profile_out.annotated.txt"
 
+step "telemetry smoke (fig8 --telemetry, manifest schema-checked)"
+telemetry_dir="$(mktemp -d /tmp/ci_telemetry.XXXXXX)"
+"$repo_root/build/bench/fig8_llc_effect" \
+  --telemetry="$telemetry_dir" > /dev/null
+if ! "$repo_root/build/tools/hulkv-stats" check \
+    "$telemetry_dir/fig8_llc_effect.jsonl" \
+    --schema "$repo_root/scripts/manifest_schema.json"; then
+  echo "ci: telemetry smoke FAILED — run manifest does not match" \
+       "scripts/manifest_schema.json" >&2
+  exit 1
+fi
+rm -rf "$telemetry_dir"
+
 step "lint"
 "$repo_root/scripts/lint.sh"
 

@@ -21,6 +21,28 @@ if [ ! -x "$build_dir/bench/simperf" ]; then
   exit 1
 fi
 
+# Carry the dated headline-metrics history across the refresh: the old
+# baseline's history array survives into the new file, with today's
+# fresh numbers appended below. `hulkv-stats trend` reads this to show
+# how the reference machine's simulator throughput moved over time.
+prev_history="$(mktemp /tmp/simperf_history.XXXXXX.json)"
+trap 'rm -f "$prev_history"' EXIT
+if [ -f "$out" ]; then
+  python3 - "$out" > "$prev_history" << 'EOF'
+import json
+import sys
+
+try:
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+except (OSError, ValueError):
+    data = {}
+json.dump(data.get("history", []), sys.stdout)
+EOF
+else
+  echo "[]" > "$prev_history"
+fi
+
 # --benchmark_out keeps the JSON separate from simperf's MetricsReport
 # text on stdout. Repetitions smooth scheduler noise; the aggregate
 # (median) rows are what the regression check reads.
@@ -29,6 +51,43 @@ fi
   --benchmark_out_format=json \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true
+
+# Append today's headline metrics (median instr/s of the ISS loops) to
+# the carried-forward history. The check script's reader only looks at
+# the google-benchmark "benchmarks" array, so the extra top-level key is
+# backward-compatible.
+python3 - "$out" "$prev_history" "$(date -u +%Y-%m-%d)" << 'EOF'
+import json
+import sys
+
+out_path, history_path, today = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(out_path) as f:
+    data = json.load(f)
+with open(history_path) as f:
+    history = json.load(f)
+
+metrics = {}
+for run in data.get("benchmarks", []):
+    if run.get("aggregate_name", "") not in ("", "median"):
+        continue
+    rate = run.get("instr/s")
+    if rate is None:
+        continue
+    name = run.get("run_name", run["name"])
+    if run.get("aggregate_name") == "median" or name not in metrics:
+        metrics[name] = rate
+
+# One entry per refresh date: a same-day re-run replaces today's entry
+# instead of stacking noise.
+history = [e for e in history if e.get("date") != today]
+history.append({"date": today, "metrics": metrics})
+data["history"] = history
+
+with open(out_path, "w") as f:
+    json.dump(data, f, indent=1)
+    f.write("\n")
+print(f"simperf_baseline: history now has {len(history)} dated entries")
+EOF
 
 echo
 echo "simperf_baseline: wrote $out"

@@ -13,6 +13,11 @@
 #       pin the profiler's disabled-mode overhead (the dispatch loops
 #       compile the bracket code out entirely when not collecting, so
 #       any delta there is a real hot-path regression).
+#   SIMPERF_TELEMETRY_OFF_THRESHOLD_PCT   same idea for the telemetry
+#       spans: the plain ISS rows also run with telemetry disabled, so
+#       this tightens their gate to whatever is smaller. Telemetry
+#       collecting-mode overhead (BM_HostIssLoopTelemetry) is printed
+#       informationally like the *Profile rows.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,6 +25,7 @@ build_dir="${BUILD_DIR:-$repo_root/build}"
 baseline="${1:-$repo_root/BENCH_simperf.json}"
 threshold="${SIMPERF_THRESHOLD_PCT:-20}"
 profile_off_threshold="${SIMPERF_PROFILE_OFF_THRESHOLD_PCT:-$threshold}"
+telemetry_off_threshold="${SIMPERF_TELEMETRY_OFF_THRESHOLD_PCT:-$profile_off_threshold}"
 
 if [ ! -f "$baseline" ]; then
   echo "error: baseline $baseline not found." >&2
@@ -44,12 +50,14 @@ trap 'rm -f "$fresh"' EXIT
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true > /dev/null
 
-python3 - "$baseline" "$fresh" "$threshold" "$profile_off_threshold" << 'EOF'
+python3 - "$baseline" "$fresh" "$threshold" "$profile_off_threshold" \
+  "$telemetry_off_threshold" << 'EOF'
 import json
 import sys
 
 baseline_path, fresh_path = sys.argv[1], sys.argv[2]
 threshold, profile_off_threshold = float(sys.argv[3]), float(sys.argv[4])
+telemetry_off_threshold = float(sys.argv[5])
 
 # Profile-off ISS rows: gated by the (optionally tighter) profile-off
 # threshold — these are the rows the cycle profiler must not slow down
@@ -84,7 +92,12 @@ for name, base_rate in sorted(base.items()):
         continue  # bench filtered out of this check run
     fresh_rate = fresh[name]
     delta_pct = (fresh_rate / base_rate - 1.0) * 100.0
-    allowed = profile_off_threshold if name in PROFILE_OFF_ROWS else threshold
+    # The plain ISS rows run with both the profiler and telemetry
+    # disabled: both off-mode gates apply — take the tighter one.
+    if name in PROFILE_OFF_ROWS:
+        allowed = min(profile_off_threshold, telemetry_off_threshold)
+    else:
+        allowed = threshold
     verdict = "ok"
     if delta_pct < -allowed:
         verdict = f"REGRESSION (allowed -{allowed:.0f}%)"
@@ -92,14 +105,16 @@ for name, base_rate in sorted(base.items()):
     print(f"{name}: baseline {base_rate:,.0f} instr/s, "
           f"now {fresh_rate:,.0f} instr/s ({delta_pct:+.1f}%) {verdict}")
 
-# Collecting-mode overhead (informational — profiling is opt-in): the
-# *Profile variants run the same workloads with the profiler attached.
+# Collecting-mode overhead (informational — profiling and telemetry are
+# both opt-in): the *Profile/*Telemetry variants run the same workloads
+# with the respective collector attached.
 for name in PROFILE_OFF_ROWS:
-    prof_name = name + "Profile"
-    if name in fresh and prof_name in fresh and fresh[name] > 0:
-        overhead = (1.0 - fresh[prof_name] / fresh[name]) * 100.0
-        print(f"{prof_name}: {fresh[prof_name]:,.0f} instr/s "
-              f"({overhead:.1f}% collecting overhead vs {name})")
+    for suffix in ("Profile", "Telemetry"):
+        variant = name + suffix
+        if name in fresh and variant in fresh and fresh[name] > 0:
+            overhead = (1.0 - fresh[variant] / fresh[name]) * 100.0
+            print(f"{variant}: {fresh[variant]:,.0f} instr/s "
+                  f"({overhead:.1f}% collecting overhead vs {name})")
 
 if status:
     print("simperf_check: FAILED")

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "profile/attr.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hulkv::cluster {
 
@@ -124,6 +125,8 @@ void Cluster::handle_envcall(PmcaCore& core) {
 
 Cluster::KernelResult Cluster::run_kernel(Cycles start_time, Addr entry,
                                           u32 arg0, u32 team_size) {
+  // One cluster-dispatch telemetry span per PMCA kernel execution.
+  const telemetry::Span span(telemetry::SpanPhase::kClusterDispatch);
   if (team_size == 0) team_size = config_.num_cores;
   HULKV_CHECK(team_size <= config_.num_cores,
               "team larger than the cluster");

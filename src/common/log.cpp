@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -72,12 +73,24 @@ void set_log_clock(LogClock clock) { g_clock = std::move(clock); }
 namespace detail {
 void log_emit(LogLevel level, const std::string& component,
               const std::string& message) {
+  // Wall-clock epoch stamp (ms resolution) alongside the simulation
+  // cycle: the cycle orders lines within a run, the epoch time lets
+  // lines be correlated across runs, with telemetry manifests, and
+  // with anything else on the machine. Logs go to stderr, so bench
+  // stdout stays byte-deterministic.
+  const double epoch_s =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()) /
+      1e3;
   if (g_clock) {
-    std::fprintf(stderr, "[%-5s] @%-10llu %-10s %s\n", level_name(level),
-                 g_clock(), component.c_str(), message.c_str());
+    std::fprintf(stderr, "[%-5s] t=%.3f @%-10llu %-10s %s\n",
+                 level_name(level), epoch_s, g_clock(), component.c_str(),
+                 message.c_str());
   } else {
-    std::fprintf(stderr, "[%-5s] %-10s %s\n", level_name(level),
-                 component.c_str(), message.c_str());
+    std::fprintf(stderr, "[%-5s] t=%.3f %-10s %s\n", level_name(level),
+                 epoch_s, component.c_str(), message.c_str());
   }
 }
 }  // namespace detail

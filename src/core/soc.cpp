@@ -1,6 +1,7 @@
 #include "core/soc.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hulkv::core {
 
@@ -236,6 +237,7 @@ void HulkVSoc::visit_sections(
 }
 
 void HulkVSoc::save(std::ostream& os, const SectionWriterFn& extra) {
+  const telemetry::Span span(telemetry::SpanPhase::kSnapshotSave);
   snapshot::Writer writer(os);
   writer.section(snapshot::kMeta, [this](snapshot::Archive& ar) {
     u64 fingerprint = config_fingerprint();
@@ -247,6 +249,7 @@ void HulkVSoc::save(std::ostream& os, const SectionWriterFn& extra) {
 }
 
 void HulkVSoc::restore(std::istream& is, const SectionReaderFn& extra) {
+  const telemetry::Span span(telemetry::SpanPhase::kSnapshotRestore);
   snapshot::Reader reader(is);
   reader.section(snapshot::kMeta, [this](snapshot::Archive& ar) {
     u64 fingerprint = 0;
@@ -262,6 +265,7 @@ void HulkVSoc::restore(std::istream& is, const SectionReaderFn& extra) {
 }
 
 u64 HulkVSoc::state_digest() {
+  const telemetry::Span span(telemetry::SpanPhase::kSnapshotDigest);
   snapshot::Archive ar = snapshot::Archive::hasher();
   visit_sections([&ar](u32 id, const auto& fn) {
     ar.pod(id);  // delimit sections so state cannot shift between them

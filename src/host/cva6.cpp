@@ -10,6 +10,7 @@
 #include "common/bitutil.hpp"
 #include "common/log.hpp"
 #include "isa/disasm.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hulkv::host {
 
@@ -241,6 +242,9 @@ void Cva6Core::dispatch_blocks(u64 max_instructions, u64 start_instret,
 }
 
 Cva6Core::RunResult Cva6Core::run(u64 max_instructions) {
+  // One host-dispatch telemetry span per run() chunk — outside the
+  // dispatch loop, so the disabled-mode loop body is untouched.
+  const telemetry::Span span(telemetry::SpanPhase::kHostDispatch);
   const Cycles start_cycle = cycle_;
   const u64 start_instret = instret_;
   exited_ = false;

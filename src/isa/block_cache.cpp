@@ -5,6 +5,7 @@
 
 #include "common/types.hpp"
 #include "isa/decoder.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hulkv::isa {
 
@@ -75,6 +76,9 @@ bool touches_shared_state(Op op) {
 }  // namespace
 
 void BlockCache::translate(DecodedBlock& block, Addr pc) {
+  // Telemetry sits on the translate (slow) path only — the per-retire
+  // fast path stays a pointer compare.
+  const telemetry::Span span(telemetry::SpanPhase::kBlockTranslate);
   block.start = pc;
   block.instrs.clear();
   block.shared_mask = 0;

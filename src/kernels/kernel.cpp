@@ -4,6 +4,7 @@
 #include "common/log.hpp"
 #include "isa/instr.hpp"
 #include "profile/profile.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hulkv::kernels {
 
@@ -37,6 +38,8 @@ HostRun run_host_program(core::HulkVSoc& soc, const KernelProgram& program,
   profile::session().register_symbols(core::layout::kHostCodeBase,
                                       program.words.size() * 4,
                                       program.name, program.symbols);
+  telemetry::note_program(program.name, program.words.data(),
+                          program.words.size() * 4);
   return run_host_program(soc, program.words, args);
 }
 
@@ -63,19 +66,31 @@ HostRun run_host_program(core::HulkVSoc& soc,
   options.entry_values.emplace_back(
       isa::reg::sp,
       analysis::Interval::constant(core::layout::kHostStackTop - 64, 64));
-  analysis::Analysis analyzed = analysis::analyze_program(program, options);
+  analysis::Analysis analyzed = [&] {
+    const telemetry::Span span(telemetry::SpanPhase::kProgramAnalyze);
+    return analysis::analyze_program(program, options);
+  }();
   analysis::log_report(analyzed.report, "host-program");
   if (!analyzed.report.ok()) {
     throw SimError("host program rejected by static analysis:\n" +
                    analyzed.report.to_string());
   }
 
-  soc.load_program(core::layout::kHostCodeBase, program);
-  // Attach the proven facts to the host decode cache at the load base
-  // (counts run-ahead-eligible blocks; clears exit-ecall mask bits).
-  analysis::attach_facts(soc.host().decode_blocks(),
-                         core::layout::kHostCodeBase,
-                         std::move(analyzed.facts));
+  {
+    const telemetry::Span load_span(telemetry::SpanPhase::kProgramLoad);
+    telemetry::note_program("host-program", program.data(),
+                            program.size() * 4);
+    if (telemetry::enabled()) {
+      telemetry::registry().note_config_fingerprint(
+          soc.config_fingerprint());
+    }
+    soc.load_program(core::layout::kHostCodeBase, program);
+    // Attach the proven facts to the host decode cache at the load base
+    // (counts run-ahead-eligible blocks; clears exit-ecall mask bits).
+    analysis::attach_facts(soc.host().decode_blocks(),
+                           core::layout::kHostCodeBase,
+                           std::move(analyzed.facts));
+  }
 
   auto& host = soc.host();
   for (size_t i = 0; i < args.size(); ++i) {

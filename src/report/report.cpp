@@ -275,6 +275,15 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       options.profile = true;
       continue;
     }
+    // --telemetry also takes an optional value (a directory).
+    if (std::string_view(argv[i]) == "--telemetry") {
+      options.telemetry = true;
+      continue;
+    }
+    if (take(i, "--telemetry", options.telemetry_dir)) {
+      options.telemetry = true;
+      continue;
+    }
     if (take(i, "--json", options.json_path)) continue;
     if (take(i, "--trace", options.trace_path)) continue;
     if (take(i, "--jobs", jobs)) {

@@ -118,9 +118,10 @@ class MetricsReport {
 };
 
 /// Shared bench command line: --json <path> / --trace <path> /
-/// --jobs <n> / --profile[=<path>] (also the --flag=value spellings for
-/// the value-taking flags). Unknown arguments are ignored so wrappers
-/// like google-benchmark keep their own flags.
+/// --jobs <n> / --profile[=<path>] / --telemetry[=<dir>] (also the
+/// --flag=value spellings for the value-taking flags). Unknown
+/// arguments are ignored so wrappers like google-benchmark keep their
+/// own flags.
 struct BenchOptions {
   std::string json_path;
   std::string trace_path;
@@ -132,6 +133,11 @@ struct BenchOptions {
   /// <path>.annotated.txt (per-line annotated disassembly).
   bool profile = false;
   std::string profile_path;
+  /// Host-side self-observability (hulkv::telemetry). Bare --telemetry
+  /// appends the run manifest to runs/<bench>.jsonl; --telemetry=<dir>
+  /// overrides the directory. Never touches stdout.
+  bool telemetry = false;
+  std::string telemetry_dir;
 };
 BenchOptions parse_bench_args(int argc, char** argv);
 

@@ -1,0 +1,138 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace hulkv::telemetry {
+
+u32 bucket_index(u64 value) {
+  if (value < kSubBucketCount) return static_cast<u32>(value);
+  // bit_width(value) = b means 2^(b-1) <= value < 2^b, so the shifted
+  // sub-index value >> octave lies in [kSubBucketCount/2, kSubBucketCount).
+  const u32 octave = static_cast<u32>(std::bit_width(value)) - kSubBucketBits;
+  const u32 sub = static_cast<u32>(value >> octave);
+  return kSubBucketCount + (octave - 1) * (kSubBucketCount / 2) +
+         (sub - kSubBucketCount / 2);
+}
+
+u64 bucket_lower(u32 index) {
+  if (index < kSubBucketCount) return index;
+  const u32 rel = index - kSubBucketCount;
+  const u32 octave = rel / (kSubBucketCount / 2) + 1;
+  const u64 sub = rel % (kSubBucketCount / 2) + kSubBucketCount / 2;
+  return sub << octave;
+}
+
+u64 bucket_upper(u32 index) {
+  if (index < kSubBucketCount) return index;
+  const u32 rel = index - kSubBucketCount;
+  const u32 octave = rel / (kSubBucketCount / 2) + 1;
+  const u64 sub = rel % (kSubBucketCount / 2) + kSubBucketCount / 2;
+  // The last representable bucket's upper bound saturates at u64 max.
+  if (index == kNumBuckets - 1) return ~u64{0};
+  return ((sub + 1) << octave) - 1;
+}
+
+u64 bucket_mid(u32 index) {
+  const u64 lo = bucket_lower(index);
+  const u64 hi = bucket_upper(index);
+  return lo + (hi - lo) / 2;
+}
+
+void HistogramData::record(u64 value, u64 times) {
+  if (times == 0) return;
+  count_ += times;
+  sum_ += value * times;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  buckets_[bucket_index(value)] += times;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (u32 i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+u64 HistogramData::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target value, 1-based; p=0 maps to the first value.
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(std::ceil(p / 100.0 *
+                                    static_cast<double>(count_))));
+  u64 seen = 0;
+  for (u32 i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(bucket_mid(i), min(), max_);
+    }
+  }
+  return max_;
+}
+
+bool HistogramData::operator==(const HistogramData& other) const {
+  if (count_ != other.count_ || sum_ != other.sum_ ||
+      min_ != other.min_ || max_ != other.max_) {
+    return false;
+  }
+  return std::equal(buckets_, buckets_ + kNumBuckets, other.buckets_);
+}
+
+std::string HistogramData::summary_json() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+                "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,\"p999\":%llu}",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(sum_),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max_),
+                static_cast<unsigned long long>(percentile(50)),
+                static_cast<unsigned long long>(percentile(90)),
+                static_cast<unsigned long long>(percentile(99)),
+                static_cast<unsigned long long>(percentile(99.9)));
+  return buf;
+}
+
+void AtomicHistogram::record(u64 value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  u64 seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void AtomicHistogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~u64{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+HistogramData AtomicHistogram::snapshot() const {
+  HistogramData out;
+  out.count_ = count_.load(std::memory_order_relaxed);
+  out.sum_ = sum_.load(std::memory_order_relaxed);
+  out.min_ = min_.load(std::memory_order_relaxed);
+  out.max_ = max_.load(std::memory_order_relaxed);
+  for (u32 i = 0; i < kNumBuckets; ++i) {
+    out.buckets_[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace hulkv::telemetry

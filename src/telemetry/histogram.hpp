@@ -1,0 +1,119 @@
+// Log-bucketed latency histograms (hulkv::telemetry, DESIGN.md §14).
+//
+// HDR-style log-linear bucketing over u64 values (nanoseconds in the
+// telemetry layer, but the scheme is unit-agnostic):
+//
+//   - values below kSubBucketCount (= 64) land in width-1 buckets and
+//     are recorded exactly;
+//   - larger values split each power-of-two octave [2^m, 2^(m+1)) into
+//     kSubBucketCount/2 buckets of width 2^(m+1-kSubBucketBits), so the
+//     bucket width never exceeds value/32: quantisation error is
+//     bounded at 1/32 (3.125%) of the value, and reporting bucket
+//     midpoints halves that for percentile estimates.
+//
+// Two flavours share the bucket scheme:
+//
+//   - HistogramData: plain counters. Copyable, mergeable (merge is
+//     associative and commutative — bucket-wise addition — so sharded
+//     histograms combine in any order), and queryable (count/sum/min/
+//     max exactly, percentiles within the bucket bound).
+//   - AtomicHistogram: a lock-free recorder for concurrent writers
+//     (batch workers, TLS span flushes). record() is wait-free except
+//     for the min/max CAS loops; snapshot() copies into HistogramData.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hulkv::telemetry {
+
+/// Bucket scheme constants (shared by both flavours).
+inline constexpr u32 kSubBucketBits = 6;
+inline constexpr u32 kSubBucketCount = 1u << kSubBucketBits;  // 64
+/// Octaves above the exact range: value bit-widths kSubBucketBits+1..64.
+inline constexpr u32 kNumOctaves = 64 - kSubBucketBits;
+inline constexpr u32 kNumBuckets =
+    kSubBucketCount + kNumOctaves * (kSubBucketCount / 2);
+
+/// Bucket index of `value` (always < kNumBuckets).
+u32 bucket_index(u64 value);
+/// Smallest value mapping to bucket `index`.
+u64 bucket_lower(u32 index);
+/// Largest value mapping to bucket `index`.
+u64 bucket_upper(u32 index);
+/// Midpoint representative used for percentile reporting.
+u64 bucket_mid(u32 index);
+
+/// Plain (single-writer) histogram state: exact count/sum/min/max plus
+/// the bucket array. The value type tests and merges operate on.
+class HistogramData {
+ public:
+  void record(u64 value, u64 times = 1);
+
+  /// Bucket-wise addition; exact fields combine exactly. Associative
+  /// and commutative, with the default-constructed histogram as the
+  /// identity.
+  void merge(const HistogramData& other);
+
+  u64 count() const { return count_; }
+  u64 sum() const { return sum_; }
+  /// Exact extrema; min() of an empty histogram is 0.
+  u64 min() const { return count_ == 0 ? 0 : min_; }
+  u64 max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Value at percentile `p` (0..100): the midpoint of the bucket
+  /// holding the ceil(p/100 * count)-th smallest recorded value,
+  /// clamped into [min(), max()]. 0 when empty. The estimate is within
+  /// 1/32 of an exact percentile (see the bucket scheme above).
+  u64 percentile(double p) const;
+
+  u64 bucket(u32 index) const { return buckets_[index]; }
+
+  bool operator==(const HistogramData& other) const;
+
+  /// Compact JSON summary object:
+  /// {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,
+  ///  "p99":..,"p999":..}
+  std::string summary_json() const;
+
+ private:
+  friend class AtomicHistogram;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = ~u64{0};
+  u64 max_ = 0;
+  u64 buckets_[kNumBuckets] = {};
+};
+
+/// Lock-free multi-writer recorder. Writers only ever add (and CAS the
+/// extrema), so concurrent record() calls never lose counts; snapshot()
+/// taken while writers are active is a consistent-enough view for
+/// monitoring (exact once writers quiesce, which is when the telemetry
+/// layer reads it).
+class AtomicHistogram {
+ public:
+  AtomicHistogram() = default;
+  AtomicHistogram(const AtomicHistogram&) = delete;
+  AtomicHistogram& operator=(const AtomicHistogram&) = delete;
+
+  void record(u64 value);
+  void reset();
+  HistogramData snapshot() const;
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> min_{~u64{0}};
+  std::atomic<u64> max_{0};
+  std::atomic<u64> buckets_[kNumBuckets] = {};
+};
+
+}  // namespace hulkv::telemetry

@@ -1,0 +1,311 @@
+#include "telemetry/json.hpp"
+
+#include <cstdlib>
+
+namespace hulkv::telemetry::json {
+
+namespace {
+
+/// Recursive-descent parser over a string_view with 1-based position
+/// reporting. Depth-capped so adversarial nesting cannot overflow the
+/// stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SimError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    Value out;
+    switch (c) {
+      case '{': out = parse_object(); break;
+      case '[': out = parse_array(); break;
+      case '"': out = Value::make_string(parse_string()); break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        out = Value::make_bool(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        out = Value::make_bool(false);
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        out = Value::make_null();
+        break;
+      default:
+        out = parse_number();
+    }
+    --depth_;
+    return out;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value::make_object(std::move(members));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value::make_array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          u32 code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<u32>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<u32>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<u32>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (the repo's writers only
+          // escape control characters; surrogate pairs are passed
+          // through as two separate code units).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("bad number");
+    }
+    std::string raw(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(raw.c_str(), &end);
+    if (end != raw.c_str() + raw.size()) fail("bad number");
+    return Value::make_number(value, std::move(raw));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+const Array& Value::as_array() const {
+  static const Array empty;
+  return array_ ? *array_ : empty;
+}
+
+const Object& Value::as_object() const {
+  static const Object empty;
+  return object_ ? *object_ : empty;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject || !object_) return nullptr;
+  for (const auto& [name, value] : *object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const Value* Value::find_path(std::string_view path) const {
+  const Value* node = this;
+  while (node != nullptr && !path.empty()) {
+    const size_t dot = path.find('.');
+    const std::string_view head =
+        dot == std::string_view::npos ? path : path.substr(0, dot);
+    node = node->find(head);
+    path = dot == std::string_view::npos ? std::string_view{}
+                                         : path.substr(dot + 1);
+  }
+  return node;
+}
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double n, std::string raw) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  v.string_ = std::move(raw);
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(Array a) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::make_shared<Array>(std::move(a));
+  return v;
+}
+
+Value Value::make_object(Object o) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::make_shared<Object>(std::move(o));
+  return v;
+}
+
+Value parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::vector<Value> parse_lines(std::string_view text) {
+  std::vector<Value> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    // Tolerate CRLF and blank lines.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) out.push_back(parse(line));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace hulkv::telemetry::json

@@ -1,10 +1,13 @@
 #include "trace/chrome_trace.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace hulkv::trace {
 
@@ -115,6 +118,54 @@ void write_chrome_trace(std::ostream& os, const TraceSink& sink,
         write_common(os, e, options.cycles_per_us);
         os << ",\"ph\":\"C\",\"args\":{\"value\":" << total << "}}";
         break;
+      }
+    }
+  }
+
+  // Host-side telemetry spans: a second process on the wall clock. The
+  // retained span buffer is flushed and copied here, so the export sees
+  // everything recorded up to this call.
+  if (options.host_spans) {
+    const std::vector<telemetry::SpanRecord> spans =
+        telemetry::registry().spans();
+    if (!spans.empty()) {
+      emit_sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+            "\"args\":{\"name\":\"hulkv-host (wall clock)\"}}";
+      u32 max_thread = 0;
+      for (const telemetry::SpanRecord& s : spans) {
+        max_thread = std::max(max_thread, static_cast<u32>(s.thread));
+      }
+      for (u32 t = 0; t <= max_thread; ++t) {
+        emit_sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":"
+           << (t + 1) << ",\"args\":{\"name\":\"host-thread-" << t
+           << "\"}}";
+      }
+      // Clock anchor: span timestamps are steady-clock ns relative to
+      // telemetry enable; wall_epoch_ns is the matching wall-clock
+      // epoch instant, so post-processing can place spans in absolute
+      // time (and correlate manifests from the same run).
+      emit_sep();
+      os << "{\"name\":\"clock_anchor\",\"cat\":\"hulkv-host\","
+            "\"ph\":\"i\",\"s\":\"p\",\"pid\":2,\"tid\":1,\"ts\":0,"
+            "\"args\":{\"wall_epoch_ns\":"
+         << telemetry::registry().wall_anchor_ns()
+         << ",\"steady_anchor_ns\":"
+         << telemetry::registry().steady_anchor_ns() << "}}";
+      char buf[48];
+      for (const telemetry::SpanRecord& s : spans) {
+        emit_sep();
+        os << "{\"name\":\"" << telemetry::phase_name(s.phase)
+           << "\",\"cat\":\"hulkv-host\",\"pid\":2,\"tid\":"
+           << (static_cast<u32>(s.thread) + 1) << ",\"ts\":";
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      static_cast<double>(s.start_ns) / 1000.0);
+        os << buf << ",\"ph\":\"X\",\"dur\":";
+        std::snprintf(buf, sizeof(buf), "%.3f",
+                      static_cast<double>(s.dur_ns) / 1000.0);
+        os << buf << ",\"args\":{\"depth\":" << static_cast<u32>(s.depth)
+           << "}}";
       }
     }
   }

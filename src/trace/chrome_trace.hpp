@@ -17,8 +17,18 @@ namespace hulkv::trace {
 /// Export options. `cycles_per_us` converts the cycle timebase into the
 /// microsecond timestamps the viewers expect; the default maps one cycle
 /// to 1 us which keeps integer cycle numbers readable in the UI.
+///
+/// `host_spans` additionally exports the telemetry registry's retained
+/// host wall-clock spans (program load/analyze, block translate,
+/// dispatch chunks, snapshot ops, batch jobs) as a second process
+/// (pid 2, "hulkv-host") with one swimlane per host thread. Host spans
+/// are real nanoseconds, not simulated cycles — the two processes run
+/// on different clocks, anchored by a `clock_anchor` event carrying the
+/// wall-epoch/steady-clock offset pair taken when telemetry was
+/// enabled. A no-op when telemetry never collected.
 struct ChromeTraceOptions {
   double cycles_per_us = 1.0;
+  bool host_spans = true;
 };
 
 /// Write the whole sink as Chrome trace_event JSON.

@@ -6,9 +6,11 @@
 // This pins down the cross-run state-bleed class of bug (a static or
 // global that survives into the next Soc).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/soc.hpp"
@@ -93,6 +95,27 @@ TEST(Determinism, MemsysExplorerOutputIndependentOfWorkerCount) {
   const std::string serial = run_stdout(cmd + " --jobs 1");
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(serial, run_stdout(cmd + " --jobs 4"));
+}
+
+TEST(Determinism, TelemetryDoesNotPerturbBenchStdout) {
+  // The telemetry layer's contract (DESIGN.md §14): spans, sweep stats
+  // and the run manifest never touch stdout or simulated timing, so a
+  // bench's stdout is byte-identical with telemetry on or off. The
+  // manifest goes to a scratch dir (and must actually appear there).
+  char tmpl[] = "/tmp/hulkv_det_telemetry.XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string cmd = std::string(HULKV_BENCH_DIR) + "/fig8_llc_effect";
+  const std::string off = run_stdout(cmd);
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(off, run_stdout(cmd + " --telemetry=" + dir));
+
+  const std::string manifest = dir + "/fig8_llc_effect.jsonl";
+  FILE* f = std::fopen(manifest.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "missing run manifest " << manifest;
+  std::fclose(f);
+  std::remove(manifest.c_str());
+  rmdir(dir.c_str());
 }
 
 }  // namespace

@@ -156,5 +156,34 @@ TEST(ReportArgs, ParsesJsonAndTraceFlagsBothSpellings) {
   EXPECT_TRUE(b.trace_path.empty());
 }
 
+TEST(ReportArgs, ParsesTelemetryFlagBothSpellings) {
+  // Bare form: enabled, default directory (empty = "runs").
+  const char* argv1[] = {"bench", "--telemetry"};
+  const BenchOptions a = parse_bench_args(2, const_cast<char**>(argv1));
+  EXPECT_TRUE(a.telemetry);
+  EXPECT_TRUE(a.telemetry_dir.empty());
+
+  // = form carries the output directory.
+  const char* argv2[] = {"bench", "--telemetry=out/runs"};
+  const BenchOptions b = parse_bench_args(2, const_cast<char**>(argv2));
+  EXPECT_TRUE(b.telemetry);
+  EXPECT_EQ(b.telemetry_dir, "out/runs");
+
+  // Default: off.
+  const char* argv3[] = {"bench"};
+  const BenchOptions c = parse_bench_args(1, const_cast<char**>(argv3));
+  EXPECT_FALSE(c.telemetry);
+}
+
+TEST(ReportArgs, BareTelemetryDoesNotConsumeNextArg) {
+  // Like --profile, the optional value only binds with '=': a bare
+  // --telemetry followed by another flag must leave that flag intact.
+  const char* argv[] = {"bench", "--telemetry", "--json", "out.json"};
+  const BenchOptions o = parse_bench_args(4, const_cast<char**>(argv));
+  EXPECT_TRUE(o.telemetry);
+  EXPECT_TRUE(o.telemetry_dir.empty());
+  EXPECT_EQ(o.json_path, "out.json");
+}
+
 }  // namespace
 }  // namespace hulkv::report

@@ -1,0 +1,404 @@
+// hulkv-stats: aggregate, diff, trend and schema-check the JSON the
+// benches emit — telemetry run manifests (runs/<bench>.jsonl, written
+// by --telemetry) and the simperf baseline (BENCH_simperf.json with
+// its dated history array from scripts/simperf_baseline.sh).
+//
+//   hulkv-stats list  <manifests.jsonl>...
+//   hulkv-stats agg   <manifests.jsonl> [--metric KEY]
+//   hulkv-stats diff  <a.jsonl> <b.jsonl> [--threshold-pct P]
+//   hulkv-stats trend <BENCH_simperf.json> [--metric NAME]
+//   hulkv-stats check <manifests.jsonl> [--schema schema.json]
+//
+// No external dependencies: uses the in-repo telemetry::json reader.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/manifest.hpp"
+
+namespace {
+
+using namespace hulkv;
+namespace json = telemetry::json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SimError("hulkv-stats: cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<json::Value> load_manifests(const std::string& path) {
+  std::vector<json::Value> runs = json::parse_lines(read_file(path));
+  if (runs.empty()) {
+    throw SimError("hulkv-stats: no runs in " + path);
+  }
+  return runs;
+}
+
+/// Flat {metric key -> numeric value} view of one manifest's metrics
+/// object ({"key": {"value": N, "unit": "..."}}); non-numeric values
+/// (text cells) are skipped.
+std::map<std::string, double> numeric_metrics(const json::Value& run) {
+  std::map<std::string, double> out;
+  const json::Value* metrics = run.find("metrics");
+  if (!metrics || !metrics->is(json::Kind::kObject)) return out;
+  for (const auto& [key, cell] : metrics->as_object()) {
+    const json::Value* value = cell.find("value");
+    if (value && value->is(json::Kind::kNumber)) {
+      out[key] = value->as_number();
+    }
+  }
+  return out;
+}
+
+std::string metric_unit(const json::Value& run, const std::string& key) {
+  const json::Value* cell = run.find_path("metrics." + key);
+  const json::Value* unit = cell ? cell->find("unit") : nullptr;
+  return unit && unit->is(json::Kind::kString) ? unit->as_string() : "";
+}
+
+/// ISO-ish local date from a nanosecond epoch timestamp, for `list`.
+std::string date_of(u64 timestamp_ns) {
+  const time_t secs = static_cast<time_t>(timestamp_ns / 1000000000ull);
+  struct tm tm_buf = {};
+  if (gmtime_r(&secs, &tm_buf) == nullptr) return "?";
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  return buf;
+}
+
+int cmd_list(const std::vector<std::string>& files) {
+  for (const std::string& path : files) {
+    const std::vector<json::Value> runs = load_manifests(path);
+    std::printf("%s: %zu run%s\n", path.c_str(), runs.size(),
+                runs.size() == 1 ? "" : "s");
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const json::Value& run = runs[i];
+      const json::Value* bench = run.find("bench");
+      const json::Value* ts = run.find("timestamp_ns");
+      const json::Value* host = run.find_path("host.hostname");
+      const size_t metrics = numeric_metrics(run).size();
+      const json::Value* phases = run.find("phases");
+      const size_t nphases =
+          phases && phases->is(json::Kind::kObject)
+              ? phases->as_object().size() : 0;
+      std::printf(
+          "  [%zu] %s  %s  host=%s  %zu metrics, %zu phases\n", i,
+          ts ? date_of(static_cast<u64>(ts->as_number())).c_str() : "?",
+          bench ? bench->as_string().c_str() : "?",
+          host ? host->as_string().c_str() : "?", metrics, nphases);
+    }
+  }
+  return 0;
+}
+
+int cmd_agg(const std::string& path, const std::string& only_metric) {
+  const std::vector<json::Value> runs = load_manifests(path);
+  struct Agg {
+    u64 count = 0;
+    double sum = 0, min = 0, max = 0, latest = 0;
+  };
+  std::map<std::string, Agg> aggs;
+  for (const json::Value& run : runs) {
+    for (const auto& [key, value] : numeric_metrics(run)) {
+      if (!only_metric.empty() && key != only_metric) continue;
+      Agg& a = aggs[key];
+      if (a.count == 0) {
+        a.min = a.max = value;
+      } else {
+        a.min = std::min(a.min, value);
+        a.max = std::max(a.max, value);
+      }
+      a.sum += value;
+      a.latest = value;
+      ++a.count;
+    }
+  }
+  if (aggs.empty()) {
+    std::fprintf(stderr, "hulkv-stats agg: no matching numeric metrics\n");
+    return 1;
+  }
+  std::printf("%s: %zu runs\n", path.c_str(), runs.size());
+  std::printf("%-32s %5s %14s %14s %14s %14s\n", "metric", "n", "mean",
+              "min", "max", "latest");
+  for (const auto& [key, a] : aggs) {
+    const std::string unit = metric_unit(runs.back(), key);
+    std::printf("%-32s %5llu %14.4g %14.4g %14.4g %14.4g %s\n",
+                key.c_str(), static_cast<unsigned long long>(a.count),
+                a.sum / static_cast<double>(a.count), a.min, a.max,
+                a.latest, unit.c_str());
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b,
+             double threshold_pct) {
+  // Latest run from each file (append-only logs: last line is newest).
+  const json::Value a = load_manifests(path_a).back();
+  const json::Value b = load_manifests(path_b).back();
+  const std::map<std::string, double> ma = numeric_metrics(a);
+  const std::map<std::string, double> mb = numeric_metrics(b);
+
+  int status = 0;
+  size_t shared = 0;
+  std::printf("%-32s %14s %14s %10s\n", "metric", "a", "b", "delta");
+  for (const auto& [key, va] : ma) {
+    const auto it = mb.find(key);
+    if (it == mb.end()) continue;
+    ++shared;
+    const double vb = it->second;
+    const double delta_pct =
+        va == 0 ? (vb == 0 ? 0.0 : HUGE_VAL) : (vb / va - 1.0) * 100.0;
+    const bool over =
+        threshold_pct >= 0 && std::fabs(delta_pct) > threshold_pct;
+    if (over) status = 1;
+    std::printf("%-32s %14.6g %14.6g %+9.2f%%%s\n", key.c_str(), va, vb,
+                delta_pct, over ? "  OVER" : "");
+  }
+  for (const auto& [key, value] : ma) {
+    if (!mb.count(key)) {
+      std::printf("%-32s %14.6g %14s\n", key.c_str(), value, "(only a)");
+    }
+  }
+  for (const auto& [key, value] : mb) {
+    if (!ma.count(key)) {
+      std::printf("%-32s %14s %14.6g\n", key.c_str(), "(only b)", value);
+    }
+  }
+  if (shared == 0) {
+    std::fprintf(stderr, "hulkv-stats diff: no shared numeric metrics\n");
+    return 1;
+  }
+  if (threshold_pct >= 0) {
+    std::printf("diff: %s (threshold %.1f%%)\n",
+                status ? "OVER THRESHOLD" : "ok", threshold_pct);
+  }
+  return status;
+}
+
+int cmd_trend(const std::string& path, const std::string& only_metric) {
+  // The simperf baseline: google-benchmark JSON plus the dated
+  // "history" array scripts/simperf_baseline.sh appends on refresh.
+  const json::Value doc = json::parse(read_file(path));
+  const json::Value* history = doc.find("history");
+  if (!history || !history->is(json::Kind::kArray)) {
+    std::fprintf(stderr,
+                 "hulkv-stats trend: %s has no history array (refresh the "
+                 "baseline with scripts/simperf_baseline.sh)\n",
+                 path.c_str());
+    return 1;
+  }
+  // metric -> [(date, value)] in history order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<std::pair<std::string, double>>> series;
+  for (const json::Value& entry : history->as_array()) {
+    const json::Value* date = entry.find("date");
+    const json::Value* metrics = entry.find("metrics");
+    if (!date || !metrics || !metrics->is(json::Kind::kObject)) continue;
+    for (const auto& [name, value] : metrics->as_object()) {
+      if (!value.is(json::Kind::kNumber)) continue;
+      if (!only_metric.empty() && name != only_metric) continue;
+      if (!series.count(name)) order.push_back(name);
+      series[name].emplace_back(date->as_string(), value.as_number());
+    }
+  }
+  if (series.empty()) {
+    std::fprintf(stderr, "hulkv-stats trend: no matching history entries\n");
+    return 1;
+  }
+  for (const std::string& name : order) {
+    const auto& points = series[name];
+    std::printf("%s\n", name.c_str());
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i == 0) {
+        std::printf("  %s  %14.6g\n", points[i].first.c_str(),
+                    points[i].second);
+      } else {
+        const double prev = points[i - 1].second;
+        const double delta =
+            prev == 0 ? 0.0 : (points[i].second / prev - 1.0) * 100.0;
+        std::printf("  %s  %14.6g  %+7.2f%%\n", points[i].first.c_str(),
+                    points[i].second, delta);
+      }
+    }
+  }
+  return 0;
+}
+
+/// Validate `value` against a minimal JSON-Schema subset: "type"
+/// (null/boolean/number/string/array/object, or integer = number with
+/// integral raw text), "required" + "properties" on objects, "items"
+/// on arrays. Violations are printed with their path; returns count.
+int validate(const json::Value& value, const json::Value& schema,
+             const std::string& path) {
+  int violations = 0;
+  const json::Value* type = schema.find("type");
+  if (type && type->is(json::Kind::kString)) {
+    const std::string& want = type->as_string();
+    static const std::map<std::string, json::Kind> kKinds = {
+        {"null", json::Kind::kNull},     {"boolean", json::Kind::kBool},
+        {"number", json::Kind::kNumber}, {"integer", json::Kind::kNumber},
+        {"string", json::Kind::kString}, {"array", json::Kind::kArray},
+        {"object", json::Kind::kObject}};
+    const auto it = kKinds.find(want);
+    if (it == kKinds.end() || !value.is(it->second)) {
+      std::printf("  %s: expected %s, got %s\n", path.c_str(),
+                  want.c_str(), json::kind_name(value.kind()));
+      return violations + 1;  // wrong shape: nested checks are noise
+    }
+    if (want == "integer" &&
+        value.raw_number().find_first_of(".eE") != std::string::npos) {
+      std::printf("  %s: expected integer, got %s\n", path.c_str(),
+                  value.raw_number().c_str());
+      ++violations;
+    }
+  }
+  const json::Value* required = schema.find("required");
+  if (required && required->is(json::Kind::kArray) &&
+      value.is(json::Kind::kObject)) {
+    for (const json::Value& key : required->as_array()) {
+      if (!value.find(key.as_string())) {
+        std::printf("  %s: missing required member \"%s\"\n", path.c_str(),
+                    key.as_string().c_str());
+        ++violations;
+      }
+    }
+  }
+  const json::Value* props = schema.find("properties");
+  if (props && props->is(json::Kind::kObject) &&
+      value.is(json::Kind::kObject)) {
+    for (const auto& [key, subschema] : props->as_object()) {
+      if (const json::Value* member = value.find(key)) {
+        violations += validate(*member, subschema, path + "." + key);
+      }
+    }
+  }
+  const json::Value* items = schema.find("items");
+  if (items && value.is(json::Kind::kArray)) {
+    const json::Array& array = value.as_array();
+    for (size_t i = 0; i < array.size(); ++i) {
+      violations += validate(array[i], *items,
+                             path + "[" + std::to_string(i) + "]");
+    }
+  }
+  return violations;
+}
+
+int cmd_check(const std::string& path, const std::string& schema_path) {
+  const std::vector<json::Value> runs = load_manifests(path);
+  json::Value schema;
+  if (!schema_path.empty()) schema = json::parse(read_file(schema_path));
+
+  int violations = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const json::Value& run = runs[i];
+    const std::string where = "run[" + std::to_string(i) + "]";
+    // Built-in invariants every manifest version must satisfy.
+    const json::Value* version = run.find("schema_version");
+    if (!version || !version->is(json::Kind::kNumber)) {
+      std::printf("  %s: missing schema_version\n", where.c_str());
+      ++violations;
+    } else if (static_cast<u32>(version->as_number()) !=
+               telemetry::kManifestSchemaVersion) {
+      std::printf("  %s: schema_version %g, tool expects %u\n",
+                  where.c_str(), version->as_number(),
+                  telemetry::kManifestSchemaVersion);
+      ++violations;
+    }
+    const json::Value* bench = run.find("bench");
+    if (!bench || !bench->is(json::Kind::kString) ||
+        bench->as_string().empty()) {
+      std::printf("  %s: missing or empty bench name\n", where.c_str());
+      ++violations;
+    }
+    if (!schema_path.empty()) {
+      violations += validate(run, schema, where);
+    }
+  }
+  std::printf("check: %s — %zu run%s, %d violation%s\n", path.c_str(),
+              runs.size(), runs.size() == 1 ? "" : "s", violations,
+              violations == 1 ? "" : "s");
+  return violations == 0 ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hulkv-stats <command> [args]\n"
+      "  list  <manifests.jsonl>...            one line per recorded run\n"
+      "  agg   <manifests.jsonl> [--metric K]  aggregate metrics across runs\n"
+      "  diff  <a.jsonl> <b.jsonl> [--threshold-pct P]\n"
+      "                                        compare the latest runs\n"
+      "  trend <BENCH_simperf.json> [--metric N]\n"
+      "                                        baseline history over time\n"
+      "  check <manifests.jsonl> [--schema scripts/manifest_schema.json]\n"
+      "                                        validate run manifests\n");
+  return 2;
+}
+
+/// --flag VALUE extractor: erases the pair from args when present.
+std::string take_flag(std::vector<std::string>& args,
+                      std::string_view flag) {
+  for (size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) {
+      std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      return value;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "list") {
+      if (args.empty()) return usage();
+      return cmd_list(args);
+    }
+    if (cmd == "agg") {
+      const std::string metric = take_flag(args, "--metric");
+      if (args.size() != 1) return usage();
+      return cmd_agg(args[0], metric);
+    }
+    if (cmd == "diff") {
+      const std::string threshold = take_flag(args, "--threshold-pct");
+      if (args.size() != 2) return usage();
+      return cmd_diff(args[0], args[1],
+                      threshold.empty() ? -1.0 : std::stod(threshold));
+    }
+    if (cmd == "trend") {
+      const std::string metric = take_flag(args, "--metric");
+      if (args.size() != 1) return usage();
+      return cmd_trend(args[0], metric);
+    }
+    if (cmd == "check") {
+      const std::string schema = take_flag(args, "--schema");
+      if (args.size() != 1) return usage();
+      return cmd_check(args[0], schema);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hulkv-stats: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "hulkv-stats: unknown command '%.*s'\n",
+               static_cast<int>(cmd.size()), cmd.data());
+  return usage();
+}
