@@ -19,6 +19,7 @@
 #include "power/energy.hpp"
 #include "power/power_model.hpp"
 #include "profile/profile.hpp"
+#include "isa/threaded.hpp"
 #include "report/report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "runtime/offload.hpp"
@@ -292,6 +293,7 @@ Setup dotp_fp_case() {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  isa::configure_tier(options);
   profile::configure(options);
   telemetry::configure(options);
   if (!options.trace_path.empty()) trace::sink().enable();

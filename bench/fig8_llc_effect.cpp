@@ -16,6 +16,7 @@
 #include "kernels/host_kernels.hpp"
 #include "kernels/iot_benchmarks.hpp"
 #include "profile/profile.hpp"
+#include "isa/threaded.hpp"
 #include "report/report.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -127,6 +128,7 @@ std::vector<Workload> workloads() {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  isa::configure_tier(options);
   profile::configure(options);
   telemetry::configure(options);
 

@@ -23,6 +23,7 @@
 #include "kernels/iot_benchmarks.hpp"
 #include "power/energy.hpp"
 #include "profile/profile.hpp"
+#include "isa/threaded.hpp"
 #include "report/report.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -154,6 +155,7 @@ Runner dnn_runner(const apps::Network& network) {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  isa::configure_tier(options);
   profile::configure(options);
   telemetry::configure(options);
 

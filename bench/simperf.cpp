@@ -24,6 +24,7 @@
 #include "mem/cache.hpp"
 #include "mem/hyperram.hpp"
 #include "profile/profile.hpp"
+#include "isa/threaded.hpp"
 #include "report/report.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -40,10 +41,15 @@ void BM_Decode(benchmark::State& state) {
 }
 BENCHMARK(BM_Decode);
 
-void BM_HostIssLoop(benchmark::State& state) {
+/// Host ISS hot loop at an explicit execution tier. The tier is pinned
+/// per row (not left at the process default) so the interp row stays a
+/// stable baseline and the Threaded row measures exactly the
+/// threaded-code dispatch win (DESIGN.md §15).
+void host_iss_loop(benchmark::State& state, isa::ExecTier tier) {
   core::SocConfig cfg;
   cfg.main_memory = core::MainMemoryKind::kDdr4;
   core::HulkVSoc soc(cfg);
+  soc.host().set_tier(tier);
   isa::Assembler a(core::layout::kHostCodeBase, true);
   using namespace isa::reg;
   a.li(t0, 100000);
@@ -84,7 +90,18 @@ void BM_HostIssLoop(benchmark::State& state) {
   state.counters["eligible_blocks"] = static_cast<double>(
       soc.host().decode_blocks().fact_eligible_blocks());
 }
+
+void BM_HostIssLoop(benchmark::State& state) {
+  host_iss_loop(state, isa::ExecTier::kInterp);
+}
 BENCHMARK(BM_HostIssLoop)->Unit(benchmark::kMillisecond);
+
+/// Same loop on the threaded-code tier; compare instr/s against
+/// BM_HostIssLoop for the tier speedup.
+void BM_HostIssLoopThreaded(benchmark::State& state) {
+  host_iss_loop(state, isa::ExecTier::kThreaded);
+}
+BENCHMARK(BM_HostIssLoopThreaded)->Unit(benchmark::kMillisecond);
 
 /// Scoped "profiler collecting" state for the *Profile benchmark
 /// variants: fresh session on entry, prior enabled/disabled state
@@ -113,10 +130,14 @@ void BM_HostIssLoopProfile(benchmark::State& state) {
 }
 BENCHMARK(BM_HostIssLoopProfile)->Unit(benchmark::kMillisecond);
 
-void BM_ClusterIssLoop(benchmark::State& state) {
+/// Cluster ISS hot loop at an explicit execution tier (all 8 cores).
+void cluster_iss_loop(benchmark::State& state, isa::ExecTier tier) {
   core::SocConfig cfg;
   cfg.main_memory = core::MainMemoryKind::kDdr4;
   core::HulkVSoc soc(cfg);
+  for (u32 c = 0; c < soc.cluster().num_cores(); ++c) {
+    soc.cluster().core(c).set_tier(tier);
+  }
   isa::Assembler a(0, /*rv64=*/false);
   using namespace isa::reg;
   // Hardware loop over a MAC body: the cluster ISS hot path (block
@@ -168,7 +189,18 @@ void BM_ClusterIssLoop(benchmark::State& state) {
   state.counters["fact_blocks"] = static_cast<double>(proven);
   state.counters["eligible_blocks"] = static_cast<double>(eligible);
 }
+
+void BM_ClusterIssLoop(benchmark::State& state) {
+  cluster_iss_loop(state, isa::ExecTier::kInterp);
+}
 BENCHMARK(BM_ClusterIssLoop)->Unit(benchmark::kMillisecond);
+
+/// Same kernel on the threaded-code tier; compare instr/s against
+/// BM_ClusterIssLoop for the tier speedup.
+void BM_ClusterIssLoopThreaded(benchmark::State& state) {
+  cluster_iss_loop(state, isa::ExecTier::kThreaded);
+}
+BENCHMARK(BM_ClusterIssLoopThreaded)->Unit(benchmark::kMillisecond);
 
 /// BM_ClusterIssLoop with the cycle profiler collecting.
 void BM_ClusterIssLoopProfile(benchmark::State& state) {
@@ -412,6 +444,7 @@ class ReportCollector : public benchmark::BenchmarkReporter {
 int main(int argc, char** argv) {
   namespace report = hulkv::report;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  isa::configure_tier(options);
   profile::configure(options);
   telemetry::configure(options);
 
@@ -421,13 +454,14 @@ int main(int argc, char** argv) {
   filtered.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--json" || arg == "--trace") {
+    if (arg == "--json" || arg == "--trace" || arg == "--tier") {
       ++i;
       continue;
     }
     // Optional-value flags: only the = form carries a value.
     if (arg == "--profile" || arg == "--telemetry") continue;
     if (arg.rfind("--json=", 0) == 0 || arg.rfind("--trace=", 0) == 0 ||
+        arg.rfind("--tier=", 0) == 0 ||
         arg.rfind("--profile=", 0) == 0 ||
         arg.rfind("--telemetry=", 0) == 0) {
       continue;

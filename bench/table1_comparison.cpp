@@ -1,6 +1,7 @@
 // Regenerates Table I: comparison with the state of the art.
 #include "core/comparison.hpp"
 #include "profile/profile.hpp"
+#include "isa/threaded.hpp"
 #include "report/report.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -8,6 +9,7 @@ int main(int argc, char** argv) {
   namespace report = hulkv::report;
   using hulkv::core::DeviceEntry;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  hulkv::isa::configure_tier(options);
   hulkv::profile::configure(options);
   hulkv::telemetry::configure(options);
 

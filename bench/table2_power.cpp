@@ -2,6 +2,7 @@
 // max power in GF22 FDX) and the Fig. 5 area accounting.
 #include "power/power_model.hpp"
 #include "profile/profile.hpp"
+#include "isa/threaded.hpp"
 #include "report/report.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -9,6 +10,7 @@ int main(int argc, char** argv) {
   namespace report = hulkv::report;
   namespace power = hulkv::power;
   const report::BenchOptions options = report::parse_bench_args(argc, argv);
+  hulkv::isa::configure_tier(options);
   hulkv::profile::configure(options);
   hulkv::telemetry::configure(options);
   const power::PowerModel model;

@@ -37,6 +37,46 @@ for candidate in \
   fi
 done
 
+# Threaded handler-table invariants (DESIGN.md §15) — structural
+# properties of the execution-tier code that the compiler can't state:
+#  * every core resolver keeps its explicit null-handler default, so an
+#    op without a handler deopts to the interpreter instead of
+#    resolving to garbage;
+#  * each dispatch loop has exactly one typed indirect-call site (the
+#    reinterpret_cast back from AnyFn) — handlers are never invoked
+#    from anywhere else;
+#  * the 32-byte ThreadedInstr size assert stays in place (two entries
+#    per cache line is part of the tier's perf contract).
+echo "== threaded handler-table checks =="
+tier_status=0
+for f in "$repo_root/src/host/cva6.cpp" "$repo_root/src/cluster/pmca_core.cpp"; do
+  if ! grep -q 'HandlerInfo{nullptr' "$f"; then
+    echo "lint: $f: resolver lost its null-handler (deopt) default" >&2
+    tier_status=1
+  fi
+done
+for pair in "src/host/cva6.cpp:HostFn" "src/cluster/pmca_core.cpp:PmcaFn"; do
+  f="$repo_root/${pair%%:*}"
+  fn="${pair##*:}"
+  sites="$(grep -c "reinterpret_cast<$fn>" "$f" || true)"
+  if [ "$sites" -ne 1 ]; then
+    echo "lint: $f: expected exactly 1 reinterpret_cast<$fn> dispatch" \
+         "site, found $sites" >&2
+    tier_status=1
+  fi
+done
+if ! grep -q 'static_assert(sizeof(ThreadedInstr) == 32' \
+    "$repo_root/src/isa/threaded.hpp"; then
+  echo "lint: src/isa/threaded.hpp: missing ThreadedInstr 32-byte" \
+       "size assert" >&2
+  tier_status=1
+fi
+if [ "$tier_status" -ne 0 ]; then
+  echo "lint: FAILED (threaded handler-table checks)"
+  exit 1
+fi
+echo "threaded handler-table checks: OK"
+
 if command -v clang-tidy > /dev/null 2>&1; then
   if [ ! -f "$build_dir/compile_commands.json" ]; then
     echo "error: $build_dir/compile_commands.json not found." >&2

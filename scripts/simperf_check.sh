@@ -18,6 +18,10 @@
 #       this tightens their gate to whatever is smaller. Telemetry
 #       collecting-mode overhead (BM_HostIssLoopTelemetry) is printed
 #       informationally like the *Profile rows.
+#
+# The *IssLoopThreaded rows gate the threaded execution tier's absolute
+# throughput like any other row; the threaded-vs-interp speedup is
+# additionally printed informationally at the end.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -115,6 +119,18 @@ for name in PROFILE_OFF_ROWS:
             overhead = (1.0 - fresh[variant] / fresh[name]) * 100.0
             print(f"{variant}: {fresh[variant]:,.0f} instr/s "
                   f"({overhead:.1f}% collecting overhead vs {name})")
+
+# Threaded-tier speedup (informational — the regression loop above
+# already gates both tiers' absolute throughput): how much faster the
+# threaded-code tier retires instructions than the interpreter on the
+# same workload (DESIGN.md §15; the *IssLoop rows pin kInterp, the
+# *IssLoopThreaded rows pin kThreaded).
+for name in PROFILE_OFF_ROWS:
+    variant = name + "Threaded"
+    if name in fresh and variant in fresh and fresh[name] > 0:
+        speedup = fresh[variant] / fresh[name]
+        print(f"{variant}: {fresh[variant]:,.0f} instr/s "
+              f"({speedup:.2f}x speedup over {name})")
 
 if status:
     print("simperf_check: FAILED")

@@ -56,6 +56,10 @@ struct PmcaCoreConfig {
 
 class PmcaCore {
  public:
+  /// Threaded-tier handler table (pmca_core.cpp); needs the same
+  /// private access as exec().
+  friend struct ThreadedPmca;
+
   enum class State { kRunning, kBlocked, kFinished };
 
   /// "No limit" clock key for run_slice(): no core clock ever reaches
@@ -126,6 +130,13 @@ class PmcaCore {
   /// Emit one log line per retired instruction (LogLevel::kTrace).
   void set_trace(bool enabled) { trace_ = enabled; }
 
+  /// Execution tier (DESIGN.md §15). Defaults to the process-wide
+  /// isa::default_tier(); the threaded tier self-deoptimizes to the
+  /// interpreter while the profiler or tracing is active, and observes
+  /// the run-ahead horizon exactly like the interpreter loop.
+  void set_tier(isa::ExecTier tier) { tier_ = tier; }
+  isa::ExecTier tier() const { return tier_; }
+
   /// Close out this core's trace for one kernel run: emits the per-core
   /// `run` interval [dispatched, now] and flushes the commit batch so
   /// windowed commit totals are exact. Called by the cluster scheduler.
@@ -153,6 +164,14 @@ class PmcaCore {
 
  private:
   void exec(const isa::Instr& instr);
+  /// Interpreter tier of run_slice() (also the deopt target of the
+  /// threaded tier): the per-instruction decode-switch loop.
+  void run_slice_interp(Cycles limit_cycle, u32 limit_id, u64 max_instrs,
+                        bool lockstep, profile::CoreProfile* prof);
+  /// Threaded tier of run_slice(): pre-resolved handler pointers, no
+  /// per-instruction opcode switch or field decode. Delegates to
+  /// run_slice_interp() at deopt points (ecall/ebreak/illegal).
+  void run_slice_threaded(Cycles limit_cycle, u32 limit_id, u64 max_instrs);
   void apply_hwloops();
   /// Cluster I-cache timing for a fetch at `pc`: paid once per line.
   void fetch_timing(Addr pc);
@@ -203,11 +222,17 @@ class PmcaCore {
   Addr fetch_line_ = ~0ull;
 
   bool trace_ = false;
+  isa::ExecTier tier_ = isa::default_tier();
   isa::BlockCache blocks_;
   EnvHandler env_;
   // Cold (touched once per run_slice(), not per instruction); kept last
   // so it does not shift the execution-state members across cache lines.
   profile::Handle prof_handle_;  // cycle-attribution registration
 };
+
+/// Threaded-tier handler lookup for one op (null fn == deopt point).
+/// Exposed so threaded_test can assert exhaustive table coverage.
+isa::threaded::HandlerInfo threaded_resolve(isa::Op op,
+                                            const PmcaCoreConfig& config);
 
 }  // namespace hulkv::cluster

@@ -77,6 +77,10 @@ struct Cva6Config {
 
 class Cva6Core {
  public:
+  /// Threaded-tier handler table (cva6.cpp); needs the same private
+  /// access as exec().
+  friend struct ThreadedHost;
+
   /// Result of a run() segment.
   struct RunResult {
     Cycles cycles = 0;     // cycles consumed by this segment
@@ -124,6 +128,13 @@ class Cva6Core {
   /// component "cva6"): cycle, pc, disassembly. For debugging programs.
   void set_trace(bool enabled) { trace_ = enabled; }
 
+  /// Execution tier (DESIGN.md §15). Defaults to the process-wide
+  /// isa::default_tier(); the threaded tier self-deoptimizes to the
+  /// interpreter while the cycle profiler or tracing is active, so
+  /// selecting it never changes attribution or event streams.
+  void set_tier(isa::ExecTier tier) { tier_ = tier; }
+  isa::ExecTier tier() const { return tier_; }
+
   /// Execute until the exit syscall or `max_instructions`.
   RunResult run(u64 max_instructions = UINT64_MAX);
 
@@ -155,6 +166,7 @@ class Cva6Core {
   Tlb* dtlb() { return dtlb_.get(); }
   Tlb* itlb() { return itlb_.get(); }
   StatGroup& stats() { return stats_; }
+  u64 instret() const { return instret_; }
   mem::SocBus& bus() { return *bus_; }
 
  private:
@@ -164,6 +176,17 @@ class Cva6Core {
   template <bool kProfiled>
   void dispatch_blocks(u64 max_instructions, u64 start_instret,
                        profile::CoreProfile* prof);
+  /// Threaded-tier dispatch loop: pre-resolved handler pointers, no
+  /// per-instruction decode/switch/cache-probe. Falls back to
+  /// interp_block() at deopt points (ecall/ebreak/wfi/illegal).
+  void dispatch_threaded(u64 max_instructions, u64 start_instret);
+  /// dispatch_threaded body, specialized on whether the instruction
+  /// budget can bind (run()'s default UINT64_MAX cannot).
+  template <bool kBounded>
+  void dispatch_threaded_loop(u64 max_instructions, u64 start_instret);
+  /// Execute exactly one decoded block at pc_ with the interpreter
+  /// loop (same per-instruction sequence as dispatch_blocks<false>).
+  void interp_block(u64 max_instructions, u64 start_instret);
   /// I-cache (+ITLB) timing for a fetch at `pc`: paid once per line.
   void fetch_timing(Addr pc);
 
@@ -207,6 +230,7 @@ class Cva6Core {
   Addr fetch_line_ = ~0ull;  // current I-cache line (64-byte aligned)
 
   bool trace_ = false;
+  isa::ExecTier tier_ = isa::default_tier();
   isa::BlockCache blocks_;
   SyscallHandler syscall_;
   WfiHandler wfi_;
@@ -214,5 +238,10 @@ class Cva6Core {
   // does not shift the execution-state members across cache lines.
   profile::Handle prof_handle_;  // cycle-attribution registration
 };
+
+/// Threaded-tier handler lookup for one op (null fn == deopt point).
+/// Exposed so threaded_test can assert exhaustive table coverage.
+isa::threaded::HandlerInfo threaded_resolve(isa::Op op,
+                                            const Cva6Config& config);
 
 }  // namespace hulkv::host

@@ -45,7 +45,7 @@ void BlockCache::invalidate_range(Addr base, u64 bytes) {
   invalidate();
 }
 
-const DecodedBlock& BlockCache::lookup_slow(Addr pc) {
+DecodedBlock& BlockCache::lookup_slow(Addr pc) {
   DecodedBlock& block = blocks_[pc];
   if (block.generation != generation_) translate(block, pc);
   last_ = &block;

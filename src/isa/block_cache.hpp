@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "isa/instr.hpp"
+#include "isa/threaded.hpp"
 
 namespace hulkv::isa {
 
@@ -62,6 +63,11 @@ struct DecodedBlock {
   /// instruction); 0 when unproven.
   u32 min_cycles = 0;
   std::vector<Instr> instrs;
+  /// Threaded-code form (DESIGN.md §15), lowered lazily by the owning
+  /// core's threaded dispatch loop on first execution of this block and
+  /// kept in sync via its own generation tag (stale after an
+  /// invalidation bump, re-lowered on next threaded dispatch).
+  threaded::ThreadedBlock threaded;
 };
 
 /// Facts a static-analysis provider attaches to a translated block.
@@ -110,6 +116,14 @@ class BlockCache {
     return lookup_slow(pc);
   }
 
+  /// Mutable variant for the threaded dispatch loops, which lazily
+  /// attach the lowered form to the block (DecodedBlock::threaded).
+  /// Same translation/memo behaviour as block_at().
+  DecodedBlock& block_for_exec(Addr pc) {
+    if (last_ != nullptr && last_->start == pc) return *last_;
+    return lookup_slow(pc);
+  }
+
   /// Drop every cached block: O(1) generation bump. Stale blocks
   /// re-translate in place on their next dispatch.
   void invalidate();
@@ -139,7 +153,7 @@ class BlockCache {
   static bool ends_block(Op op);
 
  private:
-  const DecodedBlock& lookup_slow(Addr pc);
+  DecodedBlock& lookup_slow(Addr pc);
   void translate(DecodedBlock& block, Addr pc);
 
   ReadWord read_word_;

@@ -286,6 +286,7 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     }
     if (take(i, "--json", options.json_path)) continue;
     if (take(i, "--trace", options.trace_path)) continue;
+    if (take(i, "--tier", options.tier)) continue;
     if (take(i, "--jobs", jobs)) {
       options.jobs = static_cast<u32>(std::strtoul(jobs.c_str(), nullptr, 10));
       continue;

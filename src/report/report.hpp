@@ -118,10 +118,10 @@ class MetricsReport {
 };
 
 /// Shared bench command line: --json <path> / --trace <path> /
-/// --jobs <n> / --profile[=<path>] / --telemetry[=<dir>] (also the
-/// --flag=value spellings for the value-taking flags). Unknown
-/// arguments are ignored so wrappers like google-benchmark keep their
-/// own flags.
+/// --jobs <n> / --profile[=<path>] / --telemetry[=<dir>] /
+/// --tier <interp|threaded> (also the --flag=value spellings for the
+/// value-taking flags). Unknown arguments are ignored so wrappers like
+/// google-benchmark keep their own flags.
 struct BenchOptions {
   std::string json_path;
   std::string trace_path;
@@ -138,6 +138,9 @@ struct BenchOptions {
   /// overrides the directory. Never touches stdout.
   bool telemetry = false;
   std::string telemetry_dir;
+  /// Execution tier for both ISSs (isa::configure_tier): "interp" or
+  /// "threaded". Empty = keep the built-in default (threaded).
+  std::string tier;
 };
 BenchOptions parse_bench_args(int argc, char** argv);
 

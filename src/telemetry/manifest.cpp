@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "isa/threaded.hpp"
 #include "report/report.hpp"
 
 namespace hulkv::telemetry {
@@ -66,6 +67,7 @@ std::string Manifest::to_json_line() const {
   std::ostringstream os;
   os << "{\"schema_version\":" << schema_version
      << ",\"bench\":" << json_quote(bench)
+     << ",\"tier\":" << json_quote(tier)
      << ",\"timestamp_ns\":" << timestamp_ns
      << ",\"host\":{\"hostname\":" << json_quote(hostname)
      << ",\"pid\":" << pid << ",\"hw_concurrency\":" << hw_concurrency
@@ -111,6 +113,7 @@ Manifest build_manifest(const report::MetricsReport& rep,
                         const Registry& reg) {
   Manifest m;
   m.bench = rep.name();
+  m.tier = isa::tier_name(isa::default_tier());
   m.timestamp_ns = reg.wall_anchor_ns();
   m.hostname = host_name();
   m.pid = static_cast<u32>(getpid());

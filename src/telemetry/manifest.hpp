@@ -25,11 +25,13 @@ namespace hulkv::telemetry {
 
 /// Manifest schema version (the "schema_version" field; hulkv-stats
 /// check validates against scripts/manifest_schema.json).
-inline constexpr u32 kManifestSchemaVersion = 1;
+/// v2: added "tier" (execution tier the run used, DESIGN.md §15).
+inline constexpr u32 kManifestSchemaVersion = 2;
 
 struct Manifest {
   u32 schema_version = kManifestSchemaVersion;
   std::string bench;       // MetricsReport name
+  std::string tier;        // execution tier ("interp" | "threaded")
   u64 timestamp_ns = 0;    // wall-clock ns since epoch (registry anchor)
   std::string hostname;
   u32 pid = 0;

@@ -48,6 +48,7 @@ enum class SpanPhase : u8 {
   kSnapshotSave,     // HulkVSoc::save
   kSnapshotRestore,  // HulkVSoc::restore
   kSnapshotDigest,   // HulkVSoc::state_digest
+  kThreadedLower,    // one block lowering to threaded code (§15)
   kBatchJob,         // one batch::run_jobs job
 };
 inline constexpr size_t kNumSpanPhases =

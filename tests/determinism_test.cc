@@ -14,6 +14,8 @@
 #include <string>
 
 #include "core/soc.hpp"
+#include "isa/assembler.hpp"
+#include "isa/threaded.hpp"
 #include "kernels/iot_benchmarks.hpp"
 
 namespace {
@@ -95,6 +97,63 @@ TEST(Determinism, MemsysExplorerOutputIndependentOfWorkerCount) {
   const std::string serial = run_stdout(cmd + " --jobs 1");
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(serial, run_stdout(cmd + " --jobs 4"));
+}
+
+TEST(Determinism, ThreadedTierDigestMatchesInterpAtCheckpoints) {
+  // The threaded execution tier's contract (DESIGN.md §15): every
+  // cycle-accounting side effect in the interpreter's order, so the
+  // full serialized SoC state — registers, clocks, caches, stats — is
+  // identical at any instruction boundary. Checked at three mid-run
+  // checkpoints (budget cuts land mid-block, exercising the threaded
+  // loop's pc/next_pc re-establishment) plus the final state.
+  auto run_checkpoints = [](isa::ExecTier tier) {
+    core::SocConfig cfg;
+    cfg.main_memory = core::MainMemoryKind::kDdr4;
+    core::HulkVSoc soc(cfg);
+    soc.host().set_tier(tier);
+    using namespace isa::reg;
+    isa::Assembler a(core::layout::kHostCodeBase, /*rv64=*/true);
+    a.li(t0, 2000);
+    a.li(t1, 0);
+    a.li(t2, core::layout::kSharedBase);
+    a.label("loop");
+    a.sd(t1, 0, t2);       // store through the write-through L1D
+    a.ld(t3, 0, t2);       // load back (D-cache hit path)
+    a.mul(t4, t1, t0);     // multiplier latency
+    a.addi(t1, t1, 1);
+    a.addi(t0, t0, -1);
+    a.bnez(t0, "loop");
+    a.mv(a0, t1);
+    a.li(a7, 93);
+    a.ecall();
+    soc.load_program(core::layout::kHostCodeBase, a.assemble());
+    soc.host().set_syscall_handler(
+        [](host::Cva6Core& c) -> host::Cva6Core::SyscallAction {
+          return c.reg(17) == 93
+                     ? host::Cva6Core::SyscallAction::kExit
+                     : host::Cva6Core::SyscallAction::kContinue;
+        });
+    soc.host().set_pc(core::layout::kHostCodeBase);
+    std::array<u64, 4> digests{};
+    for (int i = 0; i < 3; ++i) {
+      soc.host().run(/*max_instructions=*/1501);  // mid-block checkpoints
+      digests[static_cast<size_t>(i)] = soc.state_digest();
+    }
+    soc.host().run();
+    digests[3] = soc.state_digest();
+    return digests;
+  };
+  EXPECT_EQ(run_checkpoints(isa::ExecTier::kInterp),
+            run_checkpoints(isa::ExecTier::kThreaded));
+}
+
+TEST(Determinism, TierDoesNotPerturbBenchStdout) {
+  // Figure-bench output is byte-identical between execution tiers (the
+  // wider sweep over all figure benches runs in scripts/ci.sh).
+  const std::string cmd = std::string(HULKV_BENCH_DIR) + "/fig8_llc_effect";
+  const std::string interp = run_stdout(cmd + " --tier=interp");
+  ASSERT_FALSE(interp.empty());
+  EXPECT_EQ(interp, run_stdout(cmd + " --tier=threaded"));
 }
 
 TEST(Determinism, TelemetryDoesNotPerturbBenchStdout) {

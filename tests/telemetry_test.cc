@@ -18,6 +18,7 @@
 
 #include "batch/batch.hpp"
 #include "common/rng.hpp"
+#include "isa/threaded.hpp"
 #include "report/report.hpp"
 #include "telemetry/histogram.hpp"
 #include "telemetry/json.hpp"
@@ -391,6 +392,9 @@ TEST(TelemetryManifest, BuildSerializeParseRoundTrip) {
   EXPECT_DOUBLE_EQ(v.find("schema_version")->as_number(),
                    kManifestSchemaVersion);
   EXPECT_EQ(v.find("bench")->as_string(), "roundtrip_bench");
+  // v2: the manifest records the process-wide execution tier.
+  EXPECT_EQ(v.find("tier")->as_string(),
+            isa::tier_name(isa::default_tier()));
   EXPECT_FALSE(v.find_path("host.hostname")->as_string().empty());
   ASSERT_EQ(v.find("config_fingerprints")->as_array().size(), 1u);
   EXPECT_EQ(v.find("config_fingerprints")->as_array()[0].raw_number(),

@@ -69,6 +69,32 @@ std::string metric_unit(const json::Value& run, const std::string& key) {
   return unit && unit->is(json::Kind::kString) ? unit->as_string() : "";
 }
 
+/// Execution tier a run was recorded under ("interp" | "threaded");
+/// empty for pre-v2 manifests that predate the field.
+std::string tier_of(const json::Value& run) {
+  const json::Value* tier = run.find("tier");
+  return tier && tier->is(json::Kind::kString) ? tier->as_string() : "";
+}
+
+/// Latest run per execution tier, in first-seen tier order (manifests
+/// are append-only logs, so a later line of the same tier is newer).
+std::vector<std::pair<std::string, const json::Value*>> latest_per_tier(
+    const std::vector<json::Value>& runs) {
+  std::vector<std::pair<std::string, const json::Value*>> out;
+  for (const json::Value& run : runs) {
+    const std::string tier = tier_of(run);
+    const auto it =
+        std::find_if(out.begin(), out.end(),
+                     [&](const auto& entry) { return entry.first == tier; });
+    if (it == out.end()) {
+      out.emplace_back(tier, &run);
+    } else {
+      it->second = &run;
+    }
+  }
+  return out;
+}
+
 /// ISO-ish local date from a nanosecond epoch timestamp, for `list`.
 std::string date_of(u64 timestamp_ns) {
   const time_t secs = static_cast<time_t>(timestamp_ns / 1000000000ull);
@@ -94,10 +120,12 @@ int cmd_list(const std::vector<std::string>& files) {
       const size_t nphases =
           phases && phases->is(json::Kind::kObject)
               ? phases->as_object().size() : 0;
+      const std::string tier = tier_of(run);
       std::printf(
-          "  [%zu] %s  %s  host=%s  %zu metrics, %zu phases\n", i,
+          "  [%zu] %s  %s  tier=%s  host=%s  %zu metrics, %zu phases\n", i,
           ts ? date_of(static_cast<u64>(ts->as_number())).c_str() : "?",
           bench ? bench->as_string().c_str() : "?",
+          tier.empty() ? "?" : tier.c_str(),
           host ? host->as_string().c_str() : "?", metrics, nphases);
     }
   }
@@ -143,11 +171,10 @@ int cmd_agg(const std::string& path, const std::string& only_metric) {
   return 0;
 }
 
-int cmd_diff(const std::string& path_a, const std::string& path_b,
-             double threshold_pct) {
-  // Latest run from each file (append-only logs: last line is newest).
-  const json::Value a = load_manifests(path_a).back();
-  const json::Value b = load_manifests(path_b).back();
+/// Diff one pair of runs' numeric metrics. Returns 1 when a shared
+/// metric's delta exceeds the threshold or no metric is shared.
+int diff_pair(const json::Value& a, const json::Value& b,
+              double threshold_pct) {
   const std::map<std::string, double> ma = numeric_metrics(a);
   const std::map<std::string, double> mb = numeric_metrics(b);
 
@@ -184,6 +211,60 @@ int cmd_diff(const std::string& path_a, const std::string& path_b,
   if (threshold_pct >= 0) {
     std::printf("diff: %s (threshold %.1f%%)\n",
                 status ? "OVER THRESHOLD" : "ok", threshold_pct);
+  }
+  return status;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b,
+             double threshold_pct) {
+  // Runs are only comparable within one execution tier (the tiers have
+  // identical simulated timing but very different simulator throughput,
+  // so a cross-tier diff of instr/s or wall-time metrics is noise).
+  // Group each file by tier and diff the latest run per shared tier.
+  const std::vector<json::Value> runs_a = load_manifests(path_a);
+  const std::vector<json::Value> runs_b = load_manifests(path_b);
+  const auto tiers_a = latest_per_tier(runs_a);
+  const auto tiers_b = latest_per_tier(runs_b);
+
+  int status = 0;
+  size_t paired = 0;
+  for (const auto& [tier, run_a] : tiers_a) {
+    const auto it =
+        std::find_if(tiers_b.begin(), tiers_b.end(),
+                     [&](const auto& entry) { return entry.first == tier; });
+    if (it == tiers_b.end()) {
+      std::fprintf(stderr,
+                   "hulkv-stats diff: warning — tier \"%s\" only in %s, "
+                   "skipped\n",
+                   tier.c_str(), path_a.c_str());
+      continue;
+    }
+    if (paired != 0) std::printf("\n");
+    if (!tier.empty()) std::printf("tier=%s\n", tier.c_str());
+    ++paired;
+    status |= diff_pair(*run_a, *it->second, threshold_pct);
+  }
+  for (const auto& [tier, run_b] : tiers_b) {
+    const auto it =
+        std::find_if(tiers_a.begin(), tiers_a.end(),
+                     [&](const auto& entry) { return entry.first == tier; });
+    if (it == tiers_a.end()) {
+      std::fprintf(stderr,
+                   "hulkv-stats diff: warning — tier \"%s\" only in %s, "
+                   "skipped\n",
+                   tier.c_str(), path_b.c_str());
+    }
+  }
+  if (paired == 0) {
+    // No tier appears on both sides (e.g. interp-only vs threaded-only
+    // logs): fall back to latest-vs-latest, flagged as cross-tier.
+    const std::string ta = tier_of(runs_a.back());
+    const std::string tb = tier_of(runs_b.back());
+    std::fprintf(stderr,
+                 "hulkv-stats diff: warning — no shared tier, comparing "
+                 "latest runs of different tiers (\"%s\" vs \"%s\")\n",
+                 ta.c_str(), tb.c_str());
+    return diff_pair(runs_a.back(), runs_b.back(), threshold_pct);
   }
   return status;
 }
@@ -340,7 +421,8 @@ int usage() {
       "  list  <manifests.jsonl>...            one line per recorded run\n"
       "  agg   <manifests.jsonl> [--metric K]  aggregate metrics across runs\n"
       "  diff  <a.jsonl> <b.jsonl> [--threshold-pct P]\n"
-      "                                        compare the latest runs\n"
+      "                                        compare the latest runs,\n"
+      "                                        grouped by execution tier\n"
       "  trend <BENCH_simperf.json> [--metric N]\n"
       "                                        baseline history over time\n"
       "  check <manifests.jsonl> [--schema scripts/manifest_schema.json]\n"
