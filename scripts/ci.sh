@@ -68,9 +68,9 @@ if [ "$fast" -eq 0 ]; then
   step "build (TSan)"
   configure_and_build "$repo_root/build-tsan" "thread"
 
-  step "test (TSan: batch job queue + determinism under worker pools)"
+  step "test (TSan: batch job queue, serve daemon, determinism under worker pools)"
   ctest --test-dir "$repo_root/build-tsan" -j "$jobs" \
-    -R '^(RunJobs|SweepEngine|SocSnapshot|Determinism|Threaded)' \
+    -R '^(RunJobs|SweepEngine|SocSnapshot|Determinism|Threaded|Serve)' \
     --output-on-failure --no-tests=error
 fi
 
@@ -118,6 +118,46 @@ if ! "$repo_root/build/tools/hulkv-stats" check \
   exit 1
 fi
 rm -rf "$telemetry_dir"
+
+step "serve smoke (daemon + loadgen burst, manifest schema-checked)"
+serve_dir="$(mktemp -d /tmp/ci_serve.XXXXXX)"
+"$repo_root/build/tools/hulkv-serve" \
+  --socket "$serve_dir/serve.sock" --workers 2 \
+  --telemetry="$serve_dir/runs" &
+serve_pid=$!
+for _ in $(seq 50); do
+  [ -S "$serve_dir/serve.sock" ] && break
+  sleep 0.1
+done
+# Two identical bursts: the second one must hit the result cache.
+for _ in 1 2; do
+  "$repo_root/build/tools/hulkv-loadgen" \
+    --socket "$serve_dir/serve.sock" --connections 2 --requests 4 \
+    --type run > "$serve_dir/loadgen.json"
+done
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "ci: serve smoke FAILED — daemon did not exit cleanly on SIGTERM" >&2
+  exit 1
+fi
+if ! "$repo_root/build/tools/hulkv-stats" check \
+    "$serve_dir/runs/hulkv_serve.jsonl" \
+    --schema "$repo_root/scripts/manifest_schema.json"; then
+  echo "ci: serve smoke FAILED — serve manifest does not match" \
+       "scripts/manifest_schema.json" >&2
+  exit 1
+fi
+python3 - "$serve_dir/runs/hulkv_serve.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    manifest = json.loads(f.readline())
+metrics = manifest["metrics"]
+assert manifest["kind"] == "serve", manifest["kind"]
+assert metrics["serve.cache_hits"]["value"] > 0, "no cache hits on repeat burst"
+assert metrics["serve.responses_ok"]["value"] == 16, metrics["serve.responses_ok"]
+assert metrics["serve.internal_errors"]["value"] == 0
+EOF
+rm -rf "$serve_dir"
 
 step "lint"
 "$repo_root/scripts/lint.sh"

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Capture a serve-daemon performance baseline: boot hulkv-serve, drive
+# it with hulkv-loadgen, and write the headline numbers to
+# BENCH_serve.json (repo root by default). Three measurements:
+#
+#   no_cache  closed-loop burst with --no-cache — every request runs a
+#             full warm-fork simulation (simulation throughput)
+#   cached    the same burst repeated against a warm cache — cache-hit
+#             latency and RPC overhead
+#   cold      --cold-baseline local cold-boot points — what a request
+#             would cost without the warm-snapshot pool (the number the
+#             warm-fork speedup headline is computed against)
+#
+# Re-baseline (run this script and commit the JSON) after intentional
+# serve-path changes or when moving to different reference hardware.
+#
+# Usage: scripts/serve_baseline.sh [output-file]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/BENCH_serve.json}"
+
+for tool in hulkv-serve hulkv-loadgen; do
+  if [ ! -x "$build_dir/tools/$tool" ]; then
+    echo "error: $build_dir/tools/$tool not found. Build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+work_dir="$(mktemp -d /tmp/serve_baseline.XXXXXX)"
+serve_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2> /dev/null || true
+  rm -rf "$work_dir"
+}
+trap cleanup EXIT
+
+"$build_dir/tools/hulkv-serve" \
+  --socket "$work_dir/serve.sock" --workers 2 > /dev/null &
+serve_pid=$!
+for _ in $(seq 50); do
+  [ -S "$work_dir/serve.sock" ] && break
+  sleep 0.1
+done
+[ -S "$work_dir/serve.sock" ] || { echo "error: daemon did not start" >&2; exit 1; }
+
+# One closed-loop connection: with N connections every request's
+# latency includes waiting out the other N-1 simulations (pure
+# queueing), which would bury the warm-fork vs cold-boot comparison.
+loadgen() {
+  "$build_dir/tools/hulkv-loadgen" --socket "$work_dir/serve.sock" \
+    --connections 1 --requests 20 --workload 255 "$@"
+}
+
+# Pre-warm the snapshot pool so the measured burst times warm forks,
+# not the one-time slot builds; then measure simulation throughput
+# (cache bypassed) + the local cold-boot comparison, then the identical
+# burst against the now-warm cache.
+loadgen --no-cache > /dev/null
+loadgen --no-cache --cold-baseline 10 > "$work_dir/no_cache.json"
+loadgen > /dev/null                      # populate the cache
+loadgen > "$work_dir/cached.json"
+
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+
+python3 - "$out" "$work_dir" "$(date -u +%Y-%m-%d)" << 'EOF'
+import json
+import sys
+
+out_path, work_dir, today = sys.argv[1], sys.argv[2], sys.argv[3]
+
+try:
+    with open(out_path) as f:
+        history = json.load(f).get("history", [])
+except (OSError, ValueError):
+    history = []
+
+with open(f"{work_dir}/no_cache.json") as f:
+    no_cache = json.load(f)
+with open(f"{work_dir}/cached.json") as f:
+    cached = json.load(f)
+
+warm_p50 = no_cache["latency"]["p50"]
+cold_p50 = no_cache["cold_baseline"]["p50"]
+headline = {
+    "sim_requests_per_s": no_cache["requests_per_s"],
+    "sim_p50_ns": warm_p50,
+    "sim_p99_ns": no_cache["latency"]["p99"],
+    "cached_requests_per_s": cached["requests_per_s"],
+    "cached_p50_ns": cached["latency"]["p50"],
+    "cached_p99_ns": cached["latency"]["p99"],
+    "cold_boot_p50_ns": cold_p50,
+    "warm_fork_speedup": round(cold_p50 / warm_p50, 3) if warm_p50 else 0.0,
+}
+
+# One entry per refresh date: a same-day re-run replaces today's entry
+# instead of stacking noise.
+history = [e for e in history if e.get("date") != today]
+history.append({"date": today, "metrics": headline})
+
+with open(out_path, "w") as f:
+    json.dump(
+        {
+            "note": "hulkv-serve baseline (scripts/serve_baseline.sh); "
+                    "latencies ns, reference machine",
+            "headline": headline,
+            "no_cache": no_cache,
+            "cached": cached,
+            "history": history,
+        },
+        f, indent=1)
+    f.write("\n")
+print(f"serve_baseline: warm-fork speedup over cold boot: "
+      f"{headline['warm_fork_speedup']}x")
+print(f"serve_baseline: history now has {len(history)} dated entries")
+EOF
+
+echo
+echo "serve_baseline: wrote $out"

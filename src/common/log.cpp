@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -8,8 +9,10 @@
 namespace hulkv {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-bool g_env_checked = false;
+// Atomics: log_level() is called concurrently by server worker
+// threads; two first-callers may both apply the env (idempotent).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_env_checked{false};
 LogClock g_clock;  // NOLINT(cert-err58-cpp)
 
 const char* level_name(LogLevel level) {
@@ -33,23 +36,26 @@ const char* level_name(LogLevel level) {
 /// Lazily apply HULKV_LOG from the environment, once. An explicit
 /// set_log_level() afterwards still wins (it re-marks the env as seen).
 void apply_env_once() {
-  if (g_env_checked) return;
-  g_env_checked = true;
+  if (g_env_checked.load(std::memory_order_acquire)) return;
   const char* env = std::getenv("HULKV_LOG");
   if (env != nullptr && env[0] != '\0') {
-    g_level = parse_log_level(env, g_level);
+    g_level.store(
+        parse_log_level(env, g_level.load(std::memory_order_relaxed)),
+        std::memory_order_relaxed);
   }
+  g_env_checked.store(true, std::memory_order_release);
 }
 }  // namespace
 
 LogLevel log_level() {
   apply_env_once();
-  return g_level;
+  return g_level.load(std::memory_order_relaxed);
 }
 
 void set_log_level(LogLevel level) {
-  g_env_checked = true;  // explicit choice overrides HULKV_LOG
-  g_level = level;
+  g_level.store(level, std::memory_order_relaxed);
+  // Explicit choice overrides HULKV_LOG.
+  g_env_checked.store(true, std::memory_order_release);
 }
 
 LogLevel parse_log_level(const std::string& name, LogLevel fallback) {

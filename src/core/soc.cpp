@@ -131,9 +131,10 @@ void fold_cache_config(snapshot::Archive& ar, const mem::CacheConfig& c) {
 
 }  // namespace
 
-u64 HulkVSoc::config_fingerprint() const {
+u64 HulkVSoc::config_fingerprint() const { return fingerprint_of(config_); }
+
+u64 HulkVSoc::fingerprint_of(const SocConfig& c) {
   snapshot::Archive ar = snapshot::Archive::hasher();
-  const SocConfig& c = config_;
   fold(ar, static_cast<u32>(c.main_memory));
   fold(ar, c.enable_llc);
   fold(ar, c.hyperram.clk_div);

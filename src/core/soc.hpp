@@ -153,6 +153,11 @@ class HulkVSoc {
   /// snapshot's kMeta section and checked on restore).
   u64 config_fingerprint() const;
 
+  /// The same fingerprint computed from a bare configuration — lets
+  /// callers (e.g. the serve result cache) derive cache keys without
+  /// constructing a SoC. config_fingerprint() delegates here.
+  static u64 fingerprint_of(const SocConfig& config);
+
  private:
   /// One place enumerating every (section id, component traversal)
   /// pair; save/restore/state_digest all walk this table so they can

@@ -46,6 +46,15 @@ HostRun run_host_program(core::HulkVSoc& soc, const KernelProgram& program,
 HostRun run_host_program(core::HulkVSoc& soc,
                          const std::vector<u32>& program,
                          std::span<const u64> args) {
+  prepare_host_program(soc, program, args);
+  const auto result = soc.host().run();
+  HULKV_CHECK(result.exited, "host program did not exit");
+  return {result.cycles, result.instret, result.exit_code};
+}
+
+void prepare_host_program(core::HulkVSoc& soc,
+                          const std::vector<u32>& program,
+                          std::span<const u64> args) {
   HULKV_CHECK(args.size() <= 6, "host programs take up to 6 arguments");
 
   // Load-time lint: reject images the static analyzer can prove broken
@@ -98,10 +107,6 @@ HostRun run_host_program(core::HulkVSoc& soc,
   }
   host.set_reg(isa::reg::sp, core::layout::kHostStackTop - 64);
   host.set_pc(core::layout::kHostCodeBase);
-
-  const auto result = host.run();
-  HULKV_CHECK(result.exited, "host program did not exit");
-  return {result.cycles, result.instret, result.exit_code};
 }
 
 runtime::Arena make_dram_arena() {

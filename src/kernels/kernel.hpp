@@ -56,6 +56,16 @@ HostRun run_host_program(core::HulkVSoc& soc,
                          const std::vector<u32>& program,
                          std::span<const u64> args);
 
+/// The load half of run_host_program without the run: static analysis,
+/// program load + fact attachment, argument/stack/pc setup. Callers
+/// that need budgeted dispatch (e.g. the serve daemon checking request
+/// deadlines between chunks) follow up with Cva6Core::run(budget)
+/// segments and accumulate the results; run_host_program() is exactly
+/// prepare + one unbounded run.
+void prepare_host_program(core::HulkVSoc& soc,
+                          const std::vector<u32>& program,
+                          std::span<const u64> args);
+
 /// KernelProgram overload: additionally registers the program's symbol
 /// table with the cycle profiler (a no-op unless profiling is enabled),
 /// so host flamegraphs resolve to kernel labels instead of raw PCs.

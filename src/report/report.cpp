@@ -9,6 +9,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/cli.hpp"
+
 namespace hulkv::report {
 
 namespace {
@@ -248,52 +250,35 @@ void MetricsReport::write_json(const std::string& path) const {
 
 BenchOptions parse_bench_args(int argc, char** argv) {
   BenchOptions options;
-  const auto take = [&](int& i, const char* flag,
-                        std::string& out) -> bool {
-    const std::string_view arg = argv[i];
-    const std::string_view name(flag);
-    if (arg == name) {
-      if (i + 1 < argc) out = argv[++i];
-      return true;
-    }
-    if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
-        arg[name.size()] == '=') {
-      out = std::string(arg.substr(name.size() + 1));
-      return true;
-    }
-    return false;
-  };
-  for (int i = 1; i < argc; ++i) {
-    std::string jobs;
-    // --profile takes an *optional* value, so only the `=` spelling
-    // carries one — the bare form must not consume the next argument.
-    if (std::string_view(argv[i]) == "--profile") {
-      options.profile = true;
-      continue;
-    }
-    if (take(i, "--profile", options.profile_path)) {
-      options.profile = true;
-      continue;
-    }
-    // --telemetry also takes an optional value (a directory).
-    if (std::string_view(argv[i]) == "--telemetry") {
-      options.telemetry = true;
-      continue;
-    }
-    if (take(i, "--telemetry", options.telemetry_dir)) {
-      options.telemetry = true;
-      continue;
-    }
-    if (take(i, "--json", options.json_path)) continue;
-    if (take(i, "--trace", options.trace_path)) continue;
-    if (take(i, "--tier", options.tier)) continue;
-    if (take(i, "--jobs", jobs)) {
-      options.jobs = static_cast<u32>(std::strtoul(jobs.c_str(), nullptr, 10));
-      continue;
-    }
-    // Unknown flags belong to the wrapped tool (e.g. google-benchmark).
+  cli::Parser parser = bench_flag_parser("bench", &options);
+  // Unknown flags belong to the wrapped tool (e.g. google-benchmark);
+  // a malformed value on one of *our* flags is still a hard error.
+  if (!parser.parse(argc, argv, cli::Parser::OnUnknown::kIgnore)) {
+    throw SimError(parser.error());
   }
   return options;
+}
+
+cli::Parser bench_flag_parser(const std::string& program,
+                              BenchOptions* options) {
+  cli::Parser parser(program);
+  parser
+      .add_string("--json", &options->json_path,
+                  "write the report as BENCH-style JSON to this path")
+      .add_string("--trace", &options->trace_path,
+                  "write a Perfetto/Chrome event trace to this path")
+      .add_u32("--jobs", &options->jobs,
+               "sweep worker count (0 = hardware concurrency)")
+      .add_string("--tier", &options->tier,
+                  "execution tier: interp | threaded")
+      .add_optional_value("--profile", &options->profile,
+                          &options->profile_path,
+                          "cycle-attribution profiler (=PATH writes "
+                          ".folded/.annotated.txt)")
+      .add_optional_value("--telemetry", &options->telemetry,
+                          &options->telemetry_dir,
+                          "append a run manifest (=DIR overrides runs/)");
+  return parser;
 }
 
 void finish_bench(const MetricsReport& report, const BenchOptions& options) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/types.hpp"
 
 namespace hulkv::report {
@@ -143,6 +144,14 @@ struct BenchOptions {
   std::string tier;
 };
 BenchOptions parse_bench_args(int argc, char** argv);
+
+/// The shared bench flag set as a cli::Parser over `options`, so other
+/// binaries (the serve daemon, the load generator) can stack their own
+/// flags on the same table instead of re-spelling --jobs/--tier/
+/// --json/--telemetry/--profile. parse_bench_args() is exactly this
+/// parser run with unknown flags ignored.
+cli::Parser bench_flag_parser(const std::string& program,
+                              BenchOptions* options);
 
 /// Emit the report: print text to stdout and, when --json was given,
 /// write the JSON file (and note where it went).

@@ -1,0 +1,55 @@
+#include "serve/cache.hpp"
+
+#include "core/soc.hpp"
+#include "serve/workload.hpp"
+#include "snapshot/archive.hpp"
+
+namespace hulkv::serve {
+
+CacheKey point_cache_key(const PointParams& point) {
+  return {core::HulkVSoc::fingerprint_of(point_config(point)),
+          workload_digest(point.workload), params_digest(point)};
+}
+
+size_t ResultCache::KeyHash::operator()(const CacheKey& k) const {
+  u64 h = snapshot::kFnvOffset;
+  h = snapshot::fnv1a(h, &k.config_fingerprint, sizeof(u64));
+  h = snapshot::fnv1a(h, &k.program_digest, sizeof(u64));
+  h = snapshot::fnv1a(h, &k.params_digest, sizeof(u64));
+  return static_cast<size_t>(h);
+}
+
+bool ResultCache::lookup(const CacheKey& key, ResultRow* row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *row = it->second;
+  return true;
+}
+
+void ResultCache::insert(const CacheKey& key, const ResultRow& row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.size() >= max_entries_ && map_.find(key) == map_.end()) return;
+  map_[key] = row;
+}
+
+u64 ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+u64 ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+u64 ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace hulkv::serve

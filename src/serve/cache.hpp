@@ -1,0 +1,66 @@
+// Result cache of the serve daemon (DESIGN.md §16.3).
+//
+// A simulation point's result is a pure function of the SoC
+// configuration, the guest program and the point parameters, so the
+// cache key is the triple of their digests:
+//
+//   (config fingerprint, program digest, params digest)
+//
+// The config fingerprint is the exact value the snapshot kMeta section
+// stores and restore validates (HulkVSoc::fingerprint_of); the program
+// digest hashes the encoded instruction words; the params digest is
+// salted with the protocol version. The cache stores ResultRow values,
+// never encoded frames — the response encoder is deterministic, so a
+// hit reproduces the miss's bytes exactly (pinned by serve_test).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/protocol.hpp"
+
+namespace hulkv::serve {
+
+struct CacheKey {
+  u64 config_fingerprint = 0;
+  u64 program_digest = 0;
+  u64 params_digest = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Derive the cache key of one simulation point. Throws SimError on an
+/// invalid point.
+CacheKey point_cache_key(const PointParams& point);
+
+/// Thread-safe bounded map from CacheKey to ResultRow. Insertions past
+/// the capacity are dropped (the legal point space is tiny — 30 points
+/// — so the bound only guards against a misbehaving future caller).
+class ResultCache {
+ public:
+  explicit ResultCache(size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  /// Copy the cached row into `*row` and return true on a hit.
+  /// Hit/miss counters update on every call.
+  bool lookup(const CacheKey& key, ResultRow* row);
+
+  void insert(const CacheKey& key, const ResultRow& row);
+
+  u64 hits() const;
+  u64 misses() const;
+  u64 entries() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const CacheKey& k) const;
+  };
+
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<CacheKey, ResultRow, KeyHash> map_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace hulkv::serve

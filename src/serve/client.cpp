@@ -1,0 +1,90 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hulkv::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SimError("serve client: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  HULKV_CHECK(path.size() < sizeof(addr.sun_path),
+              "serve client: unix socket path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("connect " + path);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(u16 port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send(const Request& request) {
+  write_frame(fd_, encode_request(request));
+}
+
+bool Client::recv(Response* response) {
+  std::vector<u8> payload;
+  if (!read_frame(fd_, payload)) return false;
+  *response = decode_response(payload);
+  return true;
+}
+
+Response Client::call(const Request& request) {
+  send(request);
+  Response response;
+  HULKV_CHECK(recv(&response),
+              "serve client: connection closed before the response");
+  return response;
+}
+
+void Client::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace hulkv::serve

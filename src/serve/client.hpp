@@ -1,0 +1,47 @@
+// Blocking client of the serve daemon: one connection, the framing +
+// codec of serve/protocol.hpp. Supports pipelining — send() any number
+// of requests before recv()ing; the server answers a connection's
+// admission rejections in request order, and every admitted request
+// produces exactly one response (matched by request_id, which the
+// server echoes verbatim).
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace hulkv::serve {
+
+class Client {
+ public:
+  /// Connect to a Unix-domain socket. Throws SimError on failure.
+  static Client connect_unix(const std::string& path);
+  /// Connect to 127.0.0.1:port. Throws SimError on failure.
+  static Client connect_tcp(u16 port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  void send(const Request& request);
+  /// Receive one response. Returns false on clean EOF (server closed).
+  bool recv(Response* response);
+  /// send + recv in one step.
+  Response call(const Request& request);
+
+  /// Half-close the write side: the server sees EOF, finishes the
+  /// connection's in-flight requests, and the read side stays open for
+  /// the remaining responses.
+  void shutdown_write();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace hulkv::serve

@@ -1,0 +1,323 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/workload.hpp"
+#include "snapshot/archive.hpp"
+
+namespace hulkv::serve {
+
+namespace {
+
+/// Little-endian append-only writer. The encoding is the protocol, not
+/// the host's struct layout — every field goes through put() so padding
+/// and endianness can never leak onto the wire.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<u8>* out) : out_(out) {}
+
+  void u8v(u8 v) { out_->push_back(v); }
+  void u16v(u16 v) { append(v); }
+  void u32v(u32 v) { append(v); }
+  void u64v(u64 v) { append(v); }
+  void str(const std::string& s) {
+    HULKV_CHECK(s.size() <= kMaxFrameBytes, "serve: string too large");
+    u32v(static_cast<u32>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+ private:
+  template <typename T>
+  void append(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<u8>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<u8>* out_;
+};
+
+/// Bounds-checked little-endian reader; done() must be called last so
+/// trailing garbage is rejected, not silently ignored.
+class ByteReader {
+ public:
+  ByteReader(const u8* data, size_t size) : data_(data), size_(size) {}
+
+  u8 u8v() { return take(); }
+  u16 u16v() { return read<u16>(); }
+  u32 u32v() { return read<u32>(); }
+  u64 u64v() { return read<u64>(); }
+  std::string str() {
+    const u32 n = u32v();
+    HULKV_CHECK(n <= remaining(),
+                "serve: truncated message (string length past end)");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  void done() const {
+    HULKV_CHECK(remaining() == 0,
+                "serve: malformed message (trailing bytes)");
+  }
+
+ private:
+  u8 take() {
+    HULKV_CHECK(pos_ < size_, "serve: truncated message");
+    return data_[pos_++];
+  }
+  template <typename T>
+  T read() {
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(take()) << (8 * i);
+    }
+    return v;
+  }
+
+  const u8* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void check_version(u16 version) {
+  HULKV_CHECK(version == kProtocolVersion,
+              "serve: protocol version mismatch (got " +
+                  std::to_string(version) + ", want " +
+                  std::to_string(kProtocolVersion) + ")");
+}
+
+MsgType check_type(u8 type) {
+  HULKV_CHECK(type < kNumMsgTypes,
+              "serve: unknown message type " + std::to_string(type));
+  return static_cast<MsgType>(type);
+}
+
+}  // namespace
+
+const char* type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kRun: return "run";
+    case MsgType::kSweep: return "sweep";
+    case MsgType::kSuite: return "suite";
+    case MsgType::kStats: return "stats";
+  }
+  return "?";
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kQueueFull: return "queue_full";
+    case Status::kQuotaExceeded: return "quota_exceeded";
+    case Status::kDeadlineExpired: return "deadline_expired";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kInternalError: return "internal_error";
+  }
+  return "?";
+}
+
+std::vector<u8> encode_request(const Request& request) {
+  std::vector<u8> out;
+  ByteWriter w(&out);
+  w.u16v(static_cast<u16>(kProtocolVersion));
+  w.u8v(static_cast<u8>(request.type));
+  w.u8v(request.flags);
+  w.u32v(request.client_id);
+  w.u64v(request.request_id);
+  w.u32v(request.deadline_ms);
+  w.u8v(request.point.workload);
+  w.u8v(request.point.mem_kind);
+  w.u8v(request.point.llc);
+  w.u8v(0);  // reserved
+  return out;
+}
+
+Request decode_request(const std::vector<u8>& payload) {
+  ByteReader r(payload.data(), payload.size());
+  check_version(r.u16v());
+  Request req;
+  req.type = check_type(r.u8v());
+  req.flags = r.u8v();
+  HULKV_CHECK((req.flags & ~kKnownRequestFlags) == 0,
+              "serve: unknown request flag bits");
+  req.client_id = r.u32v();
+  req.request_id = r.u64v();
+  req.deadline_ms = r.u32v();
+  req.point.workload = r.u8v();
+  req.point.mem_kind = r.u8v();
+  req.point.llc = r.u8v();
+  HULKV_CHECK(r.u8v() == 0, "serve: non-zero reserved byte");
+  r.done();
+  return req;
+}
+
+std::vector<u8> encode_response(const Response& response) {
+  HULKV_CHECK(response.rows.size() <= kMaxResponseRows,
+              "serve: too many result rows");
+  std::vector<u8> out;
+  ByteWriter w(&out);
+  w.u16v(static_cast<u16>(kProtocolVersion));
+  w.u8v(static_cast<u8>(response.type));
+  w.u8v(static_cast<u8>(response.status));
+  w.u64v(response.request_id);
+  w.u32v(static_cast<u32>(response.rows.size()));
+  for (const ResultRow& row : response.rows) {
+    w.u8v(row.workload);
+    w.u8v(row.mem_kind);
+    w.u8v(row.llc);
+    w.u8v(0);  // reserved
+    w.u64v(row.cycles);
+    w.u64v(row.instret);
+    w.u64v(row.exit_code);
+  }
+  w.str(response.text);
+  return out;
+}
+
+Response decode_response(const std::vector<u8>& payload) {
+  ByteReader r(payload.data(), payload.size());
+  check_version(r.u16v());
+  Response resp;
+  resp.type = check_type(r.u8v());
+  const u8 status = r.u8v();
+  HULKV_CHECK(status <= static_cast<u8>(Status::kInternalError),
+              "serve: unknown status code " + std::to_string(status));
+  resp.status = static_cast<Status>(status);
+  resp.request_id = r.u64v();
+  const u32 rows = r.u32v();
+  HULKV_CHECK(rows <= kMaxResponseRows,
+              "serve: response row count out of range");
+  resp.rows.resize(rows);
+  for (ResultRow& row : resp.rows) {
+    row.workload = r.u8v();
+    row.mem_kind = r.u8v();
+    row.llc = r.u8v();
+    HULKV_CHECK(r.u8v() == 0, "serve: non-zero reserved byte");
+    row.cycles = r.u64v();
+    row.instret = r.u64v();
+    row.exit_code = r.u64v();
+  }
+  resp.text = r.str();
+  r.done();
+  return resp;
+}
+
+std::vector<PointParams> expand_points(const Request& request) {
+  switch (request.type) {
+    case MsgType::kPing:
+    case MsgType::kStats:
+      return {};
+    case MsgType::kRun:
+      check_point(request.point);
+      return {request.point};
+    case MsgType::kSweep: {
+      // The Fig. 8 memory-configuration axis, in figure column order.
+      check_workload(request.point.workload);
+      std::vector<PointParams> points;
+      constexpr u8 kDdr4 = 1, kHyper = 0;
+      for (const auto& [mem, llc] :
+           {std::pair<u8, u8>{kDdr4, 1}, {kHyper, 1}, {kDdr4, 0},
+            {kHyper, 0}}) {
+        points.push_back({request.point.workload, mem, llc});
+      }
+      return points;
+    }
+    case MsgType::kSuite: {
+      check_point({0, request.point.mem_kind, request.point.llc});
+      std::vector<PointParams> points;
+      for (u8 w = 0; w < workload_count(); ++w) {
+        points.push_back(
+            {w, request.point.mem_kind, request.point.llc});
+      }
+      return points;
+    }
+  }
+  throw SimError("serve: unreachable request type");
+}
+
+u64 params_digest(const PointParams& point) {
+  const u8 bytes[4] = {static_cast<u8>(kProtocolVersion), point.workload,
+                       point.mem_kind, point.llc};
+  return snapshot::fnv1a(snapshot::kFnvOffset, bytes, sizeof(bytes));
+}
+
+namespace {
+
+/// write() that tolerates both sockets and pipes and never raises
+/// SIGPIPE on sockets (tests exercise the framing over plain pipes).
+ssize_t write_some(int fd, const void* data, size_t len) {
+  const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+  if (n >= 0 || errno != ENOTSOCK) return n;
+  return ::write(fd, data, len);
+}
+
+void write_all(int fd, const void* data, size_t len) {
+  const u8* p = static_cast<const u8*>(data);
+  while (len > 0) {
+    const ssize_t n = write_some(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SimError(std::string("serve: write failed: ") +
+                     std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+/// Returns false only on EOF with 0 bytes read so far.
+bool read_all(int fd, void* data, size_t len, bool eof_ok) {
+  u8* p = static_cast<u8*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SimError(std::string("serve: read failed: ") +
+                     std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw SimError("serve: truncated frame (EOF mid-frame)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, const std::vector<u8>& payload) {
+  HULKV_CHECK(payload.size() <= kMaxFrameBytes,
+              "serve: frame payload too large");
+  u8 header[8];
+  const u32 magic = kFrameMagic;
+  const u32 len = static_cast<u32>(payload.size());
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &len, 4);
+  write_all(fd, header, sizeof(header));
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::vector<u8>& payload) {
+  u8 header[8];
+  if (!read_all(fd, header, sizeof(header), /*eof_ok=*/true)) return false;
+  u32 magic = 0, len = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&len, header + 4, 4);
+  HULKV_CHECK(magic == kFrameMagic, "serve: bad frame magic");
+  HULKV_CHECK(len <= kMaxFrameBytes, "serve: oversized frame");
+  payload.resize(len);
+  if (len != 0) read_all(fd, payload.data(), len, /*eof_ok=*/false);
+  return true;
+}
+
+}  // namespace hulkv::serve

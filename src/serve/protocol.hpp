@@ -1,0 +1,155 @@
+// Wire protocol of the simulation service (hulkv::serve, DESIGN.md §16).
+//
+// Transport framing: every message — request or response — travels as
+//
+//   u32 magic 'HSRV' (0x56525348 little-endian)
+//   u32 payload_bytes (sanity-capped at kMaxFrameBytes)
+//   payload
+//
+// over a byte stream (Unix or TCP socket). The payload is a fixed
+// little-endian layout encoded/decoded by the codec below; decoding is
+// strict — truncated payloads, trailing bytes, unknown message types,
+// out-of-range enum values and non-zero reserved bytes are all
+// rejected with a SimError, so a malformed client can never put the
+// server into an undefined state.
+//
+// Determinism contract: the encoding of a Response is a pure function
+// of its fields, and the result rows of a successful response are a
+// pure function of (SoC config, guest program, point params) — so the
+// same request yields byte-identical response frames on every worker
+// count and on cache hits and misses alike (pinned by serve_test).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hulkv::serve {
+
+inline constexpr u32 kFrameMagic = 0x56525348u;  // "HSRV" little-endian
+inline constexpr u32 kProtocolVersion = 1;
+/// Upper bound on one frame's payload — far above any legal message,
+/// low enough that a garbage length cannot make the server allocate
+/// gigabytes.
+inline constexpr u32 kMaxFrameBytes = 1u << 20;
+/// Upper bound on result rows per response (a suite is 5; the bound
+/// exists so a corrupted row count cannot drive a huge allocation).
+inline constexpr u32 kMaxResponseRows = 1024;
+
+/// Message types. A response echoes the request's type.
+enum class MsgType : u8 {
+  kPing = 0,   // liveness probe, empty result
+  kRun = 1,    // one (workload, memory config) simulation point
+  kSweep = 2,  // one workload over the four Fig. 8 memory configs
+  kSuite = 3,  // all five workloads on one memory config
+  kStats = 4,  // server counters as a JSON text payload (not cached)
+};
+inline constexpr u8 kNumMsgTypes = 5;
+
+/// Response status codes. Everything except kOk carries no result
+/// rows; the admission-control rejections (queue full, quota,
+/// shutting down) are *fast* rejects issued before any simulation.
+enum class Status : u8 {
+  kOk = 0,
+  kBadRequest = 1,       // decodable frame, semantically invalid params
+  kQueueFull = 2,        // bounded queue would overflow
+  kQuotaExceeded = 3,    // client's in-flight quota reached
+  kDeadlineExpired = 4,  // deadline passed while queued or mid-run
+  kShuttingDown = 5,     // daemon draining, no new admissions
+  kInternalError = 6,    // simulation raised (bug — logged server-side)
+};
+
+const char* type_name(MsgType type);
+const char* status_name(Status status);
+
+/// Request flag bits.
+enum RequestFlags : u8 {
+  /// Bypass the result cache entirely (no lookup, no insert): every
+  /// point runs a full simulation. Load-generator mode for measuring
+  /// simulation throughput rather than cache throughput.
+  kFlagNoCache = 1u << 0,
+};
+inline constexpr u8 kKnownRequestFlags = kFlagNoCache;
+
+/// One simulation point: a guest workload on a memory configuration.
+struct PointParams {
+  u8 workload = 0;  // serve::workload id (workload.hpp)
+  u8 mem_kind = 0;  // core::MainMemoryKind value (0 hyper, 1 ddr4, 2 rpc)
+  u8 llc = 1;       // LLC enabled?
+
+  bool operator==(const PointParams&) const = default;
+};
+
+struct Request {
+  MsgType type = MsgType::kPing;
+  u8 flags = 0;           // RequestFlags bits
+  u32 client_id = 0;      // quota bucket
+  u64 request_id = 0;     // echoed verbatim in the response
+  u32 deadline_ms = 0;    // relative deadline; 0 = none
+  /// kRun: the point. kSweep: workload (mem_kind/llc ignored).
+  /// kSuite: memory config (workload ignored).
+  PointParams point;
+
+  bool operator==(const Request&) const = default;
+};
+
+/// One deterministic result row (the unit the result cache stores).
+struct ResultRow {
+  u8 workload = 0;
+  u8 mem_kind = 0;
+  u8 llc = 0;
+  u64 cycles = 0;
+  u64 instret = 0;
+  u64 exit_code = 0;
+
+  bool operator==(const ResultRow&) const = default;
+};
+
+struct Response {
+  MsgType type = MsgType::kPing;
+  Status status = Status::kOk;
+  u64 request_id = 0;
+  /// Point results in request point order (slot-per-point assembly);
+  /// empty on any non-kOk status.
+  std::vector<ResultRow> rows;
+  /// Free-form text payload: the kStats JSON. Deliberately unused on
+  /// simulation responses — their bytes must be deterministic.
+  std::string text;
+
+  bool operator==(const Response&) const = default;
+};
+
+// ---- codec (payload bytes only; framing is below) ----
+
+std::vector<u8> encode_request(const Request& request);
+/// Strict decode; throws SimError on truncation, trailing bytes,
+/// version mismatch, unknown type, unknown flag bits.
+Request decode_request(const std::vector<u8>& payload);
+
+std::vector<u8> encode_response(const Response& response);
+Response decode_response(const std::vector<u8>& payload);
+
+/// The simulation points a request expands to, in response row order.
+/// kPing/kStats expand to none. Throws SimError on out-of-range
+/// workload/memory ids (the server maps that to kBadRequest).
+std::vector<PointParams> expand_points(const Request& request);
+
+/// Cache key third component: a digest of the point params (salted
+/// with the protocol version, so a wire-format change can never alias
+/// an old cache entry).
+u64 params_digest(const PointParams& point);
+
+// ---- framing over a file descriptor ----
+
+/// Write one frame (header + payload). Throws SimError on I/O error;
+/// EPIPE/ECONNRESET surface as SimError too (callers treat a vanished
+/// peer as a dropped response, not a crash).
+void write_frame(int fd, const std::vector<u8>& payload);
+
+/// Read one frame into `payload`. Returns false on clean EOF at a
+/// frame boundary; throws SimError on bad magic, oversized length, or
+/// EOF mid-frame.
+bool read_frame(int fd, std::vector<u8>& payload);
+
+}  // namespace hulkv::serve

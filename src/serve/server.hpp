@@ -1,0 +1,159 @@
+// The hulkv-serve daemon core (DESIGN.md §16): a socket front-end over
+// serve::Service with admission control and graceful shutdown.
+//
+// Thread structure:
+//
+//   acceptor          poll(listen fd, self-pipe); accepts connections
+//   reader (per conn) read_frame -> decode -> admission -> enqueue
+//   worker (x N)      pop (job, point) tasks, run them, finalize jobs
+//
+// Admission control happens entirely on the reader thread, before any
+// simulation: a draining server, an exhausted per-client quota, or a
+// full point queue produce an immediate non-kOk response ("fast
+// reject") in request order on that connection. Admitted requests
+// become a Job with one pre-allocated result slot per point; workers
+// write only their own slot, and the worker that completes the last
+// slot encodes and sends the response (slot-per-point, index order —
+// the batch::SweepEngine determinism discipline), so response bytes
+// are identical at every worker count.
+//
+// Graceful shutdown (request_stop or stop()): stop accepting, fast-
+// reject new requests with kShuttingDown, let in-flight work finish
+// within `drain_ms`, then cancel remaining points between run chunks
+// (they respond kShuttingDown). Every admitted request gets exactly
+// one response before the daemon exits; a manifest (kind "serve") is
+// appended on the way out when telemetry is configured.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace hulkv::serve {
+
+struct ServerConfig {
+  /// Non-empty: bind a Unix-domain socket at this path (unlinked on
+  /// shutdown). Empty: bind TCP on 127.0.0.1:tcp_port.
+  std::string unix_path;
+  u16 tcp_port = 0;  // 0 = kernel-assigned; read back via tcp_port()
+
+  u32 workers = 2;
+  /// Bounded point queue: a request whose points would push the queued
+  /// total past this is fast-rejected with kQueueFull.
+  u32 queue_capacity = 64;
+  /// Max in-flight (admitted, unanswered) requests per client_id; 0
+  /// rejects every simulation request with kQuotaExceeded.
+  u32 client_quota = 8;
+  /// Graceful-drain bound: in-flight work past this deadline is
+  /// cancelled at the next run-chunk boundary.
+  u32 drain_ms = 5000;
+
+  /// Non-empty: append a kind="serve" manifest line to
+  /// <telemetry_dir>/hulkv_serve.jsonl on shutdown.
+  std::string telemetry_dir;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, spawn workers + acceptor. Throws SimError on any
+  /// socket error.
+  void start();
+
+  /// Resolved TCP port (after start(), TCP mode only).
+  u16 tcp_port() const { return tcp_port_; }
+
+  /// Async-signal-safe stop request (one write to the self-pipe);
+  /// callable from a signal handler. Returns immediately.
+  void request_stop();
+
+  /// Block until request_stop() (or stop()) has been observed.
+  void wait_until_stop_requested();
+
+  /// Drain + shut down: reject new work, bounded-drain in-flight work,
+  /// answer everything admitted, join all threads, flush the manifest.
+  /// Idempotent; returns once the server is fully stopped.
+  void stop();
+
+  /// Server counters as a JSON object (the kStats payload).
+  std::string stats_json() const;
+
+ private:
+  struct Connection;
+  struct Job;
+  struct PointTask {
+    std::shared_ptr<Job> job;
+    u32 index = 0;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+  void handle_request(const std::shared_ptr<Connection>& conn,
+                      const Request& request);
+  void send_reject(const std::shared_ptr<Connection>& conn,
+                   const Request& request, Status status);
+  void run_task(const PointTask& task);
+  void finalize_job(const std::shared_ptr<Job>& job);
+  void release_quota(u32 client_id);
+  void flush_manifest();
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  u16 tcp_port_ = 0;
+  u64 start_ns_ = 0;
+
+  Service service_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;  // queue, connections, quotas, counters
+  std::condition_variable queue_cv_;
+  std::condition_variable state_cv_;
+  std::deque<PointTask> queue_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::map<u32, u32> in_flight_per_client_;
+  u64 queued_points_ = 0;
+  u64 in_flight_points_ = 0;  // popped from the queue, not yet finalized
+  u64 max_queue_depth_ = 0;
+  bool workers_exit_ = false;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool stopped_ = false;
+
+  /// Set as soon as a stop is requested: readers fast-reject new
+  /// simulation requests with kShuttingDown.
+  std::atomic<bool> draining_{false};
+  /// Set when the drain bound expires: cancels running points at the
+  /// next chunk boundary and queued points before they start.
+  std::atomic<bool> hard_cancel_{false};
+
+  // Counters (relaxed; read by stats_json and the manifest).
+  std::atomic<u64> requests_seen_{0};
+  std::atomic<u64> requests_admitted_{0};
+  std::atomic<u64> responses_ok_{0};
+  std::atomic<u64> rejects_bad_request_{0};
+  std::atomic<u64> rejects_queue_full_{0};
+  std::atomic<u64> rejects_quota_{0};
+  std::atomic<u64> rejects_shutdown_{0};
+  std::atomic<u64> deadline_expired_{0};
+  std::atomic<u64> internal_errors_{0};
+  std::atomic<u64> pings_{0};
+};
+
+}  // namespace hulkv::serve

@@ -1,0 +1,60 @@
+#include "serve/service.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace hulkv::serve {
+
+Service::PointResult Service::run_point(const PointParams& point,
+                                        bool no_cache,
+                                        const CancelFn& cancelled) {
+  const CacheKey key = point_cache_key(point);
+  PointResult result;
+  result.row.workload = point.workload;
+  result.row.mem_kind = point.mem_kind;
+  result.row.llc = point.llc;
+
+  if (!no_cache && cache_.lookup(key, &result.row)) {
+    result.cache_hit = true;
+    return result;
+  }
+
+  const telemetry::Span span(telemetry::SpanPhase::kServePoint);
+  const WarmPool::Entry& entry = warm_pool_.get(point);
+  if (telemetry::enabled()) {
+    telemetry::registry().note_config_fingerprint(key.config_fingerprint);
+    telemetry::registry().note_program_digest(entry.program.name,
+                                              key.program_digest);
+  }
+  core::HulkVSoc soc(entry.config);
+  entry.snapshot.restore_into(soc);
+  kernels::prepare_host_program(soc, entry.program.words, entry.args);
+
+  // Chunked timed run: identical retirement to one unbounded run, with
+  // a cancellation poll between segments.
+  u64 cycles = 0, instret = 0;
+  for (;;) {
+    const host::Cva6Core::RunResult seg =
+        soc.host().run(kRunChunkInstructions);
+    cycles += seg.cycles;
+    instret += seg.instret;
+    if (seg.exited) {
+      result.row.cycles = cycles;
+      result.row.instret = instret;
+      result.row.exit_code = seg.exit_code;
+      break;
+    }
+    if (cancelled) {
+      const Status aborted = cancelled();
+      if (aborted != Status::kOk) {
+        result.status = aborted;
+        return result;
+      }
+    }
+  }
+
+  points_simulated_.fetch_add(1);
+  if (!no_cache) cache_.insert(key, result.row);
+  return result;
+}
+
+}  // namespace hulkv::serve

@@ -1,0 +1,40 @@
+#include "serve/warm_pool.hpp"
+
+namespace hulkv::serve {
+
+namespace {
+constexpr size_t kMemKinds = 3;
+constexpr size_t kLlcStates = 2;
+}  // namespace
+
+WarmPool::WarmPool() {
+  const size_t count = workload_count() * kMemKinds * kLlcStates;
+  slots_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+size_t WarmPool::slot_index(const PointParams& point) const {
+  check_point(point);
+  return (point.workload * kMemKinds + point.mem_kind) * kLlcStates +
+         (point.llc != 0 ? 1 : 0);
+}
+
+const WarmPool::Entry& WarmPool::get(const PointParams& point) {
+  Slot& slot = *slots_[slot_index(point)];
+  std::call_once(slot.once, [&] {
+    Entry& e = slot.entry;
+    e.config = point_config(point);
+    core::HulkVSoc soc(e.config);
+    WorkloadSetup setup = setup_workload(point.workload, soc);
+    e.program = std::move(setup.program);
+    e.args = std::move(setup.args);
+    kernels::run_host_program(soc, e.program.words, e.args);  // warm run
+    e.snapshot = batch::SocSnapshot::capture(soc);
+    cold_builds_.fetch_add(1);
+  });
+  return slot.entry;
+}
+
+}  // namespace hulkv::serve

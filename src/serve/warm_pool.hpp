@@ -1,0 +1,55 @@
+// Warm-snapshot pool (DESIGN.md §16.4): one immutable SocSnapshot per
+// simulation point, captured after the workload's setup and one warm
+// run (the steady-state discipline of bench/fig8_llc_effect.cpp —
+// caches warm, timed run next). Serving a request forks a fresh SoC
+// from the snapshot instead of cold-booting: restore is cycle-exact,
+// so the forked timed run retires exactly the cycles the cold path's
+// second run would — warm forking changes latency, never results.
+//
+// Entries build lazily, once, on first use (std::call_once per slot);
+// any number of workers may fork from a built entry concurrently
+// (SocSnapshot::restore_into is const and reentrant).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "serve/workload.hpp"
+
+namespace hulkv::serve {
+
+class WarmPool {
+ public:
+  struct Entry {
+    core::SocConfig config;
+    kernels::KernelProgram program;
+    std::vector<u64> args;
+    batch::SocSnapshot snapshot;
+  };
+
+  WarmPool();
+
+  /// The warm entry of `point`, building it (cold boot + setup + warm
+  /// run + capture) on first use. Thread-safe; the returned reference
+  /// is valid for the pool's lifetime and immutable.
+  const Entry& get(const PointParams& point);
+
+  /// Number of entries built so far (each one paid one cold boot).
+  u64 cold_builds() const { return cold_builds_.load(); }
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    Entry entry;
+  };
+
+  size_t slot_index(const PointParams& point) const;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<u64> cold_builds_{0};
+};
+
+}  // namespace hulkv::serve

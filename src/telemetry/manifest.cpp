@@ -66,6 +66,7 @@ void append_sweep(std::ostringstream& os, const SweepSummary& s) {
 std::string Manifest::to_json_line() const {
   std::ostringstream os;
   os << "{\"schema_version\":" << schema_version
+     << ",\"kind\":" << json_quote(kind)
      << ",\"bench\":" << json_quote(bench)
      << ",\"tier\":" << json_quote(tier)
      << ",\"timestamp_ns\":" << timestamp_ns

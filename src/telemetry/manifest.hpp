@@ -26,11 +26,19 @@ namespace hulkv::telemetry {
 /// Manifest schema version (the "schema_version" field; hulkv-stats
 /// check validates against scripts/manifest_schema.json).
 /// v2: added "tier" (execution tier the run used, DESIGN.md §15).
-inline constexpr u32 kManifestSchemaVersion = 2;
+/// v3: added "kind" ("bench" = one bench run, "serve" = a serve-daemon
+///     lifetime, DESIGN.md §16), so fleet tooling can aggregate server
+///     manifests with the same list/agg/diff machinery.
+inline constexpr u32 kManifestSchemaVersion = 3;
+
+/// Manifest kinds ("kind" field values).
+inline constexpr const char* kManifestKindBench = "bench";
+inline constexpr const char* kManifestKindServe = "serve";
 
 struct Manifest {
   u32 schema_version = kManifestSchemaVersion;
-  std::string bench;       // MetricsReport name
+  std::string kind = kManifestKindBench;
+  std::string bench;       // MetricsReport name (daemon: "hulkv_serve")
   std::string tier;        // execution tier ("interp" | "threaded")
   u64 timestamp_ns = 0;    // wall-clock ns since epoch (registry anchor)
   std::string hostname;

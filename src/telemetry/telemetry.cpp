@@ -66,6 +66,8 @@ const char* phase_name(SpanPhase phase) {
     case SpanPhase::kSnapshotDigest: return "snapshot_digest";
     case SpanPhase::kThreadedLower: return "threaded_lower";
     case SpanPhase::kBatchJob: return "batch_job";
+    case SpanPhase::kServeRequest: return "serve_request";
+    case SpanPhase::kServePoint: return "serve_point";
   }
   return "?";
 }

@@ -50,9 +50,11 @@ enum class SpanPhase : u8 {
   kSnapshotDigest,   // HulkVSoc::state_digest
   kThreadedLower,    // one block lowering to threaded code (§15)
   kBatchJob,         // one batch::run_jobs job
+  kServeRequest,     // one serve daemon request, admission -> response
+  kServePoint,       // one simulation point inside a serve request
 };
 inline constexpr size_t kNumSpanPhases =
-    static_cast<size_t>(SpanPhase::kBatchJob) + 1;
+    static_cast<size_t>(SpanPhase::kServePoint) + 1;
 
 /// Stable lowercase name ("program_analyze", "batch_job", ...).
 const char* phase_name(SpanPhase phase);

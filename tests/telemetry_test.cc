@@ -391,6 +391,9 @@ TEST(TelemetryManifest, BuildSerializeParseRoundTrip) {
   const json::Value v = json::parse(m.to_json_line());
   EXPECT_DOUBLE_EQ(v.find("schema_version")->as_number(),
                    kManifestSchemaVersion);
+  // v3: the manifest carries its kind ("bench" by default, "serve"
+  // for daemon manifests).
+  EXPECT_EQ(v.find("kind")->as_string(), kManifestKindBench);
   EXPECT_EQ(v.find("bench")->as_string(), "roundtrip_bench");
   // v2: the manifest records the process-wide execution tier.
   EXPECT_EQ(v.find("tier")->as_string(),
@@ -426,6 +429,7 @@ TEST(TelemetryManifest, AppendManifestAccumulatesJsonLines) {
   Manifest m;
   m.bench = "append_test";
   m.hostname = "unit";
+  m.kind = kManifestKindServe;  // v3: non-default kind round-trips
   const std::string path1 = append_manifest(dir, m);
   const std::string path2 = append_manifest(dir, m);
   EXPECT_EQ(path1, path2);
@@ -437,6 +441,7 @@ TEST(TelemetryManifest, AppendManifestAccumulatesJsonLines) {
   const std::vector<json::Value> runs = json::parse_lines(text);
   ASSERT_EQ(runs.size(), 2u);
   EXPECT_EQ(runs[1].find("bench")->as_string(), "append_test");
+  EXPECT_EQ(runs[1].find("kind")->as_string(), kManifestKindServe);
 
   std::remove(path1.c_str());
   rmdir(dir.c_str());

@@ -76,6 +76,13 @@ std::string tier_of(const json::Value& run) {
   return tier && tier->is(json::Kind::kString) ? tier->as_string() : "";
 }
 
+/// Manifest kind ("bench" = one bench run, "serve" = a serve-daemon
+/// lifetime); empty for pre-v3 manifests that predate the field.
+std::string kind_of(const json::Value& run) {
+  const json::Value* kind = run.find("kind");
+  return kind && kind->is(json::Kind::kString) ? kind->as_string() : "";
+}
+
 /// Latest run per execution tier, in first-seen tier order (manifests
 /// are append-only logs, so a later line of the same tier is newer).
 std::vector<std::pair<std::string, const json::Value*>> latest_per_tier(
@@ -121,10 +128,13 @@ int cmd_list(const std::vector<std::string>& files) {
           phases && phases->is(json::Kind::kObject)
               ? phases->as_object().size() : 0;
       const std::string tier = tier_of(run);
+      const std::string kind = kind_of(run);
       std::printf(
-          "  [%zu] %s  %s  tier=%s  host=%s  %zu metrics, %zu phases\n", i,
-          ts ? date_of(static_cast<u64>(ts->as_number())).c_str() : "?",
+          "  [%zu] %s  %s  kind=%s  tier=%s  host=%s  %zu metrics, "
+          "%zu phases\n",
+          i, ts ? date_of(static_cast<u64>(ts->as_number())).c_str() : "?",
           bench ? bench->as_string().c_str() : "?",
+          kind.empty() ? "?" : kind.c_str(),
           tier.empty() ? "?" : tier.c_str(),
           host ? host->as_string().c_str() : "?", metrics, nphases);
     }
@@ -402,6 +412,15 @@ int cmd_check(const std::string& path, const std::string& schema_path) {
     if (!bench || !bench->is(json::Kind::kString) ||
         bench->as_string().empty()) {
       std::printf("  %s: missing or empty bench name\n", where.c_str());
+      ++violations;
+    }
+    const std::string kind = kind_of(run);
+    if (kind != telemetry::kManifestKindBench &&
+        kind != telemetry::kManifestKindServe) {
+      std::printf("  %s: kind \"%s\" is not \"%s\" or \"%s\"\n",
+                  where.c_str(), kind.c_str(),
+                  telemetry::kManifestKindBench,
+                  telemetry::kManifestKindServe);
       ++violations;
     }
     if (!schema_path.empty()) {
