@@ -24,6 +24,7 @@
 #include "mem/cache.hpp"
 #include "mem/hyperram.hpp"
 #include "profile/profile.hpp"
+#include "serve/service.hpp"
 #include "isa/threaded.hpp"
 #include "report/report.hpp"
 #include "telemetry/telemetry.hpp"
@@ -325,6 +326,42 @@ void BM_HyperRamBurst(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HyperRamBurst);
+
+/// The serve daemon's per-point data path on a cache hit — the
+/// steady-state of a popular point, and the path every request pays
+/// at minimum. The plain row is the tracing-off path (StageClock ==
+/// nullptr compiles to zero clock reads inside run_point) and is
+/// gated by SIMPERF_SERVE_OBS_OFF_THRESHOLD_PCT; the Obs row times
+/// the same hit with a clock attached (tracing-on overhead, printed
+/// informationally by simperf_check.sh).
+void serve_point_cached(benchmark::State& state, bool obs) {
+  serve::Service service;
+  const serve::PointParams point = {0, 1, 1};
+  const auto never_cancel = [] { return serve::Status::kOk; };
+  // Prime the cache: one real simulation, then every iteration hits.
+  service.run_point(point, false, never_cancel);
+  serve::obs::StageClock clock;
+  u64 points = 0;
+  for (auto _ : state) {
+    clock = {};
+    const serve::Service::PointResult result = service.run_point(
+        point, false, never_cancel, obs ? &clock : nullptr);
+    benchmark::DoNotOptimize(result.row.cycles);
+    ++points;
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(points), benchmark::Counter::kIsRate);
+}
+
+void BM_ServePointCached(benchmark::State& state) {
+  serve_point_cached(state, false);
+}
+BENCHMARK(BM_ServePointCached);
+
+void BM_ServePointCachedObs(benchmark::State& state) {
+  serve_point_cached(state, true);
+}
+BENCHMARK(BM_ServePointCachedObs);
 
 /// A SoC with some run history, so snapshots carry real state (warm
 /// caches, non-zero stats) rather than a freshly-reset machine.

@@ -135,6 +135,66 @@ for _ in 1 2; do
     --socket "$serve_dir/serve.sock" --connections 2 --requests 4 \
     --type run > "$serve_dir/loadgen.json"
 done
+
+step "metrics-plane smoke (kMetrics scrape x2 monotonic, kTrace parses)"
+# Two successive scrapes while the daemon is up: every counter must be
+# monotonic, the gauges sane, the stage histograms must have counted
+# exactly the completed simulation requests, and the kTrace drain must
+# be valid Perfetto JSON with the clock anchor.
+# A request's trace publishes just after its response bytes, so wait
+# for the final burst response to land in the counters before pinning
+# exact values.
+for _ in $(seq 50); do
+  "$repo_root/build/tools/hulkv-stats" scrape \
+    --socket "$serve_dir/serve.sock" > "$serve_dir/scrape1.txt"
+  grep -q 'hulkv_serve_responses_total{outcome="ok"} 16' \
+    "$serve_dir/scrape1.txt" && break
+  sleep 0.05
+done
+"$repo_root/build/tools/hulkv-stats" scrape \
+  --socket "$serve_dir/serve.sock" > "$serve_dir/scrape2.txt"
+"$repo_root/build/tools/hulkv-stats" trace \
+  --socket "$serve_dir/serve.sock" > "$serve_dir/trace.json"
+python3 - "$serve_dir" <<'EOF'
+import json, sys
+
+def parse(path):
+    out = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            key, _, value = line.rpartition(" ")
+            out[key] = float(value)
+    return out
+
+d = sys.argv[1]
+m1, m2 = parse(d + "/scrape1.txt"), parse(d + "/scrape2.txt")
+assert m1 and set(m1) == set(m2), "scrapes expose different sample sets"
+for key, value in m1.items():
+    if "_total" in key:
+        assert m2[key] >= value, f"counter went backwards: {key}"
+assert m2["hulkv_serve_metrics_scrapes_total"] == \
+    m1["hulkv_serve_metrics_scrapes_total"] + 1, "scrape not self-counted"
+assert m1["hulkv_serve_requests_admitted_total"] == 16, m1
+assert m1["hulkv_serve_responses_total{outcome=\"ok\"}"] == 16, m1
+assert m1["hulkv_serve_workers"] == 2, m1
+assert 0 <= m1["hulkv_serve_utilization"] <= 1, m1
+assert m1["hulkv_serve_uptime_seconds"] > 0, m1
+for stage in ("admission", "queue_wait", "cache_lookup", "warm_fork",
+              "execute", "response_write"):
+    count = m1[f'hulkv_serve_stage_latency_ns_count{{stage="{stage}"}}']
+    assert count == 16, f"stage {stage} counted {count} != 16 requests"
+
+with open(d + "/trace.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+anchors = [e for e in events if e.get("name") == "clock_anchor"]
+assert len(anchors) == 1 and "wall_epoch_ns" in anchors[0]["args"], anchors
+slices = [e for e in events if e.get("ph") == "X"]
+assert len(slices) >= 16, f"only {len(slices)} request slices drained"
+EOF
 kill -TERM "$serve_pid"
 if ! wait "$serve_pid"; then
   echo "ci: serve smoke FAILED — daemon did not exit cleanly on SIGTERM" >&2

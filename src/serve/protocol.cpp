@@ -107,6 +107,8 @@ const char* type_name(MsgType type) {
     case MsgType::kSweep: return "sweep";
     case MsgType::kSuite: return "suite";
     case MsgType::kStats: return "stats";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kTrace: return "trace";
   }
   return "?";
 }
@@ -156,6 +158,14 @@ Request decode_request(const std::vector<u8>& payload) {
   req.point.llc = r.u8v();
   HULKV_CHECK(r.u8v() == 0, "serve: non-zero reserved byte");
   r.done();
+  if (req.type == MsgType::kMetrics || req.type == MsgType::kTrace) {
+    // Metrics-plane ops carry no parameters: any non-zero bit in the
+    // flags/deadline/point fields is a malformed request, same
+    // strictness as the reserved byte.
+    HULKV_CHECK(req.flags == 0 && req.deadline_ms == 0 &&
+                    req.point == (PointParams{0, 0, 0}),
+                "serve: non-empty payload on a metrics-plane request");
+  }
   return req;
 }
 
@@ -214,6 +224,8 @@ std::vector<PointParams> expand_points(const Request& request) {
   switch (request.type) {
     case MsgType::kPing:
     case MsgType::kStats:
+    case MsgType::kMetrics:
+    case MsgType::kTrace:
       return {};
     case MsgType::kRun:
       check_point(request.point);

@@ -44,8 +44,14 @@ enum class MsgType : u8 {
   kSweep = 2,  // one workload over the four Fig. 8 memory configs
   kSuite = 3,  // all five workloads on one memory config
   kStats = 4,  // server counters as a JSON text payload (not cached)
+  /// Live metrics plane (DESIGN.md §17). Both are inline text ops
+  /// answered on the reader thread; their requests must carry zero
+  /// flags/deadline/point bytes (rejected as kBadRequest otherwise —
+  /// codec-strictness parity with the reserved byte).
+  kMetrics = 5,  // Prometheus text exposition of counters/gauges/stages
+  kTrace = 6,    // drains completed request traces as Perfetto JSON
 };
-inline constexpr u8 kNumMsgTypes = 5;
+inline constexpr u8 kNumMsgTypes = 7;
 
 /// Response status codes. Everything except kOk carries no result
 /// rows; the admission-control rejections (queue full, quota,
@@ -131,8 +137,9 @@ std::vector<u8> encode_response(const Response& response);
 Response decode_response(const std::vector<u8>& payload);
 
 /// The simulation points a request expands to, in response row order.
-/// kPing/kStats expand to none. Throws SimError on out-of-range
-/// workload/memory ids (the server maps that to kBadRequest).
+/// kPing/kStats/kMetrics/kTrace expand to none. Throws SimError on
+/// out-of-range workload/memory ids (the server maps that to
+/// kBadRequest).
 std::vector<PointParams> expand_points(const Request& request);
 
 /// Cache key third component: a digest of the point params (salted

@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -77,10 +78,29 @@ struct Server::Job {
   std::atomic<u8> status{static_cast<u8>(Status::kOk)};
   u64 deadline_ns = 0;  // steady ns; 0 = no deadline
   u64 admit_ns = 0;
+
+  // Trace context (DESIGN.md §17): written only when the plane is
+  // enabled. arrive/admission are reader-thread-only; the per-stage
+  // accumulators are summed by workers (relaxed — finalize_job reads
+  // them after the last remaining.fetch_sub, an acq/rel edge).
+  u64 arrive_ns = 0;
+  u64 admission_ns = 0;
+  std::atomic<u64> queue_wait_ns{0};
+  std::atomic<u64> cache_lookup_ns{0};
+  std::atomic<u64> warm_fork_ns{0};
+  std::atomic<u64> execute_ns{0};
+  std::atomic<u32> chunks{0};
+  std::atomic<u32> cache_hits{0};
 };
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {
   if (config_.workers == 0) config_.workers = 1;
+  obs::ServeObs::Config obs_config;
+  obs_config.enabled = config_.obs;
+  obs_config.ring_capacity = config_.trace_ring == 0 ? 1 : config_.trace_ring;
+  obs_config.slow_threshold_ns = u64{config_.slow_ms} * 1'000'000;
+  obs_config.slow_log_path = config_.slow_log_path;
+  obs_ = std::make_unique<obs::ServeObs>(obs_config);
 }
 
 Server::~Server() {
@@ -194,22 +214,44 @@ void Server::accept_loop() {
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
   std::vector<u8> payload;
+  const bool traced = obs_->enabled();
   try {
     while (read_frame(conn->fd, payload)) {
+      // Trace anchor: captured before the decode so the admission
+      // stage covers decode + admission control. The disabled plane
+      // reads no clock here.
+      const u64 arrive_ns = traced ? telemetry::now_ns() : 0;
       Request request;
       try {
         request = decode_request(payload);
       } catch (const SimError&) {
         // Frame boundary intact (magic + length checked), payload
-        // malformed: reject and keep the connection.
+        // malformed: reject and keep the connection. The request's
+        // identity is unknowable; it is traced as kUnknownType.
         requests_seen_.fetch_add(1);
         rejects_bad_request_.fetch_add(1);
         Response resp;
         resp.status = Status::kBadRequest;
-        conn->send(encode_response(resp));
+        if (traced) {
+          obs::RequestTrace trace;
+          trace.type = obs::kUnknownType;
+          trace.status = static_cast<u8>(Status::kBadRequest);
+          trace.start_ns = arrive_ns - obs_->steady_anchor_ns();
+          const u64 ready_ns = telemetry::now_ns();
+          conn->send(encode_response(resp));
+          const u64 end_ns = telemetry::now_ns();
+          trace.stage_ns[static_cast<size_t>(obs::Stage::kAdmission)] =
+              ready_ns - arrive_ns;
+          trace.stage_ns[static_cast<size_t>(
+              obs::Stage::kResponseWrite)] = end_ns - ready_ns;
+          trace.total_ns = end_ns - arrive_ns;
+          obs_->complete(trace);
+        } else {
+          conn->send(encode_response(resp));
+        }
         continue;
       }
-      handle_request(conn, request);
+      handle_request(conn, request, arrive_ns);
     }
   } catch (const SimError&) {
     // Framing violation or I/O error: drop the connection. Responses
@@ -220,30 +262,64 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
   conn->finish_if_drained();
 }
 
-void Server::send_reject(const std::shared_ptr<Connection>& conn,
-                         const Request& request, Status status) {
+void Server::send_inline(const std::shared_ptr<Connection>& conn,
+                         const Request& request, Status status,
+                         std::string text, u64 arrive_ns) {
   Response resp;
   resp.type = request.type;
   resp.status = status;
   resp.request_id = request.request_id;
+  resp.text = std::move(text);
+  if (!obs_->enabled()) {
+    conn->send(encode_response(resp));
+    return;
+  }
+  obs::RequestTrace trace;
+  trace.request_id = request.request_id;
+  trace.client_id = request.client_id;
+  trace.type = static_cast<u8>(request.type);
+  trace.status = static_cast<u8>(status);
+  trace.workload = request.point.workload;
+  trace.flags = request.flags;
+  trace.start_ns = arrive_ns - obs_->steady_anchor_ns();
+  const u64 ready_ns = telemetry::now_ns();
   conn->send(encode_response(resp));
+  const u64 end_ns = telemetry::now_ns();
+  trace.stage_ns[static_cast<size_t>(obs::Stage::kAdmission)] =
+      ready_ns - arrive_ns;
+  trace.stage_ns[static_cast<size_t>(obs::Stage::kResponseWrite)] =
+      end_ns - ready_ns;
+  trace.total_ns = end_ns - arrive_ns;
+  obs_->complete(trace);
 }
 
 void Server::handle_request(const std::shared_ptr<Connection>& conn,
-                            const Request& request) {
+                            const Request& request, u64 arrive_ns) {
   requests_seen_.fetch_add(1);
 
   if (request.type == MsgType::kPing) {
     pings_.fetch_add(1);
-    send_reject(conn, request, Status::kOk);
+    send_inline(conn, request, Status::kOk, "", arrive_ns);
     return;
   }
   if (request.type == MsgType::kStats) {
-    Response resp;
-    resp.type = request.type;
-    resp.request_id = request.request_id;
-    resp.text = stats_json();
-    conn->send(encode_response(resp));
+    send_inline(conn, request, Status::kOk, stats_json(), arrive_ns);
+    return;
+  }
+  if (request.type == MsgType::kMetrics) {
+    // Counted before rendering, so the exposition includes this scrape
+    // and two successive scrapes are strictly ordered.
+    metrics_served_.fetch_add(1);
+    send_inline(conn, request, Status::kOk,
+                obs_->render_prometheus(counters_snapshot(),
+                                        gauges_snapshot()),
+                arrive_ns);
+    return;
+  }
+  if (request.type == MsgType::kTrace) {
+    traces_served_.fetch_add(1);
+    send_inline(conn, request, Status::kOk, obs_->render_trace_json(),
+                arrive_ns);
     return;
   }
 
@@ -252,13 +328,13 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     points = expand_points(request);
   } catch (const SimError&) {
     rejects_bad_request_.fetch_add(1);
-    send_reject(conn, request, Status::kBadRequest);
+    send_inline(conn, request, Status::kBadRequest, "", arrive_ns);
     return;
   }
 
   if (draining_.load()) {
     rejects_shutdown_.fetch_add(1);
-    send_reject(conn, request, Status::kShuttingDown);
+    send_inline(conn, request, Status::kShuttingDown, "", arrive_ns);
     return;
   }
 
@@ -268,12 +344,12 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     u32& in_flight = in_flight_per_client_[request.client_id];
     if (in_flight >= config_.client_quota) {
       rejects_quota_.fetch_add(1);
-      send_reject(conn, request, Status::kQuotaExceeded);
+      send_inline(conn, request, Status::kQuotaExceeded, "", arrive_ns);
       return;
     }
     if (queued_points_ + points.size() > config_.queue_capacity) {
       rejects_queue_full_.fetch_add(1);
-      send_reject(conn, request, Status::kQueueFull);
+      send_inline(conn, request, Status::kQueueFull, "", arrive_ns);
       return;
     }
     ++in_flight;
@@ -289,6 +365,10 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     job->admit_ns = telemetry::now_ns();
     if (request.deadline_ms != 0) {
       job->deadline_ns = job->admit_ns + u64{request.deadline_ms} * 1'000'000;
+    }
+    if (obs_->enabled()) {
+      job->arrive_ns = arrive_ns;
+      job->admission_ns = job->admit_ns - arrive_ns;
     }
     for (u32 i = 0; i < job->points.size(); ++i) {
       queue_.push_back({job, i});
@@ -324,6 +404,13 @@ void Server::worker_loop() {
 
 void Server::run_task(const PointTask& task) {
   Job& job = *task.job;
+  const bool traced = obs_->enabled();
+  if (traced) {
+    // Queue-wait stage: enqueue (admission) -> this worker's claim,
+    // summed over the job's points.
+    job.queue_wait_ns.fetch_add(telemetry::now_ns() - job.admit_ns,
+                                std::memory_order_relaxed);
+  }
   // Pre-run checks, cheapest first: a cancelled/expired/failed job's
   // remaining points finalize without touching a SoC.
   Status pre = Status::kOk;
@@ -349,8 +436,26 @@ void Server::run_task(const PointTask& task) {
           job.status.load(std::memory_order_relaxed));
     };
     try {
+      obs::StageClock clock;
       const Service::PointResult result =
-          service_.run_point(job.points[task.index], no_cache, cancelled);
+          service_.run_point(job.points[task.index], no_cache, cancelled,
+                             traced ? &clock : nullptr);
+      if (traced) {
+        job.cache_lookup_ns.fetch_add(clock.cache_lookup_ns,
+                                      std::memory_order_relaxed);
+        job.warm_fork_ns.fetch_add(clock.warm_fork_ns,
+                                   std::memory_order_relaxed);
+        job.execute_ns.fetch_add(clock.execute_ns,
+                                 std::memory_order_relaxed);
+        job.chunks.fetch_add(clock.chunks, std::memory_order_relaxed);
+        if (clock.cache_hit) {
+          job.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (result.status == Status::kOk) {
+          obs_->note_point(job.points[task.index].workload, clock,
+                           result.row.cycles);
+        }
+      }
       if (result.status == Status::kOk) {
         job.rows[task.index] = result.row;
       } else {
@@ -372,10 +477,44 @@ void Server::finalize_job(const std::shared_ptr<Job>& job) {
   resp.status = static_cast<Status>(job->status.load());
   resp.request_id = job->request.request_id;
   if (resp.status == Status::kOk) resp.rows = job->rows;
+  const bool traced = obs_->enabled();
+  const u64 write0_ns = traced ? telemetry::now_ns() : 0;
   job->conn->send(encode_response(resp));
+  const u64 end_ns = traced ? telemetry::now_ns() : 0;
   release_quota(job->request.client_id);
   job->conn->pending.fetch_sub(1);
   job->conn->finish_if_drained();
+
+  if (traced) {
+    obs::RequestTrace trace;
+    trace.request_id = job->request.request_id;
+    trace.client_id = job->request.client_id;
+    trace.type = static_cast<u8>(job->request.type);
+    trace.status = static_cast<u8>(resp.status);
+    trace.workload = job->points.empty()
+                         ? job->request.point.workload
+                         : job->points[0].workload;
+    trace.flags = job->request.flags;
+    trace.points = static_cast<u32>(job->points.size());
+    trace.chunks = job->chunks.load(std::memory_order_relaxed);
+    trace.cache_hits = job->cache_hits.load(std::memory_order_relaxed);
+    trace.start_ns = job->arrive_ns - obs_->steady_anchor_ns();
+    trace.total_ns = end_ns - job->arrive_ns;
+    using obs::Stage;
+    trace.stage_ns[static_cast<size_t>(Stage::kAdmission)] =
+        job->admission_ns;
+    trace.stage_ns[static_cast<size_t>(Stage::kQueueWait)] =
+        job->queue_wait_ns.load(std::memory_order_relaxed);
+    trace.stage_ns[static_cast<size_t>(Stage::kCacheLookup)] =
+        job->cache_lookup_ns.load(std::memory_order_relaxed);
+    trace.stage_ns[static_cast<size_t>(Stage::kWarmFork)] =
+        job->warm_fork_ns.load(std::memory_order_relaxed);
+    trace.stage_ns[static_cast<size_t>(Stage::kExecute)] =
+        job->execute_ns.load(std::memory_order_relaxed);
+    trace.stage_ns[static_cast<size_t>(Stage::kResponseWrite)] =
+        end_ns - write0_ns;
+    obs_->complete(trace);
+  }
 
   switch (resp.status) {
     case Status::kOk: responses_ok_.fetch_add(1); break;
@@ -477,7 +616,7 @@ std::string Server::stats_json() const {
       "\"cache_entries\":%llu,\"cold_builds\":%llu,"
       "\"points_simulated\":%llu,\"queued_points\":%llu,"
       "\"in_flight_points\":%llu,\"max_queue_depth\":%llu,"
-      "\"workers\":%u}",
+      "\"workers\":%u,",
       static_cast<unsigned long long>(requests_seen_.load()),
       static_cast<unsigned long long>(requests_admitted_.load()),
       static_cast<unsigned long long>(responses_ok_.load()),
@@ -496,7 +635,46 @@ std::string Server::stats_json() const {
       static_cast<unsigned long long>(queued),
       static_cast<unsigned long long>(in_flight),
       static_cast<unsigned long long>(max_depth), config_.workers);
-  return buf;
+  return std::string(buf) + "\"per_workload\":" +
+         obs_->per_workload_json() + "}";
+}
+
+obs::Counters Server::counters_snapshot() const {
+  obs::Counters c;
+  c.requests = requests_seen_.load();
+  c.admitted = requests_admitted_.load();
+  c.responses_ok = responses_ok_.load();
+  c.rejects_bad_request = rejects_bad_request_.load();
+  c.rejects_queue_full = rejects_queue_full_.load();
+  c.rejects_quota = rejects_quota_.load();
+  c.rejects_shutdown = rejects_shutdown_.load();
+  c.deadline_expired = deadline_expired_.load();
+  c.internal_errors = internal_errors_.load();
+  c.pings = pings_.load();
+  c.metrics_served = metrics_served_.load();
+  c.traces_served = traces_served_.load();
+  c.cache_hits = service_.cache().hits();
+  c.cache_misses = service_.cache().misses();
+  c.points_simulated = service_.points_simulated();
+  c.cold_builds = service_.warm_pool_cold_builds();
+  return c;
+}
+
+obs::Gauges Server::gauges_snapshot() const {
+  obs::Gauges g;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    g.queued_points = queued_points_;
+    g.in_flight_points = in_flight_points_;
+    g.max_queue_depth = max_queue_depth_;
+  }
+  g.cache_entries = service_.cache().entries();
+  g.workers = config_.workers;
+  g.utilization = std::min(
+      1.0, static_cast<double>(g.in_flight_points) / config_.workers);
+  g.uptime_s =
+      static_cast<double>(telemetry::now_ns() - start_ns_) / 1e9;
+  return g;
 }
 
 void Server::flush_manifest() {
@@ -560,6 +738,23 @@ void Server::flush_manifest() {
   telemetry::Manifest manifest =
       telemetry::build_manifest(rep, telemetry::registry());
   manifest.kind = telemetry::kManifestKindServe;
+  // Schema v4: per-request aggregates from the observability plane.
+  manifest.serve_requests.present = true;
+  const obs::Counters c = counters_snapshot();
+  manifest.serve_requests.outcomes = {
+      {"ok", c.responses_ok},
+      {"bad_request", c.rejects_bad_request},
+      {"queue_full", c.rejects_queue_full},
+      {"quota_exceeded", c.rejects_quota},
+      {"shutting_down", c.rejects_shutdown},
+      {"deadline_expired", c.deadline_expired},
+      {"internal_error", c.internal_errors},
+  };
+  for (size_t s = 0; s < obs::kNumStages; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    manifest.serve_requests.stages.push_back(
+        {obs::stage_name(stage), obs_->stage_histogram(stage)});
+  }
   const std::string path =
       telemetry::append_manifest(config_.telemetry_dir, manifest);
   std::fprintf(stderr, "[serve] appended run manifest to %s\n",

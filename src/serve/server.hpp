@@ -59,6 +59,18 @@ struct ServerConfig {
   /// Non-empty: append a kind="serve" manifest line to
   /// <telemetry_dir>/hulkv_serve.jsonl on shutdown.
   std::string telemetry_dir;
+
+  /// Observability plane (DESIGN.md §17). `obs = false` turns off all
+  /// request tracing (no clock reads on the dispatch path); kMetrics /
+  /// kTrace / kStats still answer from the server counters.
+  bool obs = true;
+  /// Completed-request trace ring capacity (rounded up to a power of
+  /// two; overwrite-oldest between kTrace drains).
+  u32 trace_ring = 512;
+  /// Requests slower than this log one structured JSON line; 0 = off.
+  u32 slow_ms = 0;
+  /// Slow-request log destination (empty = stderr).
+  std::string slow_log_path;
 };
 
 class Server {
@@ -87,8 +99,12 @@ class Server {
   /// Idempotent; returns once the server is fully stopped.
   void stop();
 
-  /// Server counters as a JSON object (the kStats payload).
+  /// Server counters as a JSON object (the kStats payload), including
+  /// the per-workload breakdown from the observability plane.
   std::string stats_json() const;
+
+  /// The observability plane (stage histograms, trace ring, slow log).
+  obs::ServeObs& observability() { return *obs_; }
 
  private:
   struct Connection;
@@ -102,13 +118,18 @@ class Server {
   void reader_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
   void handle_request(const std::shared_ptr<Connection>& conn,
-                      const Request& request);
-  void send_reject(const std::shared_ptr<Connection>& conn,
-                   const Request& request, Status status);
+                      const Request& request, u64 arrive_ns);
+  /// Answer an inline op / fast reject on the reader thread and trace
+  /// it (admission = arrive -> payload ready, response_write = send).
+  void send_inline(const std::shared_ptr<Connection>& conn,
+                   const Request& request, Status status,
+                   std::string text, u64 arrive_ns);
   void run_task(const PointTask& task);
   void finalize_job(const std::shared_ptr<Job>& job);
   void release_quota(u32 client_id);
   void flush_manifest();
+  obs::Counters counters_snapshot() const;
+  obs::Gauges gauges_snapshot() const;
 
   ServerConfig config_;
   int listen_fd_ = -1;
@@ -117,6 +138,7 @@ class Server {
   u64 start_ns_ = 0;
 
   Service service_;
+  std::unique_ptr<obs::ServeObs> obs_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;
@@ -154,6 +176,8 @@ class Server {
   std::atomic<u64> deadline_expired_{0};
   std::atomic<u64> internal_errors_{0};
   std::atomic<u64> pings_{0};
+  std::atomic<u64> metrics_served_{0};
+  std::atomic<u64> traces_served_{0};
 };
 
 }  // namespace hulkv::serve

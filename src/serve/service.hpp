@@ -18,6 +18,7 @@
 #include <functional>
 
 #include "serve/cache.hpp"
+#include "serve/obs.hpp"
 #include "serve/warm_pool.hpp"
 
 namespace hulkv::serve {
@@ -40,8 +41,12 @@ class Service {
   /// Simulate one point (or serve it from the cache). `no_cache`
   /// bypasses both lookup and insert. Throws SimError only on invalid
   /// points — simulation itself cannot throw for catalogue workloads.
+  /// With a non-null `clock` the cache-lookup / warm-fork / execute
+  /// stages are wall-clocked into it; nullptr is the tracing-off path
+  /// and reads no clock at all (gated by simperf).
   PointResult run_point(const PointParams& point, bool no_cache,
-                        const CancelFn& cancelled);
+                        const CancelFn& cancelled,
+                        obs::StageClock* clock = nullptr);
 
   ResultCache& cache() { return cache_; }
   const ResultCache& cache() const { return cache_; }

@@ -99,6 +99,40 @@ std::string HistogramData::summary_json() const {
   return buf;
 }
 
+std::string format_duration_ns(double ns) {
+  char buf[48];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string latency_summary_text(u64 count, double mean_ns, double p50_ns,
+                                 double p90_ns, double p99_ns,
+                                 double p999_ns) {
+  std::string out = "n=" + std::to_string(count);
+  out += " mean=" + format_duration_ns(mean_ns);
+  out += " p50=" + format_duration_ns(p50_ns);
+  out += " p90=" + format_duration_ns(p90_ns);
+  out += " p99=" + format_duration_ns(p99_ns);
+  out += " p99.9=" + format_duration_ns(p999_ns);
+  return out;
+}
+
+std::string HistogramData::summary_text() const {
+  return latency_summary_text(
+      count(), mean(), static_cast<double>(percentile(50)),
+      static_cast<double>(percentile(90)),
+      static_cast<double>(percentile(99)),
+      static_cast<double>(percentile(99.9)));
+}
+
 void AtomicHistogram::record(u64 value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);

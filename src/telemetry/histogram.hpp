@@ -83,6 +83,10 @@ class HistogramData {
   ///  "p99":..,"p999":..}
   std::string summary_json() const;
 
+  /// One-line human summary in the shared hulkv-stats format
+  /// (latency_summary_text below): n, mean, p50/p90/p99/p99.9, max.
+  std::string summary_text() const;
+
  private:
   friend class AtomicHistogram;
   u64 count_ = 0;
@@ -115,5 +119,16 @@ class AtomicHistogram {
   std::atomic<u64> max_{0};
   std::atomic<u64> buckets_[kNumBuckets] = {};
 };
+
+/// "812ns" / "4.56us" / "7.89ms" / "1.23s": human duration from ns.
+std::string format_duration_ns(double ns);
+
+/// THE latency summary line: every tool that prints percentiles
+/// (hulkv-loadgen, hulkv-stats tail/top) renders through this one
+/// function so daemon-side and client-side numbers read identically:
+///   "n=16 mean=1.23ms p50=1.20ms p90=2.00ms p99=3.00ms p99.9=3.10ms"
+std::string latency_summary_text(u64 count, double mean_ns, double p50_ns,
+                                 double p90_ns, double p99_ns,
+                                 double p999_ns);
 
 }  // namespace hulkv::telemetry

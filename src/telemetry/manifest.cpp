@@ -106,7 +106,23 @@ std::string Manifest::to_json_line() const {
     if (i != 0) os << ",";
     append_sweep(os, sweeps[i]);
   }
-  os << "]}";
+  os << "]";
+  if (serve_requests.present) {
+    os << ",\"serve_requests\":{\"outcomes\":{";
+    for (size_t i = 0; i < serve_requests.outcomes.size(); ++i) {
+      if (i != 0) os << ",";
+      os << json_quote(serve_requests.outcomes[i].first) << ":"
+         << serve_requests.outcomes[i].second;
+    }
+    os << "},\"stages\":{";
+    for (size_t i = 0; i < serve_requests.stages.size(); ++i) {
+      if (i != 0) os << ",";
+      os << json_quote(serve_requests.stages[i].phase) << ":"
+         << serve_requests.stages[i].latency.summary_json();
+    }
+    os << "}}";
+  }
+  os << "}";
   return os.str();
 }
 

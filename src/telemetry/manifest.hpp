@@ -29,7 +29,11 @@ namespace hulkv::telemetry {
 /// v3: added "kind" ("bench" = one bench run, "serve" = a serve-daemon
 ///     lifetime, DESIGN.md §16), so fleet tooling can aggregate server
 ///     manifests with the same list/agg/diff machinery.
-inline constexpr u32 kManifestSchemaVersion = 3;
+/// v4: added the optional "serve_requests" section (per-request
+///     aggregates from the DESIGN.md §17 observability plane:
+///     admission-outcome counts + per-stage latency summaries).
+///     kind="serve" manifests must carry it; "bench" manifests omit it.
+inline constexpr u32 kManifestSchemaVersion = 4;
 
 /// Manifest kinds ("kind" field values).
 inline constexpr const char* kManifestKindBench = "bench";
@@ -65,6 +69,15 @@ struct Manifest {
   std::vector<PhaseSummary> phases;
 
   std::vector<SweepSummary> sweeps;
+
+  /// Per-request aggregates of a serve-daemon lifetime (v4). Rendered
+  /// only when `present`; outcome/stage orders are the serve enums'.
+  struct ServeRequests {
+    bool present = false;
+    std::vector<std::pair<std::string, u64>> outcomes;  // name -> count
+    std::vector<PhaseSummary> stages;  // request pipeline stages, ns
+  };
+  ServeRequests serve_requests;
 
   /// Serialize as a single JSON line (no trailing newline).
   std::string to_json_line() const;

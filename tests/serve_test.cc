@@ -204,6 +204,62 @@ TEST(ServeProtocol, ExpandPointsShapes) {
   EXPECT_THROW(expand_points(req), SimError);
 }
 
+// Metrics-plane requests (kMetrics / kTrace, DESIGN.md §17) carry no
+// simulation payload: flags, deadline and the point must all be zero.
+Request metrics_plane_request(MsgType type) {
+  Request req;
+  req.type = type;
+  req.client_id = 4;
+  req.request_id = 0xfeed;
+  req.point = {0, 0, 0};
+  return req;
+}
+
+TEST(ServeProtocol, MetricsPlaneRoundTripTruncationAndTrailing) {
+  for (const MsgType type : {MsgType::kMetrics, MsgType::kTrace}) {
+    const Request req = metrics_plane_request(type);
+    const std::vector<u8> bytes = encode_request(req);
+    EXPECT_EQ(decode_request(bytes), req);
+    for (size_t n = 0; n < bytes.size(); ++n) {
+      EXPECT_THROW(decode_request({bytes.begin(), bytes.begin() + n}),
+                   SimError)
+          << type_name(type) << " prefix length " << n;
+    }
+    std::vector<u8> trailing = bytes;
+    trailing.push_back(0);
+    EXPECT_THROW(decode_request(trailing), SimError) << type_name(type);
+
+    // Metrics-plane ops expand to zero simulation points.
+    EXPECT_TRUE(expand_points(req).empty()) << type_name(type);
+  }
+}
+
+TEST(ServeProtocol, MetricsPlaneRejectsAnyPayload) {
+  for (const MsgType type : {MsgType::kMetrics, MsgType::kTrace}) {
+    const Request base = metrics_plane_request(type);
+    Request bad = base;
+    bad.flags = kFlagNoCache;
+    EXPECT_THROW(decode_request(encode_request(bad)), SimError)
+        << type_name(type) << " flags";
+    bad = base;
+    bad.deadline_ms = 1;
+    EXPECT_THROW(decode_request(encode_request(bad)), SimError)
+        << type_name(type) << " deadline";
+    bad = base;
+    bad.point.workload = 1;
+    EXPECT_THROW(decode_request(encode_request(bad)), SimError)
+        << type_name(type) << " workload";
+    bad = base;
+    bad.point.mem_kind = 1;
+    EXPECT_THROW(decode_request(encode_request(bad)), SimError)
+        << type_name(type) << " mem_kind";
+    bad = base;
+    bad.point.llc = 1;
+    EXPECT_THROW(decode_request(encode_request(bad)), SimError)
+        << type_name(type) << " llc";
+  }
+}
+
 // ---------------------------------------------------------------------
 // Cache keys.
 
@@ -295,6 +351,8 @@ TEST(ServeServer, PingAndStats) {
     EXPECT_DOUBLE_EQ(v.find("requests")->as_number(), 2.0);
     EXPECT_NE(v.find("cache_hits"), nullptr);
     EXPECT_NE(v.find("queued_points"), nullptr);
+    // v17: per-workload breakdown (empty object before any point ran).
+    EXPECT_NE(v.find("per_workload"), nullptr);
   }
   server.stop();
 }
@@ -600,6 +658,310 @@ TEST(ServeServer, RequestsAfterStopRequestAreRejected) {
 }
 
 // ---------------------------------------------------------------------
+// Observability plane (DESIGN.md §17): kMetrics exposition, kTrace
+// drain-once semantics, stage-time conservation, slow-request log.
+
+/// Prometheus text exposition -> {"name{labels}": value}, comments
+/// skipped (the value is everything after the last space).
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    out[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return out;
+}
+
+constexpr const char* kStageNames[] = {"admission",  "queue_wait",
+                                       "cache_lookup", "warm_fork",
+                                       "execute",    "response_write"};
+
+/// Scrape kMetrics until `sample` reaches at least `want`. A request's
+/// trace completes *after* its response bytes are written (the span
+/// includes the send), so a client that just received its response may
+/// scrape before the plane publishes it. `responses_total{outcome=
+/// "ok"}` is bumped after the trace push, so polling it orders the
+/// whole pipeline.
+std::map<std::string, double> scrape_until(Client& client,
+                                           const std::string& sample,
+                                           double want) {
+  std::map<std::string, double> m;
+  for (int i = 0; i < 2000; ++i) {
+    const Response resp =
+        client.call(metrics_plane_request(MsgType::kMetrics));
+    EXPECT_EQ(resp.status, Status::kOk);
+    m = parse_prometheus(resp.text);
+    if (m.at(sample) >= want) return m;
+    usleep(1000);
+  }
+  ADD_FAILURE() << sample << " never reached " << want;
+  return m;
+}
+
+TEST(ServeServer, MetricsScrapesAreMonotonicAndCountStages) {
+  const std::string path = test_socket_path("metrics");
+  Server server(small_config(path));
+  server.start();
+  {
+    Client client = Client::connect_unix(path);
+    Request run;
+    run.type = MsgType::kRun;
+    run.client_id = 1;
+    run.request_id = 1;
+    run.point = {0, 1, 1};
+    ASSERT_EQ(client.call(run).status, Status::kOk);  // cache miss
+    run.request_id = 2;
+    ASSERT_EQ(client.call(run).status, Status::kOk);  // cache hit
+
+    const std::map<std::string, double> m1 = scrape_until(
+        client, "hulkv_serve_responses_total{outcome=\"ok\"}", 2.0);
+    // Non-simulation requests were only the scrapes themselves (each
+    // scrape counts itself, so two scrapes are strictly ordered).
+    EXPECT_EQ(m1.at("hulkv_serve_requests_total"),
+              2.0 + m1.at("hulkv_serve_metrics_scrapes_total"));
+    EXPECT_EQ(m1.at("hulkv_serve_requests_admitted_total"), 2.0);
+    EXPECT_EQ(m1.at("hulkv_serve_responses_total{outcome=\"ok\"}"), 2.0);
+    EXPECT_GE(m1.at("hulkv_serve_metrics_scrapes_total"), 1.0);
+    EXPECT_EQ(m1.at("hulkv_serve_cache_hits_total"), 1.0);
+    EXPECT_EQ(m1.at("hulkv_serve_cache_misses_total"), 1.0);
+    EXPECT_GE(m1.at("hulkv_serve_run_chunks_total"), 1.0);
+    // Ring pushes cover metrics-plane responses too, hence >=.
+    EXPECT_GE(m1.at("hulkv_serve_trace_completed_total"), 2.0);
+    EXPECT_EQ(m1.at("hulkv_serve_workers"), 2.0);
+    EXPECT_GE(m1.at("hulkv_serve_uptime_seconds"), 0.0);
+    // The core invariant: every stage histogram counted exactly the
+    // finalized simulation requests — zero-length stages included.
+    for (const char* stage : kStageNames) {
+      EXPECT_EQ(m1.at(std::string("hulkv_serve_stage_latency_ns_count{"
+                                  "stage=\"") +
+                      stage + "\"}"),
+                2.0)
+          << stage;
+    }
+
+    const Response second =
+        client.call(metrics_plane_request(MsgType::kMetrics));
+    ASSERT_EQ(second.status, Status::kOk);
+    const std::map<std::string, double> m2 = parse_prometheus(second.text);
+    for (const auto& [key, value] : m1) {
+      if (key.find("_total") != std::string::npos) {
+        EXPECT_GE(m2.at(key), value) << key;
+      }
+    }
+    EXPECT_EQ(m2.at("hulkv_serve_metrics_scrapes_total"),
+              m1.at("hulkv_serve_metrics_scrapes_total") + 1.0);
+
+    // A metrics-plane request with a payload is kBadRequest on the
+    // wire, and the connection survives.
+    Request bad = metrics_plane_request(MsgType::kMetrics);
+    bad.point = {0, 1, 1};
+    write_frame(client.fd(), encode_request(bad));
+    Response resp;
+    ASSERT_TRUE(client.recv(&resp));
+    EXPECT_EQ(resp.status, Status::kBadRequest);
+    EXPECT_EQ(client.call(metrics_plane_request(MsgType::kMetrics)).status,
+              Status::kOk);
+  }
+  server.stop();
+}
+
+TEST(ServeServer, TraceDrainsOnceWithClockAnchor) {
+  const std::string path = test_socket_path("trace");
+  Server server(small_config(path));
+  server.start();
+  {
+    Client client = Client::connect_unix(path);
+    Request run;
+    run.type = MsgType::kRun;
+    run.request_id = 7;
+    run.point = {1, 1, 1};
+    ASSERT_EQ(client.call(run).status, Status::kOk);
+    // The trace publishes after the response bytes; wait for it.
+    scrape_until(client, "hulkv_serve_responses_total{outcome=\"ok\"}",
+                 1.0);
+
+    const auto count_run_slices = [](const std::string& text,
+                                     bool* anchor) {
+      const telemetry::json::Value v = telemetry::json::parse(text);
+      int slices = 0;
+      *anchor = false;
+      for (const telemetry::json::Value& e :
+           v.find("traceEvents")->as_array()) {
+        const telemetry::json::Value* ph = e.find("ph");
+        if (ph != nullptr && ph->as_string() == "X" &&
+            e.find_path("args.request_id")->as_number() == 7.0) {
+          ++slices;
+          EXPECT_EQ(e.find_path("args.outcome")->as_string(), "ok");
+          EXPECT_DOUBLE_EQ(e.find_path("args.points")->as_number(), 1.0);
+          EXPECT_GT(e.find("dur")->as_number(), 0.0);
+        }
+        const telemetry::json::Value* name = e.find("name");
+        if (name != nullptr && name->as_string() == "clock_anchor") {
+          *anchor = true;
+          EXPECT_NE(e.find_path("args.wall_epoch_ns"), nullptr);
+          EXPECT_NE(e.find_path("args.steady_anchor_ns"), nullptr);
+        }
+      }
+      return slices;
+    };
+
+    const Response first =
+        client.call(metrics_plane_request(MsgType::kTrace));
+    ASSERT_EQ(first.status, Status::kOk);
+    bool anchor = false;
+    EXPECT_EQ(count_run_slices(first.text, &anchor), 1);
+    EXPECT_TRUE(anchor);
+
+    // The ring drains through a consumer cursor: a second kTrace never
+    // re-reports the drained request (the anchor is always present).
+    const Response second =
+        client.call(metrics_plane_request(MsgType::kTrace));
+    ASSERT_EQ(second.status, Status::kOk);
+    EXPECT_EQ(count_run_slices(second.text, &anchor), 0);
+    EXPECT_TRUE(anchor);
+  }
+  server.stop();
+}
+
+TEST(ServeServer, StageTimesConserveAcrossWorkerCounts) {
+  // The same single-point request at 1 and 3 workers: identical
+  // response bytes, and a span whose per-stage wall times sum to
+  // within the request total (stages are disjoint intervals).
+  Request run;
+  run.type = MsgType::kRun;
+  run.client_id = 2;
+  run.request_id = 42;
+  run.point = {0, 1, 1};
+
+  std::vector<u8> bytes_by_workers[2];
+  const u32 worker_counts[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    const std::string path = test_socket_path("conserve");
+    ServerConfig config = small_config(path);
+    config.workers = worker_counts[i];
+    Server server(config);
+    server.start();
+    {
+      Client client = Client::connect_unix(path);
+      bytes_by_workers[i] = raw_call(client, run);
+      scrape_until(client, "hulkv_serve_responses_total{outcome=\"ok\"}",
+                   1.0);
+
+      const Response trace =
+          client.call(metrics_plane_request(MsgType::kTrace));
+      ASSERT_EQ(trace.status, Status::kOk);
+      const telemetry::json::Value v = telemetry::json::parse(trace.text);
+      int found = 0;
+      for (const telemetry::json::Value& e :
+           v.find("traceEvents")->as_array()) {
+        const telemetry::json::Value* ph = e.find("ph");
+        if (ph == nullptr || ph->as_string() != "X") continue;
+        const telemetry::json::Value* args = e.find("args");
+        if (args->find("request_id")->as_number() != 42.0) continue;
+        ++found;
+        const double total = args->find("total_ns")->as_number();
+        const telemetry::json::Value* stages = args->find("stages_ns");
+        double stage_sum = 0.0;
+        for (const char* stage : kStageNames) {
+          ASSERT_NE(stages->find(stage), nullptr) << stage;
+          stage_sum += stages->find(stage)->as_number();
+        }
+        EXPECT_GT(total, 0.0);
+        EXPECT_GT(stages->find("execute")->as_number(), 0.0);
+        EXPECT_LE(stage_sum, total) << "workers " << worker_counts[i];
+      }
+      EXPECT_EQ(found, 1) << "workers " << worker_counts[i];
+    }
+    server.stop();
+  }
+  EXPECT_EQ(bytes_by_workers[0], bytes_by_workers[1]);
+}
+
+TEST(ServeServer, TracingOffKeepsBytesAndMetricsStillAnswer) {
+  Request run;
+  run.type = MsgType::kRun;
+  run.request_id = 9;
+  run.point = {2, 1, 1};
+
+  std::vector<u8> bytes_by_obs[2];
+  for (int i = 0; i < 2; ++i) {
+    const std::string path = test_socket_path("obsoff");
+    ServerConfig config = small_config(path);
+    config.obs = i == 0;
+    Server server(config);
+    server.start();
+    {
+      Client client = Client::connect_unix(path);
+      bytes_by_obs[i] = raw_call(client, run);
+      if (!config.obs) {
+        // kMetrics still answers with counters; the per-request plane
+        // (stage histograms, trace ring) stays empty.
+        const Response scrape =
+            client.call(metrics_plane_request(MsgType::kMetrics));
+        ASSERT_EQ(scrape.status, Status::kOk);
+        const std::map<std::string, double> m =
+            parse_prometheus(scrape.text);
+        EXPECT_EQ(m.at("hulkv_serve_requests_admitted_total"), 1.0);
+        EXPECT_EQ(m.at("hulkv_serve_trace_completed_total"), 0.0);
+        EXPECT_EQ(m.at("hulkv_serve_stage_latency_ns_count{stage="
+                       "\"execute\"}"),
+                  0.0);
+      }
+    }
+    server.stop();
+  }
+  EXPECT_EQ(bytes_by_obs[0], bytes_by_obs[1]);
+}
+
+TEST(ServeServer, SlowLogRecordsOffendersAsJsonLines) {
+  const std::string path = test_socket_path("slow");
+  const std::string log =
+      "/tmp/hulkv_serve_slow_" + std::to_string(getpid()) + ".log";
+  std::remove(log.c_str());
+  ServerConfig config = small_config(path);
+  config.slow_ms = 1;
+  config.slow_log_path = log;
+  Server server(config);
+  server.start();
+  {
+    Client client = Client::connect_unix(path);
+    Request req;
+    req.type = MsgType::kSuite;
+    req.flags = kFlagNoCache;
+    req.request_id = 55;
+    req.point = {0, 1, 1};
+    // Five uncached points run for many milliseconds — far over the
+    // 1 ms threshold.
+    ASSERT_EQ(client.call(req).status, Status::kOk);
+  }
+  server.stop();
+
+  std::ifstream in(log);
+  ASSERT_TRUE(in.good()) << "slow log was not written";
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  const telemetry::json::Value v = telemetry::json::parse(line);
+  const telemetry::json::Value* slow = v.find("slow_request");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_DOUBLE_EQ(slow->find("request_id")->as_number(), 55.0);
+  EXPECT_EQ(slow->find("type")->as_string(), "suite");
+  EXPECT_EQ(slow->find("outcome")->as_string(), "ok");
+  EXPECT_GE(slow->find("total_ns")->as_number(), 1e6);
+  ASSERT_NE(slow->find("stages_ns"), nullptr);
+  EXPECT_GT(slow->find("stages_ns")->find("execute")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(v.find("threshold_ns")->as_number(), 1e6);
+  std::remove(log.c_str());
+}
+
+// ---------------------------------------------------------------------
 // The daemon binary: SIGTERM on a busy server drains, flushes the
 // manifest, and exits 0.
 
@@ -678,6 +1040,22 @@ TEST(ServeDaemon, SigtermOnBusyServerFlushesManifestAndExitsZero) {
       metrics->find("serve.responses_ok")->find("value")->as_number(), 1.0);
   EXPECT_NE(metrics->find("serve.cache_hit_rate"), nullptr);
   EXPECT_NE(v.find_path("phases.serve_request"), nullptr);
+
+  // Schema v4: a serve-kind manifest carries the per-request
+  // aggregates from the observability plane.
+  const telemetry::json::Value* serve_requests = v.find("serve_requests");
+  ASSERT_NE(serve_requests, nullptr);
+  const telemetry::json::Value* outcomes = serve_requests->find("outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  EXPECT_DOUBLE_EQ(outcomes->find("ok")->as_number(), 1.0);
+  const telemetry::json::Value* stages = serve_requests->find("stages");
+  ASSERT_NE(stages, nullptr);
+  // One finalized simulation request -> every stage counted once.
+  for (const char* stage : kStageNames) {
+    const telemetry::json::Value* summary = stages->find(stage);
+    ASSERT_NE(summary, nullptr) << stage;
+    EXPECT_DOUBLE_EQ(summary->find("count")->as_number(), 1.0) << stage;
+  }
 
   cmd = "rm -rf " + dir;
   ASSERT_EQ(system(cmd.c_str()), 0);

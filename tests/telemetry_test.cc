@@ -165,6 +165,24 @@ TEST(TelemetryHistogram, PercentileClampsIntoObservedRange) {
   }
 }
 
+TEST(TelemetryHistogram, SummaryTextSharedFormat) {
+  // The human-readable latency line shared by hulkv-loadgen stderr and
+  // hulkv-stats tail/top: fixed field order, unit-tiered durations.
+  EXPECT_EQ(format_duration_ns(500), "500ns");
+  EXPECT_EQ(format_duration_ns(1500), "1.50us");
+  EXPECT_EQ(format_duration_ns(2.5e6), "2.50ms");
+  EXPECT_EQ(format_duration_ns(3e9), "3.00s");
+  EXPECT_EQ(latency_summary_text(4, 1e6, 5e5, 2e6, 3e6, 4e6),
+            "n=4 mean=1.00ms p50=500.00us p90=2.00ms p99=3.00ms "
+            "p99.9=4.00ms");
+
+  HistogramData h;
+  h.record(1000);
+  EXPECT_EQ(h.summary_text(),
+            "n=1 mean=1.00us p50=1.00us p90=1.00us p99=1.00us "
+            "p99.9=1.00us");
+}
+
 TEST(TelemetryHistogram, AtomicMatchesSerialUnderConcurrentRecords) {
   // N threads record disjoint value streams; the merged snapshot must
   // equal the serially-built reference exactly (adds never lost).
@@ -419,6 +437,40 @@ TEST(TelemetryManifest, BuildSerializeParseRoundTrip) {
   ASSERT_EQ(sweeps.size(), 1u);
   EXPECT_DOUBLE_EQ(sweeps[0].find("jobs")->as_number(), 8.0);
   EXPECT_DOUBLE_EQ(sweeps[0].find("utilization")->as_number(), 0.9);
+}
+
+TEST(TelemetryManifest, ServeRequestsSectionRoundTrips) {
+  // v4: a serve manifest carries per-request aggregates; a bench
+  // manifest (serve_requests.present == false) omits the section.
+  Manifest m;
+  m.bench = "v4_test";
+  m.kind = kManifestKindServe;
+  m.serve_requests.present = true;
+  m.serve_requests.outcomes = {{"ok", 12}, {"bad_request", 3}};
+  Manifest::PhaseSummary stage;
+  stage.phase = "queue_wait";
+  stage.latency.record(1000);
+  stage.latency.record(3000);
+  m.serve_requests.stages.push_back(stage);
+
+  const json::Value v = json::parse(m.to_json_line());
+  const json::Value* sr = v.find("serve_requests");
+  ASSERT_NE(sr, nullptr);
+  const json::Value* outcomes = sr->find("outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  EXPECT_DOUBLE_EQ(outcomes->find("ok")->as_number(), 12.0);
+  EXPECT_DOUBLE_EQ(outcomes->find("bad_request")->as_number(), 3.0);
+  const json::Value* stages = sr->find("stages");
+  ASSERT_NE(stages, nullptr);
+  const json::Value* qw = stages->find("queue_wait");
+  ASSERT_NE(qw, nullptr);
+  EXPECT_DOUBLE_EQ(qw->find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(qw->find("sum")->as_number(), 4000.0);
+
+  Manifest bench;
+  bench.bench = "v4_bench";
+  EXPECT_EQ(json::parse(bench.to_json_line()).find("serve_requests"),
+            nullptr);
 }
 
 TEST(TelemetryManifest, AppendManifestAccumulatesJsonLines) {

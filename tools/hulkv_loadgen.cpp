@@ -252,6 +252,14 @@ int main(int argc, char** argv) {
       std::printf(",\"cold_baseline\":%s", cold.summary_json().c_str());
     }
     std::printf("}\n");
+    // Human-readable percentiles on stderr (stdout stays pure JSON),
+    // in the shared hulkv-stats latency_summary_text format.
+    std::fprintf(stderr, "[loadgen] latency %s\n",
+                 total.latency.summary_text().c_str());
+    if (opt.cold_baseline != 0) {
+      std::fprintf(stderr, "[loadgen] cold    %s\n",
+                   cold.summary_text().c_str());
+    }
     return total.errors == 0 ? 0 : 1;
   } catch (const SimError& e) {
     std::fprintf(stderr, "hulkv-loadgen: %s\n", e.what());

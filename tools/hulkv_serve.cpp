@@ -49,6 +49,17 @@ int main(int argc, char** argv) {
   parser.add_optional_value("--telemetry", &telemetry, &telemetry_dir,
                             "append a run manifest on shutdown "
                             "(--telemetry=DIR, default runs)");
+  bool no_obs = false;
+  parser.add_flag("--no-obs", &no_obs,
+                  "disable request tracing (kMetrics/kTrace still "
+                  "answer, with empty stage histograms)");
+  parser.add_u32("--trace-ring", &config.trace_ring,
+                 "completed-request trace ring capacity (kTrace)");
+  parser.add_u32("--slow-ms", &config.slow_ms,
+                 "log requests slower than this as one JSON line each "
+                 "(0 = off)");
+  parser.add_string("--slow-log", &config.slow_log_path,
+                    "slow-request log file (default: stderr)");
   parser.add_flag("--help", &help, "show this help");
   if (!parser.parse(argc, argv)) {
     std::fprintf(stderr, "hulkv-serve: %s\n%s", parser.error().c_str(),
@@ -64,6 +75,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.tcp_port = static_cast<u16>(port);
+  config.obs = !no_obs;
   if (telemetry) {
     config.telemetry_dir = telemetry_dir.empty() ? "runs" : telemetry_dir;
   }

@@ -9,8 +9,19 @@
 //   hulkv-stats trend <BENCH_simperf.json> [--metric NAME]
 //   hulkv-stats check <manifests.jsonl> [--schema schema.json]
 //
+// Live modes against a running hulkv-serve (DESIGN.md §17): scrape /
+// trace print one kMetrics exposition / kTrace Perfetto JSON; tail
+// polls kMetrics and prints one per-interval delta line; top renders a
+// refreshing one-screen view.
+//
+//   hulkv-stats scrape --socket S | --port P
+//   hulkv-stats trace  --socket S | --port P
+//   hulkv-stats tail   --socket S | --port P [--interval-ms N] [--count N]
+//   hulkv-stats top    --socket S | --port P [--interval-ms N] [--count N]
+//
 // No external dependencies: uses the in-repo telemetry::json reader.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -20,9 +31,12 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/types.hpp"
+#include "serve/client.hpp"
+#include "telemetry/histogram.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/manifest.hpp"
 
@@ -423,6 +437,19 @@ int cmd_check(const std::string& path, const std::string& schema_path) {
                   telemetry::kManifestKindServe);
       ++violations;
     }
+    // v4 invariant: a serve-daemon lifetime carries its per-request
+    // aggregates; bench manifests must not grow the section.
+    const json::Value* serve_requests = run.find("serve_requests");
+    if (kind == telemetry::kManifestKindServe && serve_requests == nullptr) {
+      std::printf("  %s: kind \"serve\" without serve_requests\n",
+                  where.c_str());
+      ++violations;
+    }
+    if (kind == telemetry::kManifestKindBench && serve_requests != nullptr) {
+      std::printf("  %s: kind \"bench\" with serve_requests\n",
+                  where.c_str());
+      ++violations;
+    }
     if (!schema_path.empty()) {
       violations += validate(run, schema, where);
     }
@@ -431,6 +458,212 @@ int cmd_check(const std::string& path, const std::string& schema_path) {
               runs.size(), runs.size() == 1 ? "" : "s", violations,
               violations == 1 ? "" : "s");
   return violations == 0 ? 0 : 1;
+}
+
+// ---- live modes (scrape / trace / tail / top) ----
+
+serve::Client connect_serve(const std::string& socket_path,
+                            const std::string& port) {
+  if (!socket_path.empty()) {
+    return serve::Client::connect_unix(socket_path);
+  }
+  if (!port.empty()) {
+    return serve::Client::connect_tcp(
+        static_cast<u16>(std::stoul(port)));
+  }
+  throw SimError("hulkv-stats: need --socket PATH or --port N");
+}
+
+/// One metrics-plane round trip (kMetrics or kTrace); returns the text
+/// payload. These requests carry zero flags/deadline/point bytes — the
+/// server rejects anything else as kBadRequest.
+std::string fetch_text(serve::Client& client, serve::MsgType type,
+                       u64 request_id) {
+  serve::Request req;
+  req.type = type;
+  req.request_id = request_id;
+  req.point = {0, 0, 0};
+  const serve::Response resp = client.call(req);
+  if (resp.status != serve::Status::kOk) {
+    throw SimError(std::string("hulkv-stats: server answered ") +
+                   serve::status_name(resp.status));
+  }
+  return resp.text;
+}
+
+/// Minimal Prometheus text-exposition parser: "name{labels} value"
+/// lines keyed verbatim (labels included); comment lines skipped.
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    try {
+      out[line.substr(0, space)] = std::stod(line.substr(space + 1));
+    } catch (const std::exception&) {
+      // Not a numeric sample; skip.
+    }
+  }
+  return out;
+}
+
+double sample(const std::map<std::string, double>& m,
+              const std::string& key) {
+  const auto it = m.find(key);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+/// The shared latency line for one pipeline stage, from the scraped
+/// summary quantiles (same renderer the daemon-side histograms use).
+std::string stage_line(const std::map<std::string, double>& m,
+                       const std::string& stage) {
+  const auto q = [&](const char* quantile) {
+    return sample(m, "hulkv_serve_stage_latency_ns{stage=\"" + stage +
+                         "\",quantile=\"" + quantile + "\"}");
+  };
+  const double count =
+      sample(m, "hulkv_serve_stage_latency_ns_count{stage=\"" + stage +
+                    "\"}");
+  const double sum = sample(
+      m, "hulkv_serve_stage_latency_ns_sum{stage=\"" + stage + "\"}");
+  return telemetry::latency_summary_text(
+      static_cast<u64>(count), count == 0 ? 0.0 : sum / count, q("0.5"),
+      q("0.9"), q("0.99"), q("0.999"));
+}
+
+constexpr const char* kStageNames[] = {
+    "admission", "queue_wait",     "cache_lookup",
+    "warm_fork", "execute",        "response_write"};
+
+int cmd_scrape(const std::string& socket_path, const std::string& port) {
+  serve::Client client = connect_serve(socket_path, port);
+  std::fputs(fetch_text(client, serve::MsgType::kMetrics, 1).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_trace_op(const std::string& socket_path, const std::string& port) {
+  serve::Client client = connect_serve(socket_path, port);
+  std::printf("%s\n",
+              fetch_text(client, serve::MsgType::kTrace, 1).c_str());
+  return 0;
+}
+
+int cmd_tail(const std::string& socket_path, const std::string& port,
+             u32 interval_ms, u64 count) {
+  serve::Client client = connect_serve(socket_path, port);
+  std::map<std::string, double> prev;
+  std::printf("%8s %8s %8s %8s %8s %8s %6s %6s %6s  %s\n", "req/s",
+              "ok/s", "rej/s", "hit/s", "miss/s", "chunk/s", "queue",
+              "infl", "util", "execute");
+  const auto delta = [&](const std::map<std::string, double>& now,
+                         const std::string& key) {
+    return sample(now, key) - sample(prev, key);
+  };
+  for (u64 i = 0; count == 0 || i < count; ++i) {
+    if (i != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(interval_ms));
+    }
+    const std::map<std::string, double> now = parse_prometheus(
+        fetch_text(client, serve::MsgType::kMetrics, 2 + i));
+    // First poll prints absolute counts over the daemon's uptime; the
+    // rest are per-interval rates.
+    const double dt = i == 0 ? sample(now, "hulkv_serve_uptime_seconds")
+                             : interval_ms / 1e3;
+    const double rejected =
+        delta(now, "hulkv_serve_responses_total{outcome=\"bad_request\"}") +
+        delta(now, "hulkv_serve_responses_total{outcome=\"queue_full\"}") +
+        delta(now,
+              "hulkv_serve_responses_total{outcome=\"quota_exceeded\"}") +
+        delta(now,
+              "hulkv_serve_responses_total{outcome=\"shutting_down\"}") +
+        delta(now,
+              "hulkv_serve_responses_total{outcome=\"deadline_expired\"}");
+    const double rate = dt == 0.0 ? 0.0 : 1.0 / dt;
+    std::printf(
+        "%8.1f %8.1f %8.1f %8.1f %8.1f %8.1f %6.0f %6.0f %6.2f  %s\n",
+        delta(now, "hulkv_serve_requests_total") * rate,
+        delta(now, "hulkv_serve_responses_total{outcome=\"ok\"}") * rate,
+        rejected * rate,
+        delta(now, "hulkv_serve_cache_hits_total") * rate,
+        delta(now, "hulkv_serve_cache_misses_total") * rate,
+        delta(now, "hulkv_serve_run_chunks_total") * rate,
+        sample(now, "hulkv_serve_queue_depth"),
+        sample(now, "hulkv_serve_in_flight_points"),
+        sample(now, "hulkv_serve_utilization"),
+        stage_line(now, "execute").c_str());
+    std::fflush(stdout);
+    prev = now;
+  }
+  return 0;
+}
+
+int cmd_top(const std::string& socket_path, const std::string& port,
+            u32 interval_ms, u64 count) {
+  serve::Client client = connect_serve(socket_path, port);
+  for (u64 i = 0; count == 0 || i < count; ++i) {
+    if (i != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(interval_ms));
+    }
+    const std::map<std::string, double> m = parse_prometheus(
+        fetch_text(client, serve::MsgType::kMetrics, 2 + i));
+    // ANSI home + clear-below: a refreshing one-screen view.
+    std::printf("\033[H\033[J");
+    std::printf(
+        "hulkv-serve  up %.1fs  workers %.0f  util %.2f  queue %.0f  "
+        "in-flight %.0f\n\n",
+        sample(m, "hulkv_serve_uptime_seconds"),
+        sample(m, "hulkv_serve_workers"),
+        sample(m, "hulkv_serve_utilization"),
+        sample(m, "hulkv_serve_queue_depth"),
+        sample(m, "hulkv_serve_in_flight_points"));
+    std::printf(
+        "requests %-10.0f admitted %-10.0f ok %-10.0f pings %.0f\n",
+        sample(m, "hulkv_serve_requests_total"),
+        sample(m, "hulkv_serve_requests_admitted_total"),
+        sample(m, "hulkv_serve_responses_total{outcome=\"ok\"}"),
+        sample(m, "hulkv_serve_pings_total"));
+    std::printf(
+        "rejects  bad_request %.0f  queue_full %.0f  quota %.0f  "
+        "deadline %.0f  shutdown %.0f  internal %.0f\n",
+        sample(m, "hulkv_serve_responses_total{outcome=\"bad_request\"}"),
+        sample(m, "hulkv_serve_responses_total{outcome=\"queue_full\"}"),
+        sample(m,
+               "hulkv_serve_responses_total{outcome=\"quota_exceeded\"}"),
+        sample(m,
+               "hulkv_serve_responses_total{outcome=\"deadline_expired\"}"),
+        sample(m,
+               "hulkv_serve_responses_total{outcome=\"shutting_down\"}"),
+        sample(m,
+               "hulkv_serve_responses_total{outcome=\"internal_error\"}"));
+    const double hits = sample(m, "hulkv_serve_cache_hits_total");
+    const double misses = sample(m, "hulkv_serve_cache_misses_total");
+    std::printf(
+        "cache    hits %.0f  misses %.0f  hit-rate %.2f  entries %.0f  "
+        "cold builds %.0f  chunks %.0f\n",
+        hits, misses,
+        hits + misses == 0 ? 0.0 : hits / (hits + misses),
+        sample(m, "hulkv_serve_cache_entries"),
+        sample(m, "hulkv_serve_cold_builds_total"),
+        sample(m, "hulkv_serve_run_chunks_total"));
+    std::printf(
+        "traces   completed %.0f  dropped %.0f  slow %.0f  scrapes %.0f\n\n",
+        sample(m, "hulkv_serve_trace_completed_total"),
+        sample(m, "hulkv_serve_trace_dropped_total"),
+        sample(m, "hulkv_serve_slow_requests_total"),
+        sample(m, "hulkv_serve_metrics_scrapes_total"));
+    std::printf("%-15s %s\n", "stage", "latency");
+    for (const char* stage : kStageNames) {
+      std::printf("%-15s %s\n", stage, stage_line(m, stage).c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
 }
 
 int usage() {
@@ -445,7 +678,13 @@ int usage() {
       "  trend <BENCH_simperf.json> [--metric N]\n"
       "                                        baseline history over time\n"
       "  check <manifests.jsonl> [--schema scripts/manifest_schema.json]\n"
-      "                                        validate run manifests\n");
+      "                                        validate run manifests\n"
+      "  scrape --socket S | --port P          one kMetrics exposition\n"
+      "  trace  --socket S | --port P          kTrace Perfetto JSON\n"
+      "  tail   --socket S | --port P [--interval-ms N] [--count N]\n"
+      "                                        per-interval delta lines\n"
+      "  top    --socket S | --port P [--interval-ms N] [--count N]\n"
+      "                                        live one-screen view\n");
   return 2;
 }
 
@@ -494,6 +733,24 @@ int main(int argc, char** argv) {
       const std::string schema = take_flag(args, "--schema");
       if (args.size() != 1) return usage();
       return cmd_check(args[0], schema);
+    }
+    if (cmd == "scrape" || cmd == "trace" || cmd == "tail" ||
+        cmd == "top") {
+      const std::string socket_path = take_flag(args, "--socket");
+      const std::string port = take_flag(args, "--port");
+      const std::string interval = take_flag(args, "--interval-ms");
+      const std::string count = take_flag(args, "--count");
+      if (!args.empty()) return usage();
+      const u32 interval_ms =
+          interval.empty() ? 1000u
+                           : static_cast<u32>(std::stoul(interval));
+      const u64 iterations = count.empty() ? 0 : std::stoull(count);
+      if (cmd == "scrape") return cmd_scrape(socket_path, port);
+      if (cmd == "trace") return cmd_trace_op(socket_path, port);
+      if (cmd == "tail") {
+        return cmd_tail(socket_path, port, interval_ms, iterations);
+      }
+      return cmd_top(socket_path, port, interval_ms, iterations);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hulkv-stats: %s\n", e.what());
